@@ -1,0 +1,228 @@
+//! Heap consistency checkers used by tests and the property-based suite.
+//!
+//! The checkers read the heap image through [`MemCtx::peek`], so they
+//! never perturb the reference trace or the instruction counts of the
+//! allocator under test.
+
+use std::fmt;
+
+use sim_mem::{Address, MemCtx};
+
+use crate::layout::{tag_allocated, tag_size, MIN_BLOCK, TAG};
+
+/// A violated heap invariant, reported with enough context to debug the
+/// allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapCorruption {
+    /// Address of the offending block or word.
+    pub at: Address,
+    /// Human-readable description of the violated invariant.
+    pub what: String,
+}
+
+impl fmt::Display for HeapCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "heap corruption at {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for HeapCorruption {}
+
+/// Summary of a boundary-tag heap walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapWalk {
+    /// Blocks with the allocated bit set.
+    pub allocated_blocks: u64,
+    /// Blocks with the allocated bit clear.
+    pub free_blocks: u64,
+    /// Total bytes in allocated blocks (tags included).
+    pub allocated_bytes: u64,
+    /// Total bytes in free blocks.
+    pub free_bytes: u64,
+    /// Adjacent free pairs found (non-zero means coalescing missed work).
+    pub adjacent_free_pairs: u64,
+}
+
+/// Walks a boundary-tagged heap region starting at the first block header
+/// `start` and ending at an allocated zero-size epilogue tag, verifying:
+///
+/// * every header equals its footer,
+/// * block sizes are word multiples of at least [`MIN_BLOCK`] (allocated
+///   fast-storage blocks may be smaller, but never smaller than 8),
+/// * blocks tile the region exactly (no gaps, no overlap).
+///
+/// Returns a [`HeapWalk`] summary.
+///
+/// # Errors
+///
+/// Returns [`HeapCorruption`] describing the first violated invariant.
+pub fn check_tagged_heap(ctx: &MemCtx<'_>, start: Address) -> Result<HeapWalk, HeapCorruption> {
+    let mut walk = HeapWalk::default();
+    let mut b = start;
+    let mut prev_free = false;
+    loop {
+        let header = ctx.peek(b);
+        let size = tag_size(header);
+        if size == 0 {
+            if !tag_allocated(header) {
+                return Err(HeapCorruption {
+                    at: b,
+                    what: "zero-size block without allocated bit (bad epilogue)".into(),
+                });
+            }
+            return Ok(walk);
+        }
+        if u64::from(size) % 4 != 0 {
+            return Err(HeapCorruption { at: b, what: format!("size {size} not word multiple") });
+        }
+        if size < 8 {
+            return Err(HeapCorruption { at: b, what: format!("size {size} below minimum") });
+        }
+        let footer = ctx.peek(b + u64::from(size) - TAG);
+        if footer != header {
+            return Err(HeapCorruption {
+                at: b,
+                what: format!("header {header:#x} != footer {footer:#x}"),
+            });
+        }
+        if tag_allocated(header) {
+            walk.allocated_blocks += 1;
+            walk.allocated_bytes += u64::from(size);
+            prev_free = false;
+        } else {
+            if size < MIN_BLOCK {
+                return Err(HeapCorruption {
+                    at: b,
+                    what: format!("free block of {size} bytes cannot hold links"),
+                });
+            }
+            if prev_free {
+                walk.adjacent_free_pairs += 1;
+            }
+            walk.free_blocks += 1;
+            walk.free_bytes += u64::from(size);
+            prev_free = true;
+        }
+        b += u64::from(size);
+    }
+}
+
+/// Walks the circular doubly-linked freelist rooted at the sentinel
+/// `head`, verifying link symmetry (`node.next.prev == node`) and that
+/// every member is a free block. Returns the member count.
+///
+/// # Errors
+///
+/// Returns [`HeapCorruption`] on the first broken link or allocated
+/// member.
+pub fn check_freelist(
+    ctx: &MemCtx<'_>,
+    head: Address,
+    max_nodes: u64,
+) -> Result<u64, HeapCorruption> {
+    use crate::layout::{NEXT_OFF, PREV_OFF};
+    let mut count = 0;
+    let mut node = Address::new(u64::from(ctx.peek(head + NEXT_OFF)));
+    let mut pred = head;
+    while node != head {
+        if count > max_nodes {
+            return Err(HeapCorruption {
+                at: node,
+                what: format!("freelist longer than {max_nodes} nodes (cycle?)"),
+            });
+        }
+        let back = Address::new(u64::from(ctx.peek(node + PREV_OFF)));
+        if back != pred {
+            return Err(HeapCorruption {
+                at: node,
+                what: format!("prev link {back} does not point at predecessor {pred}"),
+            });
+        }
+        let header = ctx.peek(node);
+        if tag_allocated(header) {
+            return Err(HeapCorruption { at: node, what: "allocated block on freelist".into() });
+        }
+        count += 1;
+        pred = node;
+        node = Address::new(u64::from(ctx.peek(node + NEXT_OFF)));
+    }
+    let back = Address::new(u64::from(ctx.peek(head + PREV_OFF)));
+    if back != pred {
+        return Err(HeapCorruption {
+            at: head,
+            what: format!("sentinel prev {back} does not close the cycle at {pred}"),
+        });
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{encode, list, write_tags, F_ALLOC};
+    use sim_mem::{HeapImage, InstrCounter, NullSink};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut MemCtx<'_>) -> R) -> R {
+        let mut heap = HeapImage::new();
+        let mut sink = NullSink;
+        let mut instrs = InstrCounter::new();
+        let mut ctx = MemCtx::new(&mut heap, &mut sink, &mut instrs);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn detects_header_footer_mismatch() {
+        with_ctx(|ctx| {
+            let start = ctx.sbrk(64).unwrap();
+            write_tags(ctx, start, 32, F_ALLOC);
+            // Corrupt the footer.
+            ctx.store(start + 28, encode(24, F_ALLOC));
+            ctx.store(start + 32, encode(0, F_ALLOC)); // epilogue
+            let err = check_tagged_heap(ctx, start).unwrap_err();
+            assert!(err.what.contains("footer"), "{err}");
+        });
+    }
+
+    #[test]
+    fn accepts_well_formed_region_and_counts() {
+        with_ctx(|ctx| {
+            let start = ctx.sbrk(100).unwrap();
+            write_tags(ctx, start, 32, F_ALLOC);
+            write_tags(ctx, start + 32, 48, 0);
+            ctx.store(start + 80, encode(0, F_ALLOC));
+            let walk = check_tagged_heap(ctx, start).unwrap();
+            assert_eq!(walk.allocated_blocks, 1);
+            assert_eq!(walk.free_blocks, 1);
+            assert_eq!(walk.allocated_bytes, 32);
+            assert_eq!(walk.free_bytes, 48);
+            assert_eq!(walk.adjacent_free_pairs, 0);
+        });
+    }
+
+    #[test]
+    fn flags_adjacent_free_blocks() {
+        with_ctx(|ctx| {
+            let start = ctx.sbrk(100).unwrap();
+            write_tags(ctx, start, 32, 0);
+            write_tags(ctx, start + 32, 48, 0);
+            ctx.store(start + 80, encode(0, F_ALLOC));
+            let walk = check_tagged_heap(ctx, start).unwrap();
+            assert_eq!(walk.adjacent_free_pairs, 1);
+        });
+    }
+
+    #[test]
+    fn freelist_checker_detects_broken_prev() {
+        with_ctx(|ctx| {
+            let head = ctx.sbrk(list::SENTINEL_BYTES).unwrap();
+            let a = ctx.sbrk(32).unwrap();
+            write_tags(ctx, a, 32, 0);
+            list::init_head(ctx, head);
+            list::insert_after(ctx, head, a);
+            assert_eq!(check_freelist(ctx, head, 10).unwrap(), 1);
+            // Break the back link.
+            ctx.store(a + crate::layout::PREV_OFF, 0);
+            assert!(check_freelist(ctx, head, 10).is_err());
+        });
+    }
+}

@@ -1,0 +1,161 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each bench measures a design knob the paper discusses, reporting the
+//! simulated miss count / instruction count trade-off through Criterion
+//! timings of the full pipeline plus printed summaries on first run:
+//!
+//! * coalescing on/off in the first-fit family (§4.1: "coalescing
+//!   adjacent free blocks will in most cases both increase total
+//!   execution time and reduce program reference locality");
+//! * the split threshold (Knuth's optimization);
+//! * roving pointer vs. head-anchored search;
+//! * size-class policy granularity (powers of two vs. bounded
+//!   fragmentation vs. profile-driven exact classes, §4.4).
+
+use alloc_locality::{AllocChoice, Experiment, SimOptions};
+use allocators::first_fit::FirstFitConfig;
+use allocators::gnu_gxx::GnuGxxConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::{PhaseBehavior, Program, Scale};
+
+const SCALE: f64 = 0.002;
+
+fn opts() -> SimOptions {
+    SimOptions {
+        cache_configs: vec![cache_sim::CacheConfig::direct_mapped(64 * 1024, 32)],
+        paging: false,
+        scale: Scale(SCALE),
+        ..SimOptions::default()
+    }
+}
+
+fn run(choice: AllocChoice) -> alloc_locality::RunResult {
+    Experiment::new(Program::Espresso, choice).options(opts()).run().expect("run completes")
+}
+
+fn bench_coalescing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_coalescing");
+    for (name, coalesce) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run(AllocChoice::FirstFitTuned(FirstFitConfig {
+                    coalesce,
+                    ..FirstFitConfig::default()
+                })))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_split_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_split_threshold");
+    for threshold in [0u32, 24, 64, 256] {
+        g.bench_function(threshold.to_string(), |b| {
+            b.iter(|| {
+                black_box(run(AllocChoice::FirstFitTuned(FirstFitConfig {
+                    split_threshold: threshold,
+                    ..FirstFitConfig::default()
+                })))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_roving_pointer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_roving_pointer");
+    for (name, roving) in [("roving", true), ("head", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run(AllocChoice::FirstFitTuned(FirstFitConfig {
+                    roving,
+                    ..FirstFitConfig::default()
+                })))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_size_class_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_size_classes");
+    g.bench_function("profile_exact", |b| b.iter(|| black_box(run(AllocChoice::Custom))));
+    for bound in [0.1, 0.25, 0.5] {
+        g.bench_function(format!("bounded_{bound}"), |b| {
+            b.iter(|| black_box(run(AllocChoice::CustomBounded(bound))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gxx_coalescing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_gxx_coalescing");
+    for (name, coalesce) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run(AllocChoice::GnuGxxTuned(GnuGxxConfig {
+                    coalesce,
+                    ..GnuGxxConfig::default()
+                })))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_phase_structure(c: &mut Criterion) {
+    // Coalescing's best case: cohorts dying together at phase
+    // boundaries. Compare FirstFit with and without phase structure.
+    let mut g = c.benchmark_group("ablation_phase_structure");
+    for (name, phases) in
+        [("steady", None), ("phased", Some(PhaseBehavior { period: 2000, cohort_fraction: 0.8 }))]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut spec = Program::Espresso.spec();
+                spec.phases = phases;
+                black_box(
+                    Experiment::with_spec(
+                        spec,
+                        AllocChoice::Paper(allocators::AllocatorKind::FirstFit),
+                    )
+                    .options(opts())
+                    .run()
+                    .expect("run completes"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lifetime_prediction(c: &mut Criterion) {
+    // §5.1 future work: does call-site prediction pay on a phased
+    // workload where sites have distinct fates?
+    let mut g = c.benchmark_group("ablation_lifetime_prediction");
+    for (name, choice) in [("custom", AllocChoice::Custom), ("predictive", AllocChoice::Predictive)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Experiment::new(Program::Espresso, choice.clone())
+                        .options(opts())
+                        .run()
+                        .expect("run completes"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coalescing, bench_split_threshold, bench_roving_pointer,
+              bench_size_class_policy, bench_gxx_coalescing, bench_phase_structure,
+              bench_lifetime_prediction
+}
+criterion_main!(ablations);

@@ -1,0 +1,158 @@
+//! One Criterion benchmark per table and figure of the paper.
+//!
+//! Each bench regenerates its artifact end-to-end (workload generation,
+//! allocator simulation, cache/paging simulation, figure extraction) at a
+//! reduced scale, so `cargo bench -p bench --bench paper` both exercises
+//! every experiment and reports how long regeneration takes. The printed
+//! artifacts themselves come from the `repro` binary.
+
+use alloc_locality::experiments::{
+    exec_time_figure, fig1, miss_curves, paging_figure, table1, table2, table6, time_table,
+};
+use alloc_locality::{standard_matrix, AllocChoice, Matrix, SimOptions};
+use cache_sim::CacheConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::{Program, Scale};
+
+/// Bench scale: small enough for Criterion's repeated sampling.
+const SCALE: f64 = 0.002;
+
+fn opts(paging: bool) -> SimOptions {
+    SimOptions { scale: Scale(SCALE), paging, ..SimOptions::default() }
+}
+
+fn main_matrix(paging: bool) -> Matrix {
+    standard_matrix(&Program::FIVE, &AllocChoice::paper_five(), &opts(paging))
+        .expect("paper sweep runs")
+}
+
+fn gs_matrix() -> Matrix {
+    standard_matrix(&Program::GS_INPUTS, &AllocChoice::paper_five(), &opts(false))
+        .expect("GS sweep runs")
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_time_in_malloc", |b| {
+        b.iter(|| {
+            let m = standard_matrix(
+                &Program::FIVE,
+                &AllocChoice::paper_five(),
+                &SimOptions {
+                    cache_configs: vec![],
+                    paging: false,
+                    scale: Scale(SCALE),
+                    ..SimOptions::default()
+                },
+            )
+            .expect("runs");
+            black_box(fig1(&m))
+        })
+    });
+}
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    c.bench_function("fig2_fig3_page_fault_curves", |b| {
+        b.iter(|| {
+            let m = standard_matrix(
+                &[Program::GsLarge, Program::Ptc],
+                &AllocChoice::paper_five(),
+                &SimOptions {
+                    cache_configs: vec![],
+                    paging: true,
+                    scale: Scale(SCALE),
+                    ..SimOptions::default()
+                },
+            )
+            .expect("runs");
+            black_box((paging_figure(&m, "GS"), paging_figure(&m, "ptc")))
+        })
+    });
+}
+
+fn bench_fig4_fig5_tables45(c: &mut Criterion) {
+    let k16 = CacheConfig::direct_mapped(16 * 1024, 32);
+    let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
+    c.bench_function("fig4_fig5_table4_table5_exec_time", |b| {
+        b.iter(|| {
+            let m = main_matrix(false);
+            black_box((
+                exec_time_figure(&m, k16),
+                exec_time_figure(&m, k64),
+                time_table(&m, k16),
+                time_table(&m, k64),
+            ))
+        })
+    });
+}
+
+fn bench_fig678(c: &mut Criterion) {
+    c.bench_function("fig6_fig7_fig8_miss_curves", |b| {
+        b.iter(|| {
+            let m = gs_matrix();
+            black_box((
+                miss_curves(&m, "GS-Small"),
+                miss_curves(&m, "GS-Medium"),
+                miss_curves(&m, "GS"),
+            ))
+        })
+    });
+}
+
+fn bench_tables123(c: &mut Criterion) {
+    c.bench_function("table1_table2_table3_program_stats", |b| {
+        b.iter(|| {
+            let m = standard_matrix(
+                &[
+                    Program::Espresso,
+                    Program::GsSmall,
+                    Program::GsMedium,
+                    Program::GsLarge,
+                    Program::Ptc,
+                    Program::Gawk,
+                    Program::Make,
+                ],
+                &[AllocChoice::Paper(allocators::AllocatorKind::FirstFit)],
+                &SimOptions {
+                    cache_configs: vec![],
+                    paging: false,
+                    scale: Scale(SCALE),
+                    ..SimOptions::default()
+                },
+            )
+            .expect("runs");
+            black_box((table1(), table2(&m, &Program::FIVE), table2(&m, &Program::GS_INPUTS)))
+        })
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
+    c.bench_function("table6_boundary_tags", |b| {
+        b.iter(|| {
+            let m = standard_matrix(
+                &Program::FIVE,
+                &[
+                    AllocChoice::Paper(allocators::AllocatorKind::GnuLocal),
+                    AllocChoice::GnuLocalTagged,
+                ],
+                &SimOptions {
+                    cache_configs: vec![k64],
+                    paging: false,
+                    scale: Scale(SCALE),
+                    ..SimOptions::default()
+                },
+            )
+            .expect("runs");
+            black_box(table6(&m, k64))
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig2_fig3, bench_fig4_fig5_tables45, bench_fig678,
+              bench_tables123, bench_table6
+}
+criterion_main!(paper);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the substrate components, so regressions in the
+//! simulators themselves (rather than the allocators under study) are
+//! visible: raw allocator op throughput, cache-simulator throughput, and
+//! the LRU stack-distance pager.
+
+use allocators::AllocatorKind;
+use cache_sim::{Cache, CacheConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_mem::{Address, HeapImage, InstrCounter, MemCtx, MemRef, NullSink};
+use std::hint::black_box;
+use vm_sim::StackSim;
+
+fn bench_allocator_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator_ops");
+    for kind in AllocatorKind::ALL {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut heap = HeapImage::new();
+                let mut sink = NullSink;
+                let mut instrs = InstrCounter::new();
+                let mut ctx = MemCtx::new(&mut heap, &mut sink, &mut instrs);
+                let mut a = kind.build(&mut ctx).expect("allocator builds");
+                let mut live = Vec::with_capacity(512);
+                for i in 0..2000u32 {
+                    live.push(a.malloc(8 + (i * 13) % 120, &mut ctx).expect("malloc"));
+                    if live.len() > 256 {
+                        let victim = live.swap_remove((i as usize * 7) % live.len());
+                        a.free(victim, &mut ctx).expect("free");
+                    }
+                }
+                black_box(a.stats().mallocs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_sim");
+    for assoc in [1u32, 4] {
+        g.bench_function(format!("{assoc}-way"), |b| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::set_associative(64 * 1024, 32, assoc));
+                let mut x = 0x243f_6a88u64;
+                for _ in 0..100_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    cache.access(MemRef::app_read(Address::new(x % (1 << 22)), 4));
+                }
+                black_box(cache.stats().misses())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stack_sim(c: &mut Criterion) {
+    c.bench_function("vm_sim_stack_distance", |b| {
+        b.iter(|| {
+            let mut sim = StackSim::paper();
+            let mut x = 0x9e37_79b9u64;
+            for _ in 0..100_000 {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                sim.access_page(x % 2048);
+            }
+            black_box(sim.faults_at(256))
+        })
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allocator_ops, bench_cache_throughput, bench_stack_sim
+}
+criterion_main!(substrates);

@@ -1,0 +1,203 @@
+//! `repro`: regenerates every table and figure of *Improving the Cache
+//! Locality of Memory Allocation* (PLDI 1993).
+//!
+//! ```text
+//! repro [--scale F] [--json DIR] [TARGET ...]
+//!
+//! TARGETS: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!          table1 table2 table3 table4 table5 table6 all
+//! ```
+//!
+//! With no target, `all` is assumed. `--json DIR` additionally writes
+//! each result as machine-readable JSON for re-plotting and diffing.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use alloc_locality::experiments::{
+    conflict_analysis, exec_time_figure, fig1, future_work_table, miss_curves, paging_figure,
+    table1, table2, table6, time_table, two_level_study, victim_study,
+};
+use bench::MatrixCache;
+use cache_sim::CacheConfig;
+use serde::Serialize;
+use workloads::Program;
+
+const ALL_TARGETS: [&str; 18] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table4",
+    "table5",
+    "table6",
+    "ext-3c",
+    "ext-victim",
+    "ext-l2",
+    "ext-future",
+];
+
+struct Args {
+    scale: f64,
+    json_dir: Option<PathBuf>,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = 0.02;
+    let mut json_dir = None;
+    let mut targets = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|e| format!("bad scale {v}: {e}"))?;
+                if scale <= 0.0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--json" => {
+                json_dir = Some(PathBuf::from(args.next().ok_or("--json needs a directory")?));
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro [--scale F] [--json DIR] [TARGET ...]\ntargets: {} all",
+                    ALL_TARGETS.join(" ")
+                ));
+            }
+            "all" => targets.extend(ALL_TARGETS.iter().map(|s| s.to_string())),
+            t if ALL_TARGETS.contains(&t) => targets.push(t.to_string()),
+            t => return Err(format!("unknown target {t:?}; try --help")),
+        }
+    }
+    if targets.is_empty() {
+        targets.extend(ALL_TARGETS.iter().map(|s| s.to_string()));
+    }
+    targets.dedup();
+    Ok(Args { scale, json_dir, targets })
+}
+
+fn emit<T: Serialize>(args: &Args, name: &str, text: &str, value: &T) {
+    println!("{text}");
+    if let Some(dir) = &args.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(value).expect("serialize result");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("[wrote {}]", path.display());
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut cache = MatrixCache::new(args.scale);
+    let k16 = CacheConfig::direct_mapped(16 * 1024, 32);
+    let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
+    eprintln!(
+        "# reproducing Grunwald, Zorn & Henderson (PLDI 1993) at scale {} \
+         ({}% of the paper's allocation counts)\n",
+        args.scale,
+        args.scale * 100.0
+    );
+    for target in args.targets.clone() {
+        let err = |e: alloc_locality::EngineError| format!("{target}: {e}");
+        match target.as_str() {
+            "table1" => {
+                let t = table1();
+                emit(&args, "table1", &t.to_text(), &t);
+            }
+            "table2" => {
+                let t = table2(cache.main().map_err(err)?, &Program::FIVE);
+                emit(&args, "table2", &t.to_text(), &t);
+            }
+            "table3" => {
+                let m = cache.gs_all().map_err(err)?;
+                let t = table2(&m, &Program::GS_INPUTS);
+                emit(&args, "table3", &t.to_text(), &t);
+            }
+            "fig1" => {
+                let f = fig1(cache.main().map_err(err)?);
+                emit(&args, "fig1", &f.to_text(), &f);
+            }
+            "fig2" => {
+                let f = paging_figure(cache.main().map_err(err)?, "GS");
+                emit(&args, "fig2", &format!("{}\n{}", f.to_chart(), f.to_text()), &f);
+            }
+            "fig3" => {
+                let f = paging_figure(cache.main().map_err(err)?, "ptc");
+                emit(&args, "fig3", &format!("{}\n{}", f.to_chart(), f.to_text()), &f);
+            }
+            "fig4" => {
+                let f = exec_time_figure(cache.main().map_err(err)?, k16);
+                emit(&args, "fig4", &f.to_text(), &f);
+            }
+            "fig5" => {
+                let f = exec_time_figure(cache.main().map_err(err)?, k64);
+                emit(&args, "fig5", &f.to_text(), &f);
+            }
+            "fig6" => {
+                let m = cache.gs_all().map_err(err)?;
+                let f = miss_curves(&m, "GS-Small");
+                emit(&args, "fig6", &format!("{}\n{}", f.to_chart(), f.to_text()), &f);
+            }
+            "fig7" => {
+                let m = cache.gs_all().map_err(err)?;
+                let f = miss_curves(&m, "GS-Medium");
+                emit(&args, "fig7", &format!("{}\n{}", f.to_chart(), f.to_text()), &f);
+            }
+            "fig8" => {
+                let f = miss_curves(cache.main().map_err(err)?, "GS");
+                emit(&args, "fig8", &format!("{}\n{}", f.to_chart(), f.to_text()), &f);
+            }
+            "table4" => {
+                let t = time_table(cache.main().map_err(err)?, k16);
+                emit(&args, "table4", &t.to_text(), &t);
+            }
+            "table5" => {
+                let t = time_table(cache.main().map_err(err)?, k64);
+                emit(&args, "table5", &t.to_text(), &t);
+            }
+            "table6" => {
+                let m = cache.main_with_tags().map_err(err)?;
+                let t = table6(&m, k64);
+                emit(&args, "table6", &t.to_text(), &t);
+            }
+            "ext-3c" => {
+                let t = conflict_analysis(cache.ext().map_err(err)?, k16);
+                emit(&args, "ext-3c", &t.to_text(), &t);
+            }
+            "ext-victim" => {
+                let t = victim_study(cache.ext().map_err(err)?, k16, 8);
+                emit(&args, "ext-victim", &t.to_text(), &t);
+            }
+            "ext-l2" => {
+                let t = two_level_study(cache.ext().map_err(err)?, k16);
+                emit(&args, "ext-l2", &t.to_text(), &t);
+            }
+            "ext-future" => {
+                let t = future_work_table(cache.ext().map_err(err)?, k16);
+                emit(&args, "ext-future", &t.to_text(), &t);
+            }
+            other => return Err(format!("unhandled target {other}")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! `trace-tool`: record, inspect, and replay reference traces.
+//!
+//! ```text
+//! trace-tool record <program> <allocator> <out.trace> [--scale F]
+//! trace-tool info <trace>
+//! trace-tool replay <trace> [--cache-kb N]... [--paging] [--three-c] [--victim N]
+//! trace-tool export <program> <out.txt> [--scale F]
+//! trace-tool run-app <events.txt> <allocator>
+//! ```
+//!
+//! Two trace kinds exist: binary **reference** traces (`record`/`info`/
+//! `replay`, ALTR format — what the simulators consume) and text
+//! **application** traces (`export`/`run-app`, the `workloads::import`
+//! format — what the allocators consume). The latter lets real programs'
+//! allocation behaviour drive the whole laboratory.
+//!
+//! `record` captures the full reference stream of one experiment (the
+//! PIXIE-trace-file workflow the paper's execution-driven setup
+//! replaced); `replay` drives any simulator configuration from the
+//! frozen stream, so allocator runs can be archived and re-analyzed
+//! without re-simulating the allocator.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use alloc_locality::{AllocChoice, Experiment, SimOptions};
+use allocators::AllocatorKind;
+use cache_sim::{CacheBank, CacheConfig, ThreeCAnalyzer, VictimCache};
+use sim_mem::{AccessSink, CountingSink, MemRef};
+use vm_sim::StackSim;
+use workloads::{Program, Scale};
+
+fn parse_program(name: &str) -> Option<Program> {
+    match name {
+        "espresso" => Some(Program::Espresso),
+        "gs-small" => Some(Program::GsSmall),
+        "gs-medium" => Some(Program::GsMedium),
+        "gs" => Some(Program::GsLarge),
+        "ptc" => Some(Program::Ptc),
+        "gawk" => Some(Program::Gawk),
+        "make" => Some(Program::Make),
+        _ => None,
+    }
+}
+
+fn parse_allocator(name: &str) -> Option<AllocChoice> {
+    match name {
+        "firstfit" => Some(AllocChoice::Paper(AllocatorKind::FirstFit)),
+        "bestfit" => Some(AllocChoice::BestFit),
+        "gnu-g++" | "gxx" => Some(AllocChoice::Paper(AllocatorKind::GnuGxx)),
+        "bsd" => Some(AllocChoice::Paper(AllocatorKind::Bsd)),
+        "gnu-local" => Some(AllocChoice::Paper(AllocatorKind::GnuLocal)),
+        "quickfit" => Some(AllocChoice::Paper(AllocatorKind::QuickFit)),
+        "custom" => Some(AllocChoice::Custom),
+        _ => None,
+    }
+}
+
+fn record(args: &[String]) -> Result<(), String> {
+    let [program, allocator, out, rest @ ..] = args else {
+        return Err("usage: trace-tool record <program> <allocator> <out.trace> [--scale F]".into());
+    };
+    let mut scale = 0.005;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let program = parse_program(program).ok_or(format!("unknown program {program}"))?;
+    let choice = parse_allocator(allocator).ok_or(format!("unknown allocator {allocator}"))?;
+    let result = Experiment::new(program, choice)
+        .options(SimOptions {
+            cache_configs: vec![],
+            paging: false,
+            scale: Scale(scale),
+            record_trace: Some(out.into()),
+            ..SimOptions::default()
+        })
+        .run()
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "recorded {} references ({} app, {} metadata) to {out}",
+        result.trace.total_refs(),
+        result.trace.app_refs(),
+        result.trace.meta_refs(),
+    );
+    Ok(())
+}
+
+fn open_trace(path: &str) -> Result<trace::TraceReader<BufReader<File>>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    trace::TraceReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let [path] = args else { return Err("usage: trace-tool info <trace>".into()) };
+    let mut counting = CountingSink::new();
+    let mut reader = open_trace(path)?;
+    let mut n = 0u64;
+    for r in reader.by_ref() {
+        counting.record(r.map_err(|e| e.to_string())?);
+        n += 1;
+    }
+    let bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+    let s = counting.stats();
+    println!(
+        "trace {path}: {n} references, {bytes} bytes ({:.2} B/ref)",
+        bytes as f64 / n.max(1) as f64
+    );
+    println!(
+        "  app:  {} refs ({} reads, {} writes), {} words",
+        s.app_refs(),
+        s.app_reads,
+        s.app_writes,
+        s.app_words
+    );
+    println!(
+        "  meta: {} refs ({} reads, {} writes), {} words",
+        s.meta_refs(),
+        s.meta_reads,
+        s.meta_writes,
+        s.meta_words
+    );
+    Ok(())
+}
+
+fn replay(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("usage: trace-tool replay <trace> [--cache-kb N]... [--paging] [--three-c] [--victim N]".into());
+    };
+    let mut cache_kbs: Vec<u32> = Vec::new();
+    let mut paging = false;
+    let mut three_c = false;
+    let mut victim: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-kb" => cache_kbs.push(
+                it.next().ok_or("--cache-kb needs a value")?.parse().map_err(|e| format!("{e}"))?,
+            ),
+            "--paging" => paging = true,
+            "--three-c" => three_c = true,
+            "--victim" => {
+                victim = Some(
+                    it.next()
+                        .ok_or("--victim needs a value")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cache_kbs.is_empty() {
+        cache_kbs = vec![16, 64];
+    }
+    let configs: Vec<CacheConfig> =
+        cache_kbs.iter().map(|&kb| CacheConfig::direct_mapped(kb * 1024, 32)).collect();
+    let mut bank = CacheBank::new(configs.iter().copied());
+    let mut pager = paging.then(StackSim::paper);
+    let mut analyzer = three_c.then(|| ThreeCAnalyzer::new(configs[0]));
+    let mut vcache = victim.map(|n| VictimCache::new(configs[0], n));
+
+    let mut reader = open_trace(path)?;
+    let mut n = 0u64;
+    for r in reader.by_ref() {
+        let r: MemRef = r.map_err(|e| e.to_string())?;
+        bank.record(r);
+        if let Some(p) = &mut pager {
+            p.record(r);
+        }
+        if let Some(a) = &mut analyzer {
+            a.access(r);
+        }
+        if let Some(v) = &mut vcache {
+            v.access(r);
+        }
+        n += 1;
+    }
+    println!("replayed {n} references from {path}");
+    for (cfg, stats) in bank.results() {
+        println!(
+            "  {cfg}: {:.3}% miss rate ({} misses, {} cold)",
+            stats.miss_rate() * 100.0,
+            stats.misses(),
+            stats.cold_misses
+        );
+    }
+    if let Some(p) = pager {
+        let curve = p.curve();
+        println!(
+            "  paging: {} distinct pages; working set {} KB",
+            p.distinct_pages(),
+            curve.working_set_frames() * 4
+        );
+    }
+    if let Some(a) = analyzer {
+        let c = a.classify();
+        println!(
+            "  3C @ {}: compulsory {} / capacity {} / conflict {} ({:.0}% of replacement misses are conflicts)",
+            configs[0],
+            c.compulsory,
+            c.capacity,
+            c.conflict,
+            c.conflict_fraction() * 100.0
+        );
+    }
+    if let Some(v) = vcache {
+        println!(
+            "  victim({}) @ {}: effective miss rate {:.3}%, rescue rate {:.0}%",
+            victim.unwrap_or(0),
+            configs[0],
+            v.stats().miss_rate() * 100.0,
+            v.stats().rescue_rate() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn export(args: &[String]) -> Result<(), String> {
+    let [program, out, rest @ ..] = args else {
+        return Err("usage: trace-tool export <program> <out.txt> [--scale F]".into());
+    };
+    let mut scale = 0.005;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let program = parse_program(program).ok_or(format!("unknown program {program}"))?;
+    let events: Vec<workloads::AppEvent> =
+        program.spec().events(Scale(scale)).collect();
+    let file = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    workloads::import::write_trace(&events, std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    eprintln!("exported {} events to {out}", events.len());
+    Ok(())
+}
+
+fn run_app(args: &[String]) -> Result<(), String> {
+    let [path, allocator] = args else {
+        return Err("usage: trace-tool run-app <events.txt> <allocator>".into());
+    };
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let events =
+        workloads::import::parse_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let choice = parse_allocator(allocator).ok_or(format!("unknown allocator {allocator}"))?;
+    let r = Experiment::with_events(path.clone(), events, choice)
+        .run()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} allocs / {} frees, peak heap {} KB, {:.2}% of instructions in malloc/free",
+        r.allocator,
+        r.alloc_stats.mallocs,
+        r.alloc_stats.frees,
+        r.heap_high_water / 1024,
+        r.alloc_fraction() * 100.0
+    );
+    for (cfg, stats) in &r.cache {
+        println!("  {cfg}: {:.3}% miss rate", stats.miss_rate() * 100.0);
+    }
+    if let Some(curve) = &r.fault_curve {
+        println!("  working set {} KB", curve.working_set_frames() * 4);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "record" => record(rest),
+            "info" => info(rest),
+            "replay" => replay(rest),
+            "export" => export(rest),
+            "run-app" => run_app(rest),
+            "--help" | "-h" => {
+                Err("subcommands: record, info, replay, export, run-app".into())
+            }
+            other => Err(format!("unknown subcommand {other}; try --help")),
+        },
+        None => Err("subcommands: record, info, replay, export, run-app".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

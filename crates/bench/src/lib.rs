@@ -1,0 +1,143 @@
+//! Support library for the `repro` binary and the Criterion benches.
+//!
+//! The heavy lifting lives in [`alloc_locality`]; this crate adds the
+//! matrix-caching layer the harness uses so that one simulation sweep
+//! can serve several tables and figures.
+
+use alloc_locality::{
+    run_parallel, standard_matrix, AllocChoice, EngineError, Experiment, Matrix, SimOptions,
+};
+use cache_sim::CacheConfig;
+use workloads::{Program, Scale};
+
+/// The matrices the paper's evaluation needs, computed lazily so a
+/// single `repro` invocation never runs a sweep it does not print.
+#[derive(Debug, Default)]
+pub struct MatrixCache {
+    main: Option<Matrix>,
+    gs: Option<Matrix>,
+    tags: Option<Matrix>,
+    ext: Option<Matrix>,
+    scale: f64,
+}
+
+impl MatrixCache {
+    /// Creates an empty cache that will run sweeps at `scale`.
+    pub fn new(scale: f64) -> Self {
+        MatrixCache { scale, ..Default::default() }
+    }
+
+    fn opts(&self) -> SimOptions {
+        SimOptions { scale: Scale(self.scale), ..SimOptions::default() }
+    }
+
+    /// The 5 programs × 5 allocators sweep with the full cache bank and
+    /// paging (serves Figures 1–5 and Tables 2, 4, 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn main(&mut self) -> Result<&Matrix, EngineError> {
+        if self.main.is_none() {
+            self.main =
+                Some(standard_matrix(&Program::FIVE, &AllocChoice::paper_five(), &self.opts())?);
+        }
+        Ok(self.main.as_ref().expect("just set"))
+    }
+
+    /// The GhostScript input-set sweep (GS-Small, GS-Medium; GS-Large is
+    /// in the main matrix) for Figures 6–8 and Table 3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn gs(&mut self) -> Result<&Matrix, EngineError> {
+        if self.gs.is_none() {
+            let opts = SimOptions { paging: false, ..self.opts() };
+            self.gs = Some(standard_matrix(
+                &[Program::GsSmall, Program::GsMedium],
+                &AllocChoice::paper_five(),
+                &opts,
+            )?);
+        }
+        Ok(self.gs.as_ref().expect("just set"))
+    }
+
+    /// GNU LOCAL with emulated boundary tags across the five programs
+    /// (Table 6), 64K cache only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn tags(&mut self) -> Result<&Matrix, EngineError> {
+        if self.tags.is_none() {
+            let opts = SimOptions {
+                cache_configs: vec![CacheConfig::direct_mapped(64 * 1024, 32)],
+                paging: false,
+                ..self.opts()
+            };
+            self.tags =
+                Some(standard_matrix(&Program::FIVE, &[AllocChoice::GnuLocalTagged], &opts)?);
+        }
+        Ok(self.tags.as_ref().expect("just set"))
+    }
+
+    /// A merged view of the main and tags matrices (what `table6` needs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn main_with_tags(&mut self) -> Result<Matrix, EngineError> {
+        let mut merged = Matrix { runs: self.main()?.runs.clone() };
+        merged.extend(Matrix { runs: self.tags()?.runs.clone() });
+        Ok(merged)
+    }
+
+    /// The extension sweep: espresso and GS under the paper's five plus
+    /// BestFit, Custom and Predictive, with the three-C analyzer, an
+    /// 8-entry victim cache, and the two-level hierarchy attached
+    /// (serves the `ext-*` targets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn ext(&mut self) -> Result<&Matrix, EngineError> {
+        if self.ext.is_none() {
+            let opts = SimOptions {
+                cache_configs: vec![CacheConfig::direct_mapped(16 * 1024, 32)],
+                paging: false,
+                scale: Scale(self.scale),
+                victim_entries: Some(8),
+                three_c: true,
+                two_level: true,
+                ..SimOptions::default()
+            };
+            let mut choices = AllocChoice::paper_five();
+            choices.push(AllocChoice::BestFit);
+            choices.push(AllocChoice::Buddy);
+            choices.push(AllocChoice::Custom);
+            choices.push(AllocChoice::Predictive);
+            let jobs = [Program::Espresso, Program::GsLarge]
+                .iter()
+                .flat_map(|&p| {
+                    let opts = &opts;
+                    choices.iter().map(move |c| Experiment::new(p, c.clone()).options(opts.clone()))
+                })
+                .collect();
+            self.ext = Some(run_parallel(jobs)?);
+        }
+        Ok(self.ext.as_ref().expect("just set"))
+    }
+
+    /// A combined GhostScript matrix (all three input sets) for the
+    /// miss-rate curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn gs_all(&mut self) -> Result<Matrix, EngineError> {
+        let mut merged = Matrix { runs: self.gs()?.runs.clone() };
+        merged.extend(Matrix { runs: self.main()?.runs.clone() });
+        Ok(merged)
+    }
+}

@@ -1,0 +1,113 @@
+//! Cache configuration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one simulated data cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size: u32,
+    /// Block (line) size in bytes (power of two); the paper uses 32.
+    pub block: u32,
+    /// Associativity; 1 means direct-mapped (the paper's configuration).
+    pub assoc: u32,
+}
+
+impl CacheConfig {
+    /// The paper's block size.
+    pub const PAPER_BLOCK: u32 = 32;
+
+    /// A direct-mapped cache of `size` bytes with `block`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `block` is not a power of two, or if `block`
+    /// does not divide `size`.
+    pub fn direct_mapped(size: u32, block: u32) -> Self {
+        Self::set_associative(size, block, 1)
+    }
+
+    /// An `assoc`-way set-associative cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, `size`/`block` are not powers of
+    /// two, or the geometry does not divide evenly.
+    pub fn set_associative(size: u32, block: u32, assoc: u32) -> Self {
+        assert!(size.is_power_of_two(), "cache size must be a power of two");
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        assert!(assoc >= 1, "associativity must be at least 1");
+        assert!(size.is_multiple_of(block * assoc), "geometry must divide evenly");
+        CacheConfig { size, block, assoc }
+    }
+
+    /// The paper's sweep: direct-mapped, 32-byte blocks, 16K–256K in
+    /// powers of two (Figures 6–8).
+    pub fn paper_sweep() -> Vec<CacheConfig> {
+        [16, 32, 64, 128, 256]
+            .into_iter()
+            .map(|kb| CacheConfig::direct_mapped(kb * 1024, Self::PAPER_BLOCK))
+            .collect()
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size / (self.block * self.assoc)
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> u32 {
+        self.size / self.block
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.assoc == 1 {
+            write!(f, "{}K direct-mapped, {}B blocks", self.size / 1024, self.block)
+        } else {
+            write!(f, "{}K {}-way, {}B blocks", self.size / 1024, self.assoc, self.block)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_derived() {
+        let c = CacheConfig::direct_mapped(16 * 1024, 32);
+        assert_eq!(c.lines(), 512);
+        assert_eq!(c.sets(), 512);
+        let c = CacheConfig::set_associative(16 * 1024, 32, 4);
+        assert_eq!(c.lines(), 512);
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    fn paper_sweep_is_16k_to_256k() {
+        let sweep = CacheConfig::paper_sweep();
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0].size, 16 * 1024);
+        assert_eq!(sweep[4].size, 256 * 1024);
+        assert!(sweep.iter().all(|c| c.assoc == 1 && c.block == 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        CacheConfig::direct_mapped(3000, 32);
+    }
+
+    #[test]
+    fn display_names_are_readable() {
+        assert_eq!(
+            CacheConfig::direct_mapped(65536, 32).to_string(),
+            "64K direct-mapped, 32B blocks"
+        );
+        assert_eq!(CacheConfig::set_associative(65536, 32, 2).to_string(), "64K 2-way, 32B blocks");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the cache simulator.
+
+use proptest::prelude::*;
+
+use cache_sim::{Cache, CacheBank, CacheConfig};
+use sim_mem::{AccessSink, Address, MemRef};
+
+fn refs_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec((0u64..1_000_000, 1u32..256), 1..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cold misses equal the number of distinct blocks ever touched, for
+    /// any geometry.
+    #[test]
+    fn cold_misses_are_distinct_blocks(
+        refs in refs_strategy(),
+        size_kb in prop_oneof![Just(1u32), Just(16), Just(64)],
+        assoc in prop_oneof![Just(1u32), Just(2), Just(8)],
+    ) {
+        let mut cache = Cache::new(CacheConfig::set_associative(size_kb * 1024, 32, assoc));
+        let mut blocks = std::collections::HashSet::new();
+        for &(addr, len) in &refs {
+            let r = MemRef::app_read(Address::new(addr), len);
+            blocks.extend(r.blocks(32));
+            cache.access(r);
+        }
+        prop_assert_eq!(cache.stats().cold_misses, blocks.len() as u64);
+    }
+
+    /// Misses never exceed block touches; accesses count words.
+    #[test]
+    fn counters_are_consistent(refs in refs_strategy()) {
+        let mut cache = Cache::new(CacheConfig::direct_mapped(16 * 1024, 32));
+        let mut words = 0u64;
+        let mut block_touches = 0u64;
+        for &(addr, len) in &refs {
+            let r = MemRef::app_write(Address::new(addr), len);
+            words += u64::from(len.div_ceil(4));
+            block_touches += r.blocks(32).count() as u64;
+            cache.access(r);
+        }
+        prop_assert_eq!(cache.stats().accesses(), words);
+        prop_assert!(cache.stats().misses() <= block_touches);
+        prop_assert!(cache.stats().cold_misses <= cache.stats().misses());
+    }
+
+    /// LRU inclusion within a set: doubling associativity at a fixed set
+    /// count (i.e. doubling capacity) never increases misses.
+    #[test]
+    fn higher_associativity_same_sets_never_misses_more(refs in refs_strategy()) {
+        let sets = 128u32;
+        let mut small = Cache::new(CacheConfig::set_associative(sets * 32 * 2, 32, 2));
+        let mut large = Cache::new(CacheConfig::set_associative(sets * 32 * 4, 32, 4));
+        for &(addr, len) in &refs {
+            let r = MemRef::app_read(Address::new(addr), len);
+            small.access(r);
+            large.access(r);
+        }
+        prop_assert!(large.stats().misses() <= small.stats().misses());
+    }
+
+    /// A working set no larger than the cache, revisited after a warmup
+    /// pass, produces no further misses in a fully covering scan
+    /// (fully-associative behaviour approximated with high assoc).
+    #[test]
+    fn warm_working_set_hits(nblocks in 1u64..256) {
+        let mut cache = Cache::new(CacheConfig::set_associative(8 * 1024, 32, 256));
+        for round in 0..3u32 {
+            for b in 0..nblocks {
+                cache.access(MemRef::app_read(Address::new(b * 32), 4));
+            }
+            if round == 0 {
+                prop_assert_eq!(cache.stats().misses(), nblocks);
+            }
+        }
+        prop_assert_eq!(cache.stats().misses(), nblocks, "warm set must not miss");
+    }
+
+    /// A bank's members behave identically to standalone caches fed the
+    /// same stream.
+    #[test]
+    fn bank_equals_standalone(refs in refs_strategy()) {
+        let cfg_a = CacheConfig::direct_mapped(16 * 1024, 32);
+        let cfg_b = CacheConfig::set_associative(32 * 1024, 32, 4);
+        let mut bank = CacheBank::new([cfg_a, cfg_b]);
+        let mut solo_a = Cache::new(cfg_a);
+        let mut solo_b = Cache::new(cfg_b);
+        for &(addr, len) in &refs {
+            let r = MemRef::app_read(Address::new(addr), len);
+            bank.record(r);
+            solo_a.access(r);
+            solo_b.access(r);
+        }
+        prop_assert_eq!(bank.stats_for(cfg_a).expect("member"), solo_a.stats());
+        prop_assert_eq!(bank.stats_for(cfg_b).expect("member"), solo_b.stats());
+    }
+}

@@ -1,0 +1,215 @@
+//! Terminal line charts, so the `repro` binary can print the paper's
+//! *figures* as figures rather than tables only.
+//!
+//! Each series gets a letter; points are plotted on a character grid
+//! with optional log-scaled Y (the paper's Figures 2–3 are log-scale).
+
+use std::fmt;
+
+/// A multi-series scatter/line chart rendered to text.
+///
+/// # Example
+///
+/// ```
+/// use alloc_locality::chart::AsciiChart;
+/// let mut c = AsciiChart::new("faults", 40, 10);
+/// c.series("FirstFit", vec![(0.0, 100.0), (1.0, 50.0), (2.0, 10.0)]);
+/// c.series("BSD", vec![(0.0, 30.0), (1.0, 20.0), (2.0, 8.0)]);
+/// let s = c.render();
+/// assert!(s.contains("A = FirstFit"));
+/// assert!(s.contains("B = BSD"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    title: String,
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart with a plot area of `width` × `height` cells.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        AsciiChart {
+            title: title.into(),
+            width: width.max(10),
+            height: height.max(4),
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches the Y axis to log scale (non-positive values are
+    /// clamped to the smallest positive plotted value).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    fn y_transform(&self, y: f64, floor: f64) -> f64 {
+        if self.log_y {
+            y.max(floor).log10()
+        } else {
+            y
+        }
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        if all.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut floor = f64::INFINITY;
+        for &(x, y) in &all {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            if y > 0.0 {
+                floor = floor.min(y);
+            }
+        }
+        if !floor.is_finite() {
+            floor = 1e-9;
+        }
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, y) in &all {
+            let t = self.y_transform(y, floor);
+            ymin = ymin.min(t);
+            ymax = ymax.max(t);
+        }
+        if (xmax - xmin).abs() < 1e-12 {
+            xmax = xmin + 1.0;
+        }
+        if (ymax - ymin).abs() < 1e-12 {
+            ymax = ymin + 1.0;
+        }
+
+        let mut grid = vec![vec![b' '; self.width]; self.height];
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let marker = b'A' + (si % 26) as u8;
+            for &(x, y) in pts {
+                let ty = self.y_transform(y, floor);
+                let col = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
+                let row = ((ymax - ty) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+                let cell = &mut grid[row.min(self.height - 1)][col.min(self.width - 1)];
+                // Overlaps show the later series; '*' marks collisions.
+                *cell = if *cell == b' ' || *cell == marker { marker } else { b'*' };
+            }
+        }
+
+        let untransform = |t: f64| if self.log_y { 10f64.powf(t) } else { t };
+        let fmt_val = |v: f64| {
+            if v.abs() >= 1000.0 {
+                format!("{v:.0}")
+            } else if v.abs() >= 1.0 {
+                format!("{v:.1}")
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        out.push_str(&format!("{}{}\n", self.title, if self.log_y { " (log y)" } else { "" }));
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                fmt_val(untransform(ymax))
+            } else if i == self.height - 1 {
+                fmt_val(untransform(ymin))
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("{label:>10} |{}\n", String::from_utf8_lossy(row)));
+        }
+        out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>10}  {}{}{}\n",
+            "",
+            fmt_val(xmin),
+            " ".repeat(self.width.saturating_sub(fmt_val(xmin).len() + fmt_val(xmax).len())),
+            fmt_val(xmax)
+        ));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let marker = (b'A' + (si % 26) as u8) as char;
+            out.push_str(&format!("{:>12} = {}\n", marker, name));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart_with(points: Vec<(f64, f64)>) -> String {
+        let mut c = AsciiChart::new("t", 30, 8);
+        c.series("s", points);
+        c.render()
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let c = AsciiChart::new("empty", 30, 8);
+        assert!(c.render().contains("no data"));
+    }
+
+    #[test]
+    fn single_point_renders() {
+        let s = chart_with(vec![(1.0, 5.0)]);
+        assert!(s.contains('A'));
+        assert!(s.contains("A = s"));
+    }
+
+    #[test]
+    fn descending_series_occupies_descending_rows() {
+        let s = chart_with(vec![(0.0, 100.0), (1.0, 50.0), (2.0, 0.0)]);
+        let rows: Vec<&str> = s.lines().collect();
+        // First marker row is above the last marker row.
+        let first = rows.iter().position(|l| l.contains('A')).expect("marker");
+        let last = rows.iter().rposition(|l| l.contains("A")).expect("marker");
+        assert!(first < last);
+    }
+
+    #[test]
+    fn log_scale_compresses_magnitudes() {
+        let mut c = AsciiChart::new("log", 30, 8).log_y();
+        c.series("s", vec![(0.0, 1.0), (1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)]);
+        let s = c.render();
+        assert!(s.contains("(log y)"));
+        // Equal ratios land on (roughly) equally spaced rows: collect
+        // the row index of each column's marker.
+        let grid_rows: Vec<(usize, usize)> = s
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains('|'))
+            .flat_map(|(ri, l)| {
+                l.char_indices().filter(move |&(_, ch)| ch == 'A').map(move |(ci, _)| (ri, ci))
+            })
+            .collect();
+        assert_eq!(grid_rows.len(), 4);
+        let rows: Vec<usize> = grid_rows.iter().map(|&(r, _)| r).collect();
+        let gaps: Vec<i64> = rows.windows(2).map(|w| w[0] as i64 - w[1] as i64).collect();
+        assert!(gaps.windows(2).all(|g| (g[0] - g[1]).abs() <= 1), "gaps {gaps:?}");
+    }
+
+    #[test]
+    fn collisions_are_starred() {
+        let mut c = AsciiChart::new("x", 30, 8);
+        c.series("a", vec![(0.0, 1.0)]);
+        c.series("b", vec![(0.0, 1.0)]);
+        assert!(c.render().contains('*'));
+    }
+}

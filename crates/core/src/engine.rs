@@ -1,0 +1,826 @@
+//! The trace-driven experiment engine.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use allocators::first_fit::FirstFitConfig;
+use allocators::gnu_gxx::GnuGxxConfig;
+use allocators::gnu_local::GnuLocalConfig;
+use allocators::{
+    AllocError, AllocStats, Allocator, AllocatorKind, BestFit, Buddy, Custom, FirstFit, GnuGxx,
+    GnuLocal, Predictive, SizeMap, SizeProfile,
+};
+use cache_sim::{
+    CacheBank, CacheConfig, CacheStats, ThreeC, ThreeCAnalyzer, TwoLevelCache, TwoLevelStats,
+    VictimCache, VictimStats,
+};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim_mem::{
+    AccessSink, Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, TraceStats,
+};
+use vm_sim::{FaultCurve, StackSim};
+use workloads::{AppEvent, Program, Scale, WorkloadSpec};
+
+use crate::model::TimeEstimate;
+
+/// Default workload scale for the repro harness: 2% of the paper's
+/// allocation counts, far past each model's steady state (see
+/// EXPERIMENTS.md for the scale used in the recorded results).
+pub const DEFAULT_SCALE: Scale = Scale(0.02);
+
+/// How many allocations to sample when deriving a [`SizeProfile`] for
+/// the synthesized allocator.
+pub const PROFILE_SAMPLES: u64 = 20_000;
+
+/// Simulation options for one run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Cache configurations simulated in one pass (empty to skip).
+    pub cache_configs: Vec<CacheConfig>,
+    /// Whether to run the LRU stack-distance pager.
+    pub paging: bool,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Simulated heap ceiling in bytes.
+    pub heap_limit: u64,
+    /// Record the full reference stream to this file (ALTR format).
+    pub record_trace: Option<std::path::PathBuf>,
+    /// Attach a victim buffer of this many entries to the first cache
+    /// configuration (Jouppi's conflict-miss remedy; extension study).
+    pub victim_entries: Option<usize>,
+    /// Run three-C miss classification against the first cache
+    /// configuration.
+    pub three_c: bool,
+    /// Simulate the Mogul & Borg-style two-level hierarchy (16K
+    /// direct-mapped L1 over 256K 4-way L2).
+    pub two_level: bool,
+    /// Sample heap usage every this many allocations (0 = off),
+    /// producing [`RunResult::frag_curve`] — live bytes vs. bytes
+    /// requested from the OS over time, the paper's space-efficiency
+    /// story as a curve.
+    pub frag_sample_every: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            cache_configs: CacheConfig::paper_sweep(),
+            paging: true,
+            scale: DEFAULT_SCALE,
+            heap_limit: sim_mem::heap::DEFAULT_LIMIT,
+            record_trace: None,
+            victim_entries: None,
+            three_c: false,
+            two_level: false,
+            frag_sample_every: 0,
+        }
+    }
+}
+
+/// Which allocator a run uses: the paper's five, the synthesized
+/// allocator, the Table 6 tagged variant, or tuned ablation variants.
+#[derive(Debug, Clone)]
+pub enum AllocChoice {
+    /// One of the paper's five allocators.
+    Paper(AllocatorKind),
+    /// The synthesized allocator, profiled on the workload itself.
+    Custom,
+    /// Best fit over the FIRSTFIT block layout: the rest of the
+    /// sequential-fit family the paper's conclusions indict.
+    BestFit,
+    /// Binary buddy: Standish's third taxonomy category (§2.1).
+    Buddy,
+    /// The synthesized allocator with pure bounded-fragmentation classes
+    /// (no profile), for the size-class ablation.
+    CustomBounded(f64),
+    /// GNU LOCAL with emulated 8-byte boundary tags (Table 6).
+    GnuLocalTagged,
+    /// The call-site lifetime predictor (§5.1 future work, Barrett &
+    /// Zorn).
+    Predictive,
+    /// FIRSTFIT with explicit knobs (ablations: split threshold,
+    /// coalescing, roving pointer).
+    FirstFitTuned(FirstFitConfig),
+    /// GNU G++ with explicit knobs.
+    GnuGxxTuned(GnuGxxConfig),
+}
+
+impl AllocChoice {
+    /// The five paper allocators, in figure order.
+    pub fn paper_five() -> Vec<AllocChoice> {
+        AllocatorKind::ALL.into_iter().map(AllocChoice::Paper).collect()
+    }
+
+    /// Display label used in result tables.
+    pub fn label(&self) -> String {
+        match self {
+            AllocChoice::Paper(k) => k.label().to_string(),
+            AllocChoice::Custom => "Custom".to_string(),
+            AllocChoice::BestFit => "BestFit".to_string(),
+            AllocChoice::Buddy => "Buddy".to_string(),
+            AllocChoice::Predictive => "Predictive".to_string(),
+            AllocChoice::CustomBounded(b) => format!("Custom(bound={b})"),
+            AllocChoice::GnuLocalTagged => "GNU local (w/tags)".to_string(),
+            AllocChoice::FirstFitTuned(c) => format!(
+                "FirstFit(split={},coalesce={},roving={})",
+                c.split_threshold, c.coalesce, c.roving
+            ),
+            AllocChoice::GnuGxxTuned(c) => {
+                format!("GNU G++(split={},coalesce={})", c.split_threshold, c.coalesce)
+            }
+        }
+    }
+
+    fn build(
+        &self,
+        ctx: &mut MemCtx<'_>,
+        source: &WorkloadSource,
+    ) -> Result<Box<dyn Allocator>, AllocError> {
+        Ok(match self {
+            AllocChoice::Paper(k) => k.build(ctx)?,
+            AllocChoice::Custom => {
+                let profile = match source {
+                    WorkloadSource::Spec(spec) => sample_profile(spec, PROFILE_SAMPLES),
+                    WorkloadSource::Events(events) => {
+                        profile_from_events(events.iter().copied(), PROFILE_SAMPLES)
+                    }
+                };
+                Box::new(Custom::from_profile(ctx, &profile)?)
+            }
+            AllocChoice::BestFit => Box::new(BestFit::new(ctx)?),
+            AllocChoice::Buddy => Box::new(Buddy::new(ctx)?),
+            AllocChoice::Predictive => Box::new(Predictive::new(ctx)?),
+            AllocChoice::CustomBounded(bound) => {
+                Box::new(Custom::with_size_map(ctx, SizeMap::bounded_fragmentation(*bound))?)
+            }
+            AllocChoice::GnuLocalTagged => Box::new(GnuLocal::with_config(
+                ctx,
+                GnuLocalConfig { emulate_boundary_tags: true },
+            )?),
+            AllocChoice::FirstFitTuned(cfg) => Box::new(FirstFit::with_config(ctx, *cfg)?),
+            AllocChoice::GnuGxxTuned(cfg) => Box::new(GnuGxx::with_config(ctx, *cfg)?),
+        })
+    }
+}
+
+/// Derives an allocation-size profile by sampling the workload's own
+/// request stream — the paper's "empirical measurements of a particular
+/// program's behaviour".
+pub fn sample_profile(spec: &WorkloadSpec, samples: u64) -> SizeProfile {
+    profile_from_events(spec.events(Scale(1.0)), samples)
+}
+
+/// Collects a size profile from the first `samples` allocations of any
+/// event stream.
+pub fn profile_from_events(
+    events: impl IntoIterator<Item = AppEvent>,
+    samples: u64,
+) -> SizeProfile {
+    let mut profile = SizeProfile::new();
+    let mut seen = 0;
+    for event in events {
+        if let AppEvent::Malloc { size, .. } = event {
+            profile.record(size);
+            seen += 1;
+            if seen >= samples {
+                break;
+            }
+        }
+    }
+    profile
+}
+
+/// Everything measured by one (program, allocator) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Program label ("espresso", "GS", ...).
+    pub program: String,
+    /// Allocator label ("FirstFit", "BSD", ...).
+    pub allocator: String,
+    /// Scale the run used.
+    pub scale: f64,
+    /// Instruction counts by phase (app / malloc / free).
+    pub instrs: InstrCounter,
+    /// Reference counts and bytes by class.
+    pub trace: TraceStats,
+    /// Per-configuration cache statistics.
+    pub cache: Vec<(CacheConfig, CacheStats)>,
+    /// Page-fault curve, if paging was simulated.
+    pub fault_curve: Option<FaultCurve>,
+    /// Victim-cache statistics, if requested.
+    pub victim: Option<VictimStats>,
+    /// Three-C miss classification, if requested.
+    pub three_c: Option<ThreeC>,
+    /// Two-level hierarchy statistics, if requested.
+    pub two_level: Option<TwoLevelStats>,
+    /// `(allocations so far, live granted bytes, heap bytes)` samples,
+    /// if fragmentation sampling was enabled.
+    #[serde(default)]
+    pub frag_curve: Vec<(u64, u64, u64)>,
+    /// Peak bytes obtained from the simulated operating system.
+    pub heap_high_water: u64,
+    /// The allocator's own statistics.
+    pub alloc_stats: AllocStats,
+}
+
+impl RunResult {
+    /// Word-granular data references (the paper's `D`).
+    pub fn data_refs(&self) -> u64 {
+        self.trace.total_words()
+    }
+
+    /// Cache statistics for a configuration simulated in this run.
+    pub fn cache_stats(&self, config: CacheConfig) -> Option<&CacheStats> {
+        self.cache.iter().find(|(c, _)| *c == config).map(|(_, s)| s)
+    }
+
+    /// Data-cache miss rate for a configuration.
+    pub fn miss_rate(&self, config: CacheConfig) -> Option<f64> {
+        self.cache_stats(config).map(CacheStats::miss_rate)
+    }
+
+    /// The paper's execution-time estimate for a simulated configuration.
+    pub fn time_estimate(&self, config: CacheConfig, penalty: u64) -> Option<TimeEstimate> {
+        self.cache_stats(config).map(|s| TimeEstimate {
+            instructions: self.instrs.total(),
+            misses: s.misses(),
+            penalty,
+        })
+    }
+
+    /// Fraction of instructions inside malloc/free (Figure 1).
+    pub fn alloc_fraction(&self) -> f64 {
+        self.instrs.alloc_fraction()
+    }
+}
+
+/// Errors from the experiment engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The allocator failed (out of simulated memory, or a bug surfaced
+    /// as an invalid free).
+    Alloc {
+        /// The failing operation's event ordinal.
+        at_event: u64,
+        /// The underlying allocator error.
+        source: AllocError,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Alloc { at_event, source } => {
+                write!(f, "allocator failed at event {at_event}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Alloc { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Synthesizes stack/static data traffic: runs of consecutive words
+/// inside a small segment below the heap, sweeping up and down as a call
+/// stack does. The segment is hot — it fits any simulated cache — which
+/// is exactly why real programs' overall data miss rates are far lower
+/// than their heap-only miss rates.
+#[derive(Debug)]
+struct StackWalker {
+    /// Current offset (bytes) within the segment.
+    pos: u64,
+    /// Direction of the sweep: grows toward `STACK_SEGMENT_BYTES`, then
+    /// shrinks back.
+    growing: bool,
+}
+
+/// Base address of the simulated stack segment (below the heap).
+const STACK_BASE: u64 = 0x0800_0000;
+
+/// Active stack window in bytes.
+const STACK_SEGMENT_BYTES: u64 = 4096;
+
+/// Words touched per emitted stack reference.
+const STACK_RUN_WORDS: u64 = 8;
+
+impl StackWalker {
+    fn new() -> Self {
+        StackWalker { pos: 0, growing: true }
+    }
+
+    fn touch(&mut self, words: u64, ctx: &mut MemCtx<'_>) {
+        let mut remaining = words;
+        while remaining > 0 {
+            let run = remaining.min(STACK_RUN_WORDS);
+            ctx.app_touch(Address::new(STACK_BASE + self.pos), (run * 4) as u32, self.growing);
+            remaining -= run;
+            if self.growing {
+                self.pos += run * 4;
+                if self.pos + STACK_RUN_WORDS * 4 > STACK_SEGMENT_BYTES {
+                    self.growing = false;
+                }
+            } else {
+                self.pos = self.pos.saturating_sub(run * 4);
+                if self.pos == 0 {
+                    self.growing = true;
+                }
+            }
+        }
+    }
+}
+
+/// The composite sink: counts, caches, pages, and optionally records,
+/// in one pass.
+struct Pipeline {
+    counting: CountingSink,
+    bank: CacheBank,
+    pager: Option<StackSim>,
+    tracer: Option<trace::TraceWriter<std::io::BufWriter<std::fs::File>>>,
+    victim: Option<VictimCache>,
+    three_c: Option<ThreeCAnalyzer>,
+    two_level: Option<TwoLevelCache>,
+}
+
+impl AccessSink for Pipeline {
+    fn record(&mut self, r: MemRef) {
+        self.counting.record(r);
+        self.bank.record(r);
+        if let Some(pager) = &mut self.pager {
+            pager.record(r);
+        }
+        if let Some(tracer) = &mut self.tracer {
+            tracer.record(r);
+        }
+        if let Some(victim) = &mut self.victim {
+            victim.record(r);
+        }
+        if let Some(three_c) = &mut self.three_c {
+            three_c.record(r);
+        }
+        if let Some(two_level) = &mut self.two_level {
+            two_level.record(r);
+        }
+    }
+}
+
+/// Where a run's application events come from: a synthetic model, or a
+/// fixed stream (e.g. imported with [`workloads::import::parse_trace`]).
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// Generate events from a workload model, honouring the run's scale.
+    Spec(WorkloadSpec),
+    /// Replay this exact stream (the scale option is ignored).
+    Events(std::sync::Arc<Vec<AppEvent>>),
+}
+
+/// Builder for one run.
+///
+/// # Example
+///
+/// ```
+/// use alloc_locality::{AllocChoice, Experiment};
+/// use allocators::AllocatorKind;
+/// use workloads::{Program, Scale};
+///
+/// # fn main() -> Result<(), alloc_locality::EngineError> {
+/// let r = Experiment::new(Program::Gawk, AllocChoice::Paper(AllocatorKind::QuickFit))
+///     .scale(Scale(0.005))
+///     .paging(false)
+///     .run()?;
+/// assert_eq!(r.allocator, "QuickFit");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    source: WorkloadSource,
+    program_label: String,
+    choice: AllocChoice,
+    opts: SimOptions,
+}
+
+impl Experiment {
+    /// An experiment on one of the paper's programs.
+    pub fn new(program: Program, choice: AllocChoice) -> Self {
+        Experiment {
+            source: WorkloadSource::Spec(program.spec()),
+            program_label: program.label().to_string(),
+            choice,
+            opts: SimOptions::default(),
+        }
+    }
+
+    /// An experiment on a custom workload specification.
+    pub fn with_spec(spec: WorkloadSpec, choice: AllocChoice) -> Self {
+        let label = spec.name.clone();
+        Experiment {
+            source: WorkloadSource::Spec(spec),
+            program_label: label,
+            choice,
+            opts: SimOptions::default(),
+        }
+    }
+
+    /// An experiment replaying a fixed event stream — typically imported
+    /// from a real program's allocation trace. The scale option is
+    /// ignored for replayed streams.
+    pub fn with_events(
+        label: impl Into<String>,
+        events: Vec<AppEvent>,
+        choice: AllocChoice,
+    ) -> Self {
+        Experiment {
+            source: WorkloadSource::Events(std::sync::Arc::new(events)),
+            program_label: label.into(),
+            choice,
+            opts: SimOptions::default(),
+        }
+    }
+
+    /// Sets the workload scale.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.opts.scale = scale;
+        self
+    }
+
+    /// Sets the cache configurations to simulate (empty disables cache
+    /// simulation).
+    pub fn caches(mut self, configs: Vec<CacheConfig>) -> Self {
+        self.opts.cache_configs = configs;
+        self
+    }
+
+    /// Enables or disables page-fault simulation.
+    pub fn paging(mut self, on: bool) -> Self {
+        self.opts.paging = on;
+        self
+    }
+
+    /// Replaces all options at once.
+    pub fn options(mut self, opts: SimOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    pub fn run(&self) -> Result<RunResult, EngineError> {
+        let mut heap = HeapImage::with_limit(self.opts.heap_limit);
+        let tracer = match &self.opts.record_trace {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+                Some(trace::TraceWriter::new(std::io::BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let first_cache = self.opts.cache_configs.first().copied();
+        let mut pipeline = Pipeline {
+            counting: CountingSink::new(),
+            bank: CacheBank::new(self.opts.cache_configs.iter().copied()),
+            pager: self.opts.paging.then(StackSim::paper),
+            tracer,
+            victim: self
+                .opts
+                .victim_entries
+                .and_then(|entries| first_cache.map(|cfg| VictimCache::new(cfg, entries))),
+            three_c: self
+                .opts
+                .three_c
+                .then(|| ThreeCAnalyzer::new(first_cache.expect("three_c needs a cache config"))),
+            two_level: self.opts.two_level.then(TwoLevelCache::paper_default),
+        };
+        let mut instrs = InstrCounter::new();
+        let mut allocator = {
+            let mut ctx = MemCtx::new(&mut heap, &mut pipeline, &mut instrs);
+            ctx.set_phase(Phase::Malloc);
+            let a = self
+                .choice
+                .build(&mut ctx, &self.source)
+                .map_err(|source| EngineError::Alloc { at_event: 0, source })?;
+            ctx.set_phase(Phase::App);
+            a
+        };
+
+        let mut objects: HashMap<u64, (Address, u32)> = HashMap::new();
+        let mut frag_curve = Vec::new();
+        // The stack segment sits below the heap; its traffic cycles
+        // through a small hot window, as real call stacks do.
+        let mut stack = StackWalker::new();
+        let mut ctx = MemCtx::new(&mut heap, &mut pipeline, &mut instrs);
+        let events: Box<dyn Iterator<Item = AppEvent>> = match &self.source {
+            WorkloadSource::Spec(spec) => Box::new(spec.events(self.opts.scale)),
+            WorkloadSource::Events(events) => Box::new(events.iter().copied()),
+        };
+        for (n, event) in events.enumerate() {
+            let at_event = n as u64;
+            match event {
+                AppEvent::Malloc { id, size, site } => {
+                    ctx.set_phase(Phase::Malloc);
+                    let addr = allocator
+                        .malloc_at(size, site, &mut ctx)
+                        .map_err(|source| EngineError::Alloc { at_event, source })?;
+                    ctx.set_phase(Phase::App);
+                    objects.insert(id, (addr, size));
+                    let every = self.opts.frag_sample_every;
+                    if every > 0 && allocator.stats().mallocs.is_multiple_of(every) {
+                        frag_curve.push((
+                            allocator.stats().mallocs,
+                            allocator.stats().live_granted,
+                            ctx.heap().in_use(),
+                        ));
+                    }
+                }
+                AppEvent::Free { id } => {
+                    let (addr, _) = objects.remove(&id).expect("generator frees live ids");
+                    ctx.set_phase(Phase::Free);
+                    allocator
+                        .free(addr, &mut ctx)
+                        .map_err(|source| EngineError::Alloc { at_event, source })?;
+                    ctx.set_phase(Phase::App);
+                }
+                AppEvent::Access { id, offset, len, write } => {
+                    let &(addr, _) = objects.get(&id).expect("generator touches live ids");
+                    ctx.app_touch(addr + u64::from(offset), len, write);
+                }
+                AppEvent::Compute { instrs } => {
+                    ctx.ops(instrs);
+                }
+                AppEvent::Stack { words } => {
+                    stack.touch(words, &mut ctx);
+                }
+            }
+        }
+        let _ = ctx;
+        if let Some(tracer) = pipeline.tracer.take() {
+            tracer.finish().expect("finalize trace file");
+        }
+
+        Ok(RunResult {
+            program: self.program_label.clone(),
+            allocator: self.choice.label(),
+            scale: self.opts.scale.0,
+            instrs,
+            trace: pipeline.counting.stats(),
+            cache: pipeline.bank.results(),
+            fault_curve: pipeline.pager.map(|p| p.curve()),
+            victim: pipeline.victim.map(|v| *v.stats()),
+            three_c: pipeline.three_c.map(|a| a.classify()),
+            two_level: pipeline.two_level.map(|t| t.stats()),
+            frag_curve,
+            heap_high_water: heap.high_water(),
+            alloc_stats: *allocator.stats(),
+        })
+    }
+}
+
+/// A collection of runs, indexed by program and allocator label.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Matrix {
+    /// The member runs.
+    pub runs: Vec<RunResult>,
+}
+
+impl Matrix {
+    /// Finds a run by program and allocator label.
+    pub fn get(&self, program: &str, allocator: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|r| r.program == program && r.allocator == allocator)
+    }
+
+    /// Distinct program labels, in insertion order.
+    pub fn programs(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.runs {
+            if !seen.contains(&r.program.as_str()) {
+                seen.push(r.program.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Distinct allocator labels, in insertion order.
+    pub fn allocators(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.runs {
+            if !seen.contains(&r.allocator.as_str()) {
+                seen.push(r.allocator.as_str());
+            }
+        }
+        seen
+    }
+
+    /// Merges another matrix's runs into this one.
+    pub fn extend(&mut self, other: Matrix) {
+        self.runs.extend(other.runs);
+    }
+}
+
+/// Runs the full program × allocator sweep in parallel (a worker pool of
+/// `available_parallelism` threads over the job list) and returns the
+/// results in job order.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] any run produced.
+pub fn standard_matrix(
+    programs: &[Program],
+    choices: &[AllocChoice],
+    opts: &SimOptions,
+) -> Result<Matrix, EngineError> {
+    let jobs: Vec<Experiment> = programs
+        .iter()
+        .flat_map(|&p| {
+            choices.iter().map(move |c| Experiment::new(p, c.clone()).options(opts.clone()))
+        })
+        .collect();
+    run_parallel(jobs)
+}
+
+/// Runs a list of experiments on a thread pool, preserving order.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] any run produced.
+pub fn run_parallel(jobs: Vec<Experiment>) -> Result<Matrix, EngineError> {
+    let n = jobs.len();
+    let results: Mutex<Vec<Option<Result<RunResult, EngineError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<Vec<(usize, Experiment)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((idx, exp)) => {
+                        let result = exp.run();
+                        results.lock()[idx] = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    let mut runs = Vec::with_capacity(n);
+    for slot in results.into_inner() {
+        runs.push(slot.expect("every job ran")?);
+    }
+    Ok(Matrix { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> SimOptions {
+        SimOptions {
+            cache_configs: vec![CacheConfig::direct_mapped(16 * 1024, 32)],
+            paging: true,
+            scale: Scale(0.002),
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_consistent_counts() {
+        let r = Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::Bsd))
+            .options(quick_opts())
+            .run()
+            .unwrap();
+        assert_eq!(r.program, "make");
+        assert_eq!(r.allocator, "BSD");
+        assert!(r.alloc_stats.mallocs > 0);
+        assert!(r.alloc_stats.frees <= r.alloc_stats.mallocs);
+        assert!(r.trace.app_refs() > 0);
+        assert!(r.trace.meta_refs() > 0);
+        assert!(r.instrs.phase_total(Phase::Malloc) > 0);
+        assert!(r.heap_high_water > 0);
+        let (_, cache) = &r.cache[0];
+        // A reference produces one cache access per block it spans, so
+        // block-level accesses are at least the trace records and at most
+        // the word count.
+        assert!(cache.accesses() >= r.trace.total_refs());
+        assert!(cache.accesses() <= r.data_refs());
+        assert!(r.fault_curve.is_some());
+    }
+
+    #[test]
+    fn identical_experiments_are_deterministic() {
+        let mk = || {
+            Experiment::new(Program::Gawk, AllocChoice::Paper(AllocatorKind::QuickFit))
+                .options(quick_opts())
+                .run()
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.instrs, b.instrs);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.cache[0].1, b.cache[0].1);
+        assert_eq!(a.heap_high_water, b.heap_high_water);
+    }
+
+    #[test]
+    fn all_five_allocators_complete_all_five_programs() {
+        let opts = SimOptions { scale: Scale(0.001), ..quick_opts() };
+        let m = standard_matrix(&Program::FIVE, &AllocChoice::paper_five(), &opts).unwrap();
+        assert_eq!(m.runs.len(), 25);
+        assert_eq!(m.programs().len(), 5);
+        assert_eq!(m.allocators().len(), 5);
+        for r in &m.runs {
+            assert!(r.alloc_stats.mallocs > 0, "{}/{} did nothing", r.program, r.allocator);
+        }
+    }
+
+    #[test]
+    fn fragmentation_sampling_produces_a_curve() {
+        let r = Experiment::new(Program::Gawk, AllocChoice::Paper(AllocatorKind::FirstFit))
+            .options(SimOptions {
+                cache_configs: vec![],
+                paging: false,
+                scale: Scale(0.003),
+                frag_sample_every: 500,
+                ..SimOptions::default()
+            })
+            .run()
+            .unwrap();
+        assert!(r.frag_curve.len() >= 5, "expected samples, got {}", r.frag_curve.len());
+        for &(allocs, live, heap) in &r.frag_curve {
+            assert!(allocs > 0);
+            assert!(live <= heap, "live {live} cannot exceed heap {heap}");
+        }
+        // Samples are ordered and the heap never shrinks (sbrk only).
+        for w in r.frag_curve.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].2 <= w[1].2);
+        }
+    }
+
+    #[test]
+    fn custom_allocator_runs_via_profile() {
+        let r = Experiment::new(Program::Espresso, AllocChoice::Custom)
+            .options(quick_opts())
+            .run()
+            .unwrap();
+        assert_eq!(r.allocator, "Custom");
+        assert!(r.alloc_stats.mallocs > 0);
+    }
+
+    #[test]
+    fn tagged_gnu_local_touches_more_metadata() {
+        let plain = Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::GnuLocal))
+            .options(quick_opts())
+            .run()
+            .unwrap();
+        let tagged = Experiment::new(Program::Make, AllocChoice::GnuLocalTagged)
+            .options(quick_opts())
+            .run()
+            .unwrap();
+        // The emulated tags inflate every object by 8 bytes, so granted
+        // space strictly grows. (Metadata *reference* counts can move
+        // either way: bigger classes mean fewer fragments per chunk
+        // carve, which can offset the per-object tag touches.)
+        // (Chunk-granular sbrk makes heap_high_water non-monotone in the
+        // class mix, so granted bytes are the reliable signal.)
+        assert!(tagged.alloc_stats.peak_granted > plain.alloc_stats.peak_granted);
+    }
+
+    #[test]
+    fn sample_profile_reflects_the_mixture() {
+        let profile = sample_profile(&Program::Gawk.spec(), 2000);
+        assert_eq!(profile.total(), 2000);
+        // 16 bytes dominates gawk's mixture.
+        assert_eq!(profile.top_sizes(1), vec![16]);
+    }
+
+    #[test]
+    fn first_fit_spends_more_time_allocating_than_bsd() {
+        // Figure 1's headline, in miniature.
+        let ff = Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+            .options(quick_opts())
+            .run()
+            .unwrap();
+        let bsd = Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::Bsd))
+            .options(quick_opts())
+            .run()
+            .unwrap();
+        assert!(
+            ff.alloc_fraction() > bsd.alloc_fraction(),
+            "FirstFit {:.4} should exceed BSD {:.4}",
+            ff.alloc_fraction(),
+            bsd.alloc_fraction()
+        );
+    }
+}

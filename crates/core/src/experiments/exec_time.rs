@@ -1,0 +1,207 @@
+//! Figures 4–5 and Tables 4–5: estimated execution time under the cache
+//! model.
+//!
+//! Figures 4 and 5 normalize each (program, allocator) execution time to
+//! the FIRSTFIT baseline of the same program: the shaded bar is the
+//! instruction-only time, the overlay adds the cache-miss penalty (16K
+//! cache in Figure 4, 64K in Figure 5, 25-cycle penalty in both).
+//! Tables 4 and 5 print the same data as absolute "total time / miss
+//! time" seconds.
+
+use cache_sim::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{TimeEstimate, MISS_PENALTY_CYCLES};
+use crate::report::TextTable;
+use crate::Matrix;
+
+/// One bar of Figure 4/5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecTimeRow {
+    /// Program label.
+    pub program: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Instruction-only time, normalized to the program's FIRSTFIT
+    /// instruction-only time (the shaded bar).
+    pub normalized_base: f64,
+    /// Time including cache penalty, same normalization (the overlay).
+    pub normalized_with_cache: f64,
+}
+
+/// Figure 4 or 5, depending on the cache configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecTimeFigure {
+    /// The simulated cache.
+    pub cache: CacheConfig,
+    /// Miss penalty in cycles.
+    pub penalty: u64,
+    /// One row per (program, allocator).
+    pub rows: Vec<ExecTimeRow>,
+}
+
+impl ExecTimeFigure {
+    /// Renders the figure.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new(["program", "allocator", "base (norm)", "with cache (norm)"]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                r.allocator.clone(),
+                format!("{:.3}", r.normalized_base),
+                format!("{:.3}", r.normalized_with_cache),
+            ]);
+        }
+        format!(
+            "Normalized execution time ({}, {}-cycle miss penalty)\n{t}",
+            self.cache, self.penalty
+        )
+    }
+}
+
+/// Computes Figure 4/5 for the given cache configuration. Runs lacking
+/// that configuration are skipped; programs lacking a FirstFit baseline
+/// are normalized to the program's first run instead.
+pub fn exec_time_figure(matrix: &Matrix, cache: CacheConfig) -> ExecTimeFigure {
+    let mut rows = Vec::new();
+    for program in matrix.programs() {
+        let baseline = matrix
+            .get(program, "FirstFit")
+            .or_else(|| matrix.runs.iter().find(|r| r.program == program))
+            .map(|r| r.instrs.total().max(1) as f64)
+            .unwrap_or(1.0);
+        for run in matrix.runs.iter().filter(|r| r.program == program) {
+            let Some(est) = run.time_estimate(cache, MISS_PENALTY_CYCLES) else { continue };
+            rows.push(ExecTimeRow {
+                program: run.program.clone(),
+                allocator: run.allocator.clone(),
+                normalized_base: run.instrs.total() as f64 / baseline,
+                normalized_with_cache: est.cycles() as f64 / baseline,
+            });
+        }
+    }
+    ExecTimeFigure { cache, penalty: MISS_PENALTY_CYCLES, rows }
+}
+
+/// One row of Table 4/5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeTableRow {
+    /// Program label.
+    pub program: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Total estimated seconds (at the DECstation clock).
+    pub total_seconds: f64,
+    /// Seconds of that spent waiting on cache misses.
+    pub miss_seconds: f64,
+    /// The raw estimate, for further analysis.
+    pub estimate: TimeEstimate,
+}
+
+/// Table 4 (16K cache) or Table 5 (64K cache).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeTable {
+    /// The simulated cache.
+    pub cache: CacheConfig,
+    /// One row per (program, allocator).
+    pub rows: Vec<TimeTableRow>,
+}
+
+impl TimeTable {
+    /// Renders the table in the paper's "total / miss" format.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new(["program", "allocator", "total time (sec) / miss time (sec)"]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                r.allocator.clone(),
+                format!("{:.2} / {:.2}", r.total_seconds, r.miss_seconds),
+            ]);
+        }
+        format!(
+            "Estimated execution time and cache-miss time ({})\n\
+             (seconds at 25 MHz; workload scale shrinks absolute values relative to the paper)\n{t}",
+            self.cache
+        )
+    }
+}
+
+/// Computes Table 4/5 for the given cache configuration.
+pub fn time_table(matrix: &Matrix, cache: CacheConfig) -> TimeTable {
+    let rows = matrix
+        .runs
+        .iter()
+        .filter_map(|run| {
+            let est = run.time_estimate(cache, MISS_PENALTY_CYCLES)?;
+            Some(TimeTableRow {
+                program: run.program.clone(),
+                allocator: run.allocator.clone(),
+                total_seconds: est.total_seconds(),
+                miss_seconds: est.miss_seconds(),
+                estimate: est,
+            })
+        })
+        .collect();
+    TimeTable { cache, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::estimated_seconds;
+    use crate::{standard_matrix, AllocChoice, SimOptions};
+    use allocators::AllocatorKind;
+    use workloads::{Program, Scale};
+
+    fn small_matrix() -> Matrix {
+        let opts = SimOptions {
+            cache_configs: vec![CacheConfig::direct_mapped(16 * 1024, 32)],
+            paging: false,
+            scale: Scale(0.01),
+            ..SimOptions::default()
+        };
+        standard_matrix(
+            &[Program::Make],
+            &[
+                AllocChoice::Paper(AllocatorKind::FirstFit),
+                AllocChoice::Paper(AllocatorKind::QuickFit),
+            ],
+            &opts,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn firstfit_is_the_unit_baseline() {
+        let m = small_matrix();
+        let cfg = CacheConfig::direct_mapped(16 * 1024, 32);
+        let fig = exec_time_figure(&m, cfg);
+        let ff = fig.rows.iter().find(|r| r.allocator == "FirstFit").unwrap();
+        assert!((ff.normalized_base - 1.0).abs() < 1e-12);
+        assert!(ff.normalized_with_cache >= ff.normalized_base);
+        // QuickFit executes fewer instructions than FirstFit.
+        let qf = fig.rows.iter().find(|r| r.allocator == "QuickFit").unwrap();
+        assert!(qf.normalized_base < 1.0);
+    }
+
+    #[test]
+    fn table_rows_decompose_time() {
+        let m = small_matrix();
+        let cfg = CacheConfig::direct_mapped(16 * 1024, 32);
+        let table = time_table(&m, cfg);
+        assert_eq!(table.rows.len(), 2);
+        for r in &table.rows {
+            assert!(r.total_seconds > r.miss_seconds);
+            assert!((estimated_seconds(r.estimate.cycles()) - r.total_seconds).abs() < 1e-12);
+        }
+        assert!(table.to_text().contains("16K"));
+    }
+
+    #[test]
+    fn missing_cache_config_yields_empty_rows() {
+        let m = small_matrix();
+        let other = CacheConfig::direct_mapped(128 * 1024, 32);
+        assert!(time_table(&m, other).rows.is_empty());
+        assert!(exec_time_figure(&m, other).rows.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! Extension experiments beyond the paper's evaluation, each anchored in
+//! a work the paper cites or proposes:
+//!
+//! * [`conflict_analysis`] — three-C decomposition of each allocator's
+//!   misses (Hill), quantifying §4.2's conflict-miss story;
+//! * [`victim_study`] — does Jouppi's victim cache (reference [11])
+//!   rescue the sequential-fit allocators?
+//! * [`two_level_study`] — the Mogul & Borg (reference [19]) two-level
+//!   hierarchy with a 200-cycle L2 miss penalty: does the allocator
+//!   ranking survive a modern memory system?
+//! * [`future_work_table`] — the synthesized (§4.4) and
+//!   lifetime-predicting (§5.1) allocators measured head-to-head with
+//!   the paper's five.
+
+use cache_sim::{CacheConfig, L1_MISS_PENALTY, L2_MISS_PENALTY};
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+use crate::Matrix;
+
+/// One allocator's three-C decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConflictRow {
+    /// Program label.
+    pub program: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Compulsory misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+    /// Conflict share of replacement misses.
+    pub conflict_fraction: f64,
+}
+
+/// The conflict-analysis table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConflictAnalysis {
+    /// Cache the decomposition ran against.
+    pub cache: CacheConfig,
+    /// One row per run that carried three-C data.
+    pub rows: Vec<ConflictRow>,
+}
+
+impl ConflictAnalysis {
+    /// Renders the table.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new([
+            "program",
+            "allocator",
+            "compulsory",
+            "capacity",
+            "conflict",
+            "conflict %",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                r.allocator.clone(),
+                r.compulsory.to_string(),
+                r.capacity.to_string(),
+                r.conflict.to_string(),
+                format!("{:.0}%", r.conflict_fraction * 100.0),
+            ]);
+        }
+        format!("Extension: three-C miss decomposition ({})\n{t}", self.cache)
+    }
+}
+
+/// Extracts the three-C table from runs that simulated it.
+pub fn conflict_analysis(matrix: &Matrix, cache: CacheConfig) -> ConflictAnalysis {
+    let rows = matrix
+        .runs
+        .iter()
+        .filter_map(|run| {
+            let c = run.three_c.as_ref()?;
+            Some(ConflictRow {
+                program: run.program.clone(),
+                allocator: run.allocator.clone(),
+                compulsory: c.compulsory,
+                capacity: c.capacity,
+                conflict: c.conflict,
+                conflict_fraction: c.conflict_fraction(),
+            })
+        })
+        .collect();
+    ConflictAnalysis { cache, rows }
+}
+
+/// One allocator under a victim cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VictimRow {
+    /// Program label.
+    pub program: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Plain direct-mapped miss rate.
+    pub plain_miss_rate: f64,
+    /// Effective miss rate with the victim buffer.
+    pub victim_miss_rate: f64,
+    /// Fraction of misses the buffer absorbed.
+    pub rescue_rate: f64,
+}
+
+/// The victim-cache study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VictimStudy {
+    /// Main cache geometry.
+    pub cache: CacheConfig,
+    /// Victim buffer entries.
+    pub entries: usize,
+    /// One row per run that carried victim data.
+    pub rows: Vec<VictimRow>,
+}
+
+impl VictimStudy {
+    /// Renders the table.
+    pub fn to_text(&self) -> String {
+        let mut t =
+            TextTable::new(["program", "allocator", "plain miss", "with victim", "rescued"]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                r.allocator.clone(),
+                format!("{:.2}%", r.plain_miss_rate * 100.0),
+                format!("{:.2}%", r.victim_miss_rate * 100.0),
+                format!("{:.0}%", r.rescue_rate * 100.0),
+            ]);
+        }
+        format!("Extension: {}-entry victim cache on a {} (Jouppi)\n{t}", self.entries, self.cache)
+    }
+}
+
+/// Extracts the victim study from runs that simulated it.
+pub fn victim_study(matrix: &Matrix, cache: CacheConfig, entries: usize) -> VictimStudy {
+    let rows = matrix
+        .runs
+        .iter()
+        .filter_map(|run| {
+            let v = run.victim.as_ref()?;
+            Some(VictimRow {
+                program: run.program.clone(),
+                allocator: run.allocator.clone(),
+                plain_miss_rate: run.miss_rate(cache)?,
+                victim_miss_rate: v.miss_rate(),
+                rescue_rate: v.rescue_rate(),
+            })
+        })
+        .collect();
+    VictimStudy { cache, entries, rows }
+}
+
+/// One allocator under the two-level hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelRow {
+    /// Program label.
+    pub program: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// L1 miss rate.
+    pub l1_miss_rate: f64,
+    /// Global (to-memory) miss rate.
+    pub global_miss_rate: f64,
+    /// Estimated cycles with the flat 25-cycle model.
+    pub flat_cycles: u64,
+    /// Estimated cycles with the two-level (10/200) model.
+    pub two_level_cycles: u64,
+}
+
+/// The two-level hierarchy study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelStudy {
+    /// One row per run that carried hierarchy data.
+    pub rows: Vec<TwoLevelRow>,
+}
+
+impl TwoLevelStudy {
+    /// Renders the table.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new([
+            "program",
+            "allocator",
+            "L1 miss",
+            "global miss",
+            "flat-25 cycles (M)",
+            "two-level cycles (M)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                r.allocator.clone(),
+                format!("{:.2}%", r.l1_miss_rate * 100.0),
+                format!("{:.3}%", r.global_miss_rate * 100.0),
+                format!("{:.1}", r.flat_cycles as f64 / 1e6),
+                format!("{:.1}", r.two_level_cycles as f64 / 1e6),
+            ]);
+        }
+        format!(
+            "Extension: two-level hierarchy, {L1_MISS_PENALTY}-cycle L1 / {L2_MISS_PENALTY}-cycle L2 penalties (Mogul & Borg)\n{t}"
+        )
+    }
+}
+
+/// Extracts the two-level study from runs that simulated it.
+pub fn two_level_study(matrix: &Matrix, flat_cache: CacheConfig) -> TwoLevelStudy {
+    let rows = matrix
+        .runs
+        .iter()
+        .filter_map(|run| {
+            let tl = run.two_level.as_ref()?;
+            let flat = run.time_estimate(flat_cache, crate::MISS_PENALTY_CYCLES)?;
+            Some(TwoLevelRow {
+                program: run.program.clone(),
+                allocator: run.allocator.clone(),
+                l1_miss_rate: tl.l1.miss_rate(),
+                global_miss_rate: tl.global_miss_rate(),
+                flat_cycles: flat.cycles(),
+                two_level_cycles: run.instrs.total()
+                    + tl.stall_cycles(L1_MISS_PENALTY, L2_MISS_PENALTY),
+            })
+        })
+        .collect();
+    TwoLevelStudy { rows }
+}
+
+/// The future-work comparison: Custom (§4.4) and Predictive (§5.1)
+/// beside the paper's five.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FutureWorkTable {
+    /// The cache used for miss rates and the time model.
+    pub cache: CacheConfig,
+    /// One row per (program, allocator).
+    pub rows: Vec<FutureWorkRow>,
+}
+
+/// One row of the future-work comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FutureWorkRow {
+    /// Program label.
+    pub program: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Peak heap bytes.
+    pub heap_bytes: u64,
+    /// Fraction of instructions in malloc/free.
+    pub alloc_fraction: f64,
+    /// Miss rate at the chosen cache.
+    pub miss_rate: f64,
+    /// Estimated total cycles.
+    pub cycles: u64,
+}
+
+impl FutureWorkTable {
+    /// Renders the table.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new([
+            "program",
+            "allocator",
+            "heap KB",
+            "in-alloc",
+            "miss rate",
+            "cycles (M)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                r.allocator.clone(),
+                (r.heap_bytes / 1024).to_string(),
+                format!("{:.2}%", r.alloc_fraction * 100.0),
+                format!("{:.2}%", r.miss_rate * 100.0),
+                format!("{:.1}", r.cycles as f64 / 1e6),
+            ]);
+        }
+        format!(
+            "Extension: synthesized (§4.4) and lifetime-predicting (§5.1) allocators ({})\n{t}",
+            self.cache
+        )
+    }
+}
+
+/// Builds the future-work table from any matrix.
+pub fn future_work_table(matrix: &Matrix, cache: CacheConfig) -> FutureWorkTable {
+    let rows = matrix
+        .runs
+        .iter()
+        .filter_map(|run| {
+            let est = run.time_estimate(cache, crate::MISS_PENALTY_CYCLES)?;
+            Some(FutureWorkRow {
+                program: run.program.clone(),
+                allocator: run.allocator.clone(),
+                heap_bytes: run.heap_high_water,
+                alloc_fraction: run.alloc_fraction(),
+                miss_rate: run.miss_rate(cache)?,
+                cycles: est.cycles(),
+            })
+        })
+        .collect();
+    FutureWorkTable { cache, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_parallel, AllocChoice, Experiment, SimOptions};
+    use allocators::AllocatorKind;
+    use workloads::{Program, Scale};
+
+    fn ext_matrix() -> Matrix {
+        let cfg = CacheConfig::direct_mapped(16 * 1024, 32);
+        let opts = SimOptions {
+            cache_configs: vec![cfg],
+            paging: false,
+            scale: Scale(0.02),
+            victim_entries: Some(8),
+            three_c: true,
+            two_level: true,
+            ..SimOptions::default()
+        };
+        let jobs = vec![
+            Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::FirstFit))
+                .options(opts.clone()),
+            Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::Bsd))
+                .options(opts.clone()),
+            Experiment::new(Program::Make, AllocChoice::Predictive).options(opts),
+        ];
+        run_parallel(jobs).expect("runs complete")
+    }
+
+    #[test]
+    fn extension_tables_populate_and_cohere() {
+        let cfg = CacheConfig::direct_mapped(16 * 1024, 32);
+        let m = ext_matrix();
+
+        let cc = conflict_analysis(&m, cfg);
+        assert_eq!(cc.rows.len(), 3);
+        for r in &cc.rows {
+            let total = r.compulsory + r.capacity + r.conflict;
+            let run = m.get(&r.program, &r.allocator).expect("run");
+            assert_eq!(total, run.cache_stats(cfg).expect("cfg").misses());
+        }
+        assert!(cc.to_text().contains("three-C"));
+
+        let vs = victim_study(&m, cfg, 8);
+        assert_eq!(vs.rows.len(), 3);
+        for r in &vs.rows {
+            assert!(r.victim_miss_rate <= r.plain_miss_rate + 1e-12);
+        }
+
+        let tl = two_level_study(&m, cfg);
+        assert_eq!(tl.rows.len(), 3);
+        for r in &tl.rows {
+            assert!(r.global_miss_rate <= r.l1_miss_rate);
+        }
+
+        let fw = future_work_table(&m, cfg);
+        assert_eq!(fw.rows.len(), 3);
+        assert!(fw.to_text().contains("Predictive"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 1: percent of execution time in `malloc` and `free`.
+//!
+//! The paper counts instructions (assuming no cache-miss penalty) and
+//! plots, per application and allocator, the fraction of all instructions
+//! spent inside the storage allocator. The headline: the choice of
+//! allocator moves this from a few percent (BSD, QuickFit) to ≈30%
+//! (FirstFit, GNU LOCAL on some programs).
+
+use serde::{Deserialize, Serialize};
+use sim_mem::Phase;
+
+use crate::report::TextTable;
+use crate::Matrix;
+
+/// One (program, allocator) cell of Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// Program label.
+    pub program: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Fraction of instructions inside `malloc`.
+    pub malloc_fraction: f64,
+    /// Fraction of instructions inside `free`.
+    pub free_fraction: f64,
+}
+
+impl Fig1Row {
+    /// Combined allocator fraction (the bar height in the paper).
+    pub fn total_fraction(&self) -> f64 {
+        self.malloc_fraction + self.free_fraction
+    }
+}
+
+/// The full figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// All cells, program-major in matrix order.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1 {
+    /// Renders the figure as a table of percentages.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new(["program", "allocator", "malloc", "free", "total"]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                r.allocator.clone(),
+                format!("{:.2}%", r.malloc_fraction * 100.0),
+                format!("{:.2}%", r.free_fraction * 100.0),
+                format!("{:.2}%", r.total_fraction() * 100.0),
+            ]);
+        }
+        format!("Figure 1: time in malloc/free (% of instructions)\n{t}")
+    }
+}
+
+/// Computes Figure 1 from a matrix of runs.
+pub fn fig1(matrix: &Matrix) -> Fig1 {
+    let rows = matrix
+        .runs
+        .iter()
+        .map(|r| {
+            let total = r.instrs.total().max(1) as f64;
+            Fig1Row {
+                program: r.program.clone(),
+                allocator: r.allocator.clone(),
+                malloc_fraction: r.instrs.phase_total(Phase::Malloc) as f64 / total,
+                free_fraction: r.instrs.phase_total(Phase::Free) as f64 / total,
+            }
+        })
+        .collect();
+    Fig1 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocChoice, SimOptions};
+    use allocators::AllocatorKind;
+    use workloads::{Program, Scale};
+
+    #[test]
+    fn fractions_are_sane_and_ordered() {
+        let opts = SimOptions {
+            cache_configs: vec![],
+            paging: false,
+            scale: Scale(0.002),
+            ..SimOptions::default()
+        };
+        let m = crate::standard_matrix(
+            &[Program::Espresso],
+            &[AllocChoice::Paper(AllocatorKind::FirstFit), AllocChoice::Paper(AllocatorKind::Bsd)],
+            &opts,
+        )
+        .unwrap();
+        let fig = fig1(&m);
+        assert_eq!(fig.rows.len(), 2);
+        for r in &fig.rows {
+            assert!(r.total_fraction() > 0.0 && r.total_fraction() < 0.9);
+        }
+        let ff = &fig.rows[0];
+        let bsd = &fig.rows[1];
+        assert!(ff.total_fraction() > bsd.total_fraction());
+        assert!(fig.to_text().contains("Figure 1"));
+    }
+}

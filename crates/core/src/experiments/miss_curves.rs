@@ -1,0 +1,131 @@
+//! Figures 6–8: data-cache miss rate as a function of cache size.
+//!
+//! For each GhostScript input set, the paper plots the miss rate of all
+//! five allocators across direct-mapped caches from 16K to 256K. The
+//! shape to reproduce: FIRSTFIT worst at every size, GNU G++ second
+//! worst, the three segregated allocators clustered below, and all
+//! curves converging as the cache approaches the working-set size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+use crate::Matrix;
+
+/// One allocator's miss-rate curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissCurveSeries {
+    /// Allocator label.
+    pub allocator: String,
+    /// `(cache_kbytes, miss_rate)` samples, ascending by size.
+    pub points: Vec<(u32, f64)>,
+}
+
+impl MissCurveSeries {
+    /// Miss rate at an exact cache size, if simulated.
+    pub fn rate_at(&self, kbytes: u32) -> Option<f64> {
+        self.points.iter().find(|&&(kb, _)| kb == kbytes).map(|&(_, r)| r)
+    }
+}
+
+/// Figure 6, 7, or 8, depending on the program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissCurveFigure {
+    /// Program label.
+    pub program: String,
+    /// One curve per allocator.
+    pub series: Vec<MissCurveSeries>,
+}
+
+impl MissCurveFigure {
+    /// Renders the figure as a size × allocator table of percentages.
+    pub fn to_text(&self) -> String {
+        let mut headers = vec!["cache".to_string()];
+        headers.extend(self.series.iter().map(|s| s.allocator.clone()));
+        let mut t = TextTable::new(headers);
+        let sizes: Vec<u32> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(kb, _)| kb).collect())
+            .unwrap_or_default();
+        for kb in sizes {
+            let mut cells = vec![format!("{kb}K")];
+            for s in &self.series {
+                cells.push(match s.rate_at(kb) {
+                    Some(r) => format!("{:.2}%", r * 100.0),
+                    None => "-".to_string(),
+                });
+            }
+            t.row(cells);
+        }
+        format!("Data cache miss rate for {} (direct-mapped, 32B blocks)\n{t}", self.program)
+    }
+}
+
+impl MissCurveFigure {
+    /// Renders the figure as a terminal chart (miss rate % vs. cache
+    /// KB), mirroring the paper's presentation.
+    pub fn to_chart(&self) -> String {
+        let mut chart = crate::chart::AsciiChart::new(
+            format!("Data cache miss rate for {} (% vs. cache KB)", self.program),
+            64,
+            16,
+        );
+        for s in &self.series {
+            chart.series(
+                s.allocator.clone(),
+                s.points.iter().map(|&(kb, r)| (f64::from(kb), r * 100.0)).collect(),
+            );
+        }
+        chart.render()
+    }
+}
+
+/// Extracts the miss-rate curves for one program from the matrix.
+pub fn miss_curves(matrix: &Matrix, program: &str) -> MissCurveFigure {
+    let mut series = Vec::new();
+    for run in matrix.runs.iter().filter(|r| r.program == program) {
+        let mut points: Vec<(u32, f64)> =
+            run.cache.iter().map(|(cfg, s)| (cfg.size / 1024, s.miss_rate())).collect();
+        points.sort_by_key(|&(kb, _)| kb);
+        series.push(MissCurveSeries { allocator: run.allocator.clone(), points });
+    }
+    MissCurveFigure { program: program.to_string(), series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{standard_matrix, AllocChoice, SimOptions};
+    use allocators::AllocatorKind;
+    use cache_sim::CacheConfig;
+    use workloads::{Program, Scale};
+
+    #[test]
+    fn curves_fall_with_cache_size() {
+        let opts = SimOptions {
+            cache_configs: CacheConfig::paper_sweep(),
+            paging: false,
+            scale: Scale(0.01),
+            ..SimOptions::default()
+        };
+        let m = standard_matrix(
+            &[Program::GsSmall],
+            &[AllocChoice::Paper(AllocatorKind::FirstFit), AllocChoice::Paper(AllocatorKind::Bsd)],
+            &opts,
+        )
+        .unwrap();
+        let fig = miss_curves(&m, "GS-Small");
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5);
+            assert_eq!(s.points.first().unwrap().0, 16);
+            assert_eq!(s.points.last().unwrap().0, 256);
+            for w in s.points.windows(2) {
+                // Direct-mapped caches are not strictly monotone, but a
+                // doubling should not *raise* the rate noticeably.
+                assert!(w[1].1 <= w[0].1 * 1.1 + 1e-6, "{}: rate rose {w:?}", s.allocator);
+            }
+        }
+        assert!(fig.to_text().contains("GS-Small"));
+    }
+}

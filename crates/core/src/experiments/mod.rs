@@ -1,0 +1,43 @@
+//! One function per table and figure of the paper's evaluation (§4).
+//!
+//! Each function consumes a [`crate::Matrix`] of runs and produces a
+//! typed, serializable result with a `to_text()` rendering that mirrors
+//! the paper's presentation. The per-experiment index in DESIGN.md maps
+//! each to the bench target and repro subcommand that regenerates it.
+//!
+//! | Function | Paper artifact |
+//! |---|---|
+//! | [`fig1`] | Figure 1: % of time in malloc/free |
+//! | [`paging_figure`] | Figures 2–3: page-fault rate vs. memory size |
+//! | [`exec_time_figure`] | Figures 4–5: normalized execution time |
+//! | [`miss_curves`] | Figures 6–8: miss rate vs. cache size |
+//! | [`table1`] | Table 1: program descriptions |
+//! | [`table2`] | Tables 2–3: program statistics, paper vs. measured |
+//! | [`time_table`] | Tables 4–5: estimated time / miss time |
+//! | [`table6`] | Table 6: boundary-tag effect on GNU LOCAL |
+//! | [`conflict_analysis`] | Extension: three-C miss decomposition |
+//! | [`victim_study`] | Extension: Jouppi victim cache |
+//! | [`two_level_study`] | Extension: Mogul & Borg two-level hierarchy |
+//! | [`future_work_table`] | Extension: §4.4 + §5.1 allocators head-to-head |
+
+mod exec_time;
+mod extensions;
+mod fig1;
+mod miss_curves;
+mod paging;
+mod table6;
+mod tables;
+
+pub use exec_time::{
+    exec_time_figure, time_table, ExecTimeFigure, ExecTimeRow, TimeTable, TimeTableRow,
+};
+pub use extensions::{
+    conflict_analysis, future_work_table, two_level_study, victim_study, ConflictAnalysis,
+    ConflictRow, FutureWorkRow, FutureWorkTable, TwoLevelRow, TwoLevelStudy, VictimRow,
+    VictimStudy,
+};
+pub use fig1::{fig1, Fig1, Fig1Row};
+pub use miss_curves::{miss_curves, MissCurveFigure, MissCurveSeries};
+pub use paging::{paging_figure, PagingFigure, PagingSeries};
+pub use table6::{table6, Table6, Table6Row};
+pub use tables::{table1, table2, Table1, Table1Row, Table2, Table2Row};

@@ -1,0 +1,160 @@
+//! Figures 2 and 3: page-fault rate as a function of memory size.
+//!
+//! The paper plots, per allocator, faults-per-reference (log scale)
+//! against physical memory, for GhostScript (Figure 2) and ptc (Figure
+//! 3). Two properties matter: where each curve ends (the allocator's
+//! total space requirement) and its slope (how gracefully the allocator
+//! degrades when memory is restricted). The stack-distance simulator
+//! yields the whole curve from one pass.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+use crate::Matrix;
+
+/// The fault curve of one allocator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PagingSeries {
+    /// Allocator label.
+    pub allocator: String,
+    /// Peak memory the allocator requested (bytes): the curve's end.
+    pub max_heap_bytes: u64,
+    /// `(memory_kbytes, faults per million references)` samples.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl PagingSeries {
+    /// Fault rate (per million refs) at the largest sampled memory size
+    /// that is at most `kbytes`.
+    pub fn rate_at(&self, kbytes: u64) -> Option<f64> {
+        self.points.iter().rev().find(|&&(kb, _)| kb <= kbytes).map(|&(_, r)| r)
+    }
+}
+
+/// One paging figure (Figure 2 or 3, depending on the program).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PagingFigure {
+    /// Program label.
+    pub program: String,
+    /// One series per allocator.
+    pub series: Vec<PagingSeries>,
+}
+
+impl PagingFigure {
+    /// Renders the figure as a table, one row per sampled memory size.
+    pub fn to_text(&self) -> String {
+        let mut headers = vec!["memory".to_string()];
+        headers.extend(self.series.iter().map(|s| s.allocator.clone()));
+        let mut t = TextTable::new(headers);
+        // Use the union of sampled sizes from the longest series.
+        let samples: Vec<u64> = self
+            .series
+            .iter()
+            .max_by_key(|s| s.points.len())
+            .map(|s| s.points.iter().map(|&(kb, _)| kb).collect())
+            .unwrap_or_default();
+        for kb in samples {
+            let mut cells = vec![format!("{kb}K")];
+            for s in &self.series {
+                cells.push(match s.rate_at(kb) {
+                    Some(r) => format!("{r:.1}"),
+                    None => "-".to_string(),
+                });
+            }
+            t.row(cells);
+        }
+        let mut out = format!(
+            "Page fault rate for {} (faults per million references vs. memory size)\n{t}",
+            self.program
+        );
+        out.push_str("max heap: ");
+        for s in &self.series {
+            out.push_str(&format!("{}={}K  ", s.allocator, s.max_heap_bytes / 1024));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl PagingFigure {
+    /// Renders the figure as a terminal chart (log-scale fault rate vs.
+    /// memory size), mirroring the paper's presentation.
+    pub fn to_chart(&self) -> String {
+        let mut chart = crate::chart::AsciiChart::new(
+            format!("Page fault rate for {} (faults/M refs vs. memory KB)", self.program),
+            64,
+            20,
+        )
+        .log_y();
+        for s in &self.series {
+            chart.series(
+                s.allocator.clone(),
+                s.points.iter().map(|&(kb, r)| (kb as f64, r)).collect(),
+            );
+        }
+        chart.render()
+    }
+}
+
+/// Number of memory-size samples per curve.
+const SAMPLES: u64 = 24;
+
+/// Extracts the paging figure for one program from the matrix.
+pub fn paging_figure(matrix: &Matrix, program: &str) -> PagingFigure {
+    let mut series = Vec::new();
+    for run in matrix.runs.iter().filter(|r| r.program == program) {
+        let Some(curve) = &run.fault_curve else { continue };
+        let max_frames = run.heap_high_water.div_ceil(curve.page_size).max(1);
+        let step = max_frames.div_ceil(SAMPLES).max(1);
+        let mut points = Vec::new();
+        let mut frames = step;
+        while frames <= max_frames + step {
+            let faults = curve.faults(frames);
+            let rate = faults as f64 / curve.accesses.max(1) as f64 * 1e6;
+            points.push((frames * curve.page_size / 1024, rate));
+            frames += step;
+        }
+        series.push(PagingSeries {
+            allocator: run.allocator.clone(),
+            max_heap_bytes: run.heap_high_water,
+            points,
+        });
+    }
+    PagingFigure { program: program.to_string(), series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocChoice, Experiment, Matrix, SimOptions};
+    use allocators::AllocatorKind;
+    use workloads::{Program, Scale};
+
+    fn run(kind: AllocatorKind) -> crate::RunResult {
+        Experiment::new(Program::Ptc, AllocChoice::Paper(kind))
+            .options(SimOptions {
+                cache_configs: vec![],
+                paging: true,
+                scale: Scale(0.02),
+                ..SimOptions::default()
+            })
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn curves_decrease_with_memory_and_end_at_max_heap() {
+        let m = Matrix { runs: vec![run(AllocatorKind::Bsd), run(AllocatorKind::FirstFit)] };
+        let fig = paging_figure(&m, "ptc");
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert!(!s.points.is_empty());
+            for w in s.points.windows(2) {
+                assert!(w[0].1 >= w[1].1 - 1e-9, "{}: fault rate increased", s.allocator);
+            }
+            let last_kb = s.points.last().unwrap().0;
+            assert!(last_kb * 1024 >= s.max_heap_bytes, "curve covers the heap");
+        }
+        assert!(fig.to_text().contains("ptc"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Table 6: the effect of boundary tags on the GNU LOCAL allocator.
+//!
+//! The paper re-ran GNU LOCAL with eight extra bytes per object, touched
+//! as boundary tags would be, to isolate the cache pollution tags cause.
+//! Finding: tags cost 0.1%–1.1% of execution time with a 64K cache —
+//! real but small, so "boundary-tag elimination has mixed performance
+//! advantages ... and is not warranted if the elimination increases the
+//! cost of allocation and deallocation significantly".
+
+use cache_sim::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::model::MISS_PENALTY_CYCLES;
+use crate::report::TextTable;
+use crate::Matrix;
+
+/// One program column of Table 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Program label.
+    pub program: String,
+    /// Miss rate with emulated tags.
+    pub tagged_miss_rate: f64,
+    /// Miss penalty as a fraction of execution time, with tags.
+    pub tagged_miss_fraction: f64,
+    /// Miss rate without tags (stock GNU LOCAL).
+    pub plain_miss_rate: f64,
+    /// Miss penalty fraction without tags.
+    pub plain_miss_fraction: f64,
+}
+
+impl Table6Row {
+    /// The paper's bottom row: execution-time increase due to the cache
+    /// misses boundary tags cause (percentage points of the untagged
+    /// execution time).
+    pub fn penalty_due_to_tags(&self) -> f64 {
+        self.tagged_miss_fraction - self.plain_miss_fraction
+    }
+}
+
+/// Table 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6 {
+    /// The simulated cache (64K direct-mapped in the paper).
+    pub cache: CacheConfig,
+    /// One row per program.
+    pub rows: Vec<Table6Row>,
+}
+
+impl Table6 {
+    /// Renders the table.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new([
+            "program",
+            "miss rate (w/tags)",
+            "miss penalty % (w/tags)",
+            "miss rate (no tags)",
+            "miss penalty % (no tags)",
+            "penalty due to tags",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                format!("{:.3}%", r.tagged_miss_rate * 100.0),
+                format!("{:.2}%", r.tagged_miss_fraction * 100.0),
+                format!("{:.3}%", r.plain_miss_rate * 100.0),
+                format!("{:.2}%", r.plain_miss_fraction * 100.0),
+                format!("{:.2}%", r.penalty_due_to_tags() * 100.0),
+            ]);
+        }
+        format!("Table 6: effect of boundary tags on GNU LOCAL ({})\n{t}", self.cache)
+    }
+}
+
+/// Computes Table 6 from a matrix containing both "GNU local" and
+/// "GNU local (w/tags)" runs.
+pub fn table6(matrix: &Matrix, cache: CacheConfig) -> Table6 {
+    let mut rows = Vec::new();
+    for program in matrix.programs() {
+        let Some(plain) = matrix.get(program, "GNU local") else { continue };
+        let Some(tagged) = matrix.get(program, "GNU local (w/tags)") else { continue };
+        let (Some(ps), Some(ts)) = (plain.cache_stats(cache), tagged.cache_stats(cache)) else {
+            continue;
+        };
+        let pf = plain
+            .time_estimate(cache, MISS_PENALTY_CYCLES)
+            .map(|e| e.miss_fraction())
+            .unwrap_or(0.0);
+        let tf = tagged
+            .time_estimate(cache, MISS_PENALTY_CYCLES)
+            .map(|e| e.miss_fraction())
+            .unwrap_or(0.0);
+        rows.push(Table6Row {
+            program: program.to_string(),
+            tagged_miss_rate: ts.miss_rate(),
+            tagged_miss_fraction: tf,
+            plain_miss_rate: ps.miss_rate(),
+            plain_miss_fraction: pf,
+        });
+    }
+    Table6 { cache, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{standard_matrix, AllocChoice, SimOptions};
+    use allocators::AllocatorKind;
+    use workloads::{Program, Scale};
+
+    #[test]
+    fn tags_increase_miss_penalty() {
+        let cache = CacheConfig::direct_mapped(64 * 1024, 32);
+        let opts = SimOptions {
+            cache_configs: vec![cache],
+            paging: false,
+            scale: Scale(0.01),
+            ..SimOptions::default()
+        };
+        let m = standard_matrix(
+            &[Program::Espresso],
+            &[AllocChoice::Paper(AllocatorKind::GnuLocal), AllocChoice::GnuLocalTagged],
+            &opts,
+        )
+        .unwrap();
+        let t = table6(&m, cache);
+        assert_eq!(t.rows.len(), 1);
+        let r = &t.rows[0];
+        assert!(r.penalty_due_to_tags() > -0.002, "tags should not reduce the miss penalty: {r:?}");
+        assert!(r.penalty_due_to_tags() < 0.05, "tag effect should be small: {r:?}");
+        assert!(t.to_text().contains("GNU LOCAL"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Tables 1–3: the test programs and their statistics.
+
+use serde::{Deserialize, Serialize};
+use workloads::Program;
+
+use crate::report::TextTable;
+use crate::Matrix;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Program label.
+    pub program: String,
+    /// The paper's description.
+    pub description: String,
+}
+
+/// Table 1: general information about the test programs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per program.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Renders the table.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new(["program", "description"]);
+        for r in &self.rows {
+            t.row([r.program.clone(), r.description.clone()]);
+        }
+        format!("Table 1: test programs\n{t}")
+    }
+}
+
+/// Produces Table 1 (static: the program inventory).
+pub fn table1() -> Table1 {
+    let rows = Program::FIVE
+        .iter()
+        .map(|p| Table1Row {
+            program: p.label().to_string(),
+            description: p.description().to_string(),
+        })
+        .collect();
+    Table1 { rows }
+}
+
+/// One row of Table 2/3: paper values beside measured values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Program label.
+    pub program: String,
+    /// Scale the measured run used.
+    pub scale: f64,
+    /// Measured total instructions.
+    pub instrs: u64,
+    /// Measured word-granular data references.
+    pub data_refs: u64,
+    /// Measured peak heap bytes.
+    pub heap_bytes: u64,
+    /// Measured objects allocated.
+    pub allocated: u64,
+    /// Measured objects freed.
+    pub freed: u64,
+    /// Paper: total instructions (millions, full scale).
+    pub paper_instr_millions: f64,
+    /// Paper: data references (millions, full scale).
+    pub paper_refs_millions: f64,
+    /// Paper: max heap (kilobytes).
+    pub paper_heap_kbytes: u64,
+    /// Paper: objects allocated (thousands).
+    pub paper_allocated_thousands: f64,
+    /// Paper: objects freed (thousands).
+    pub paper_freed_thousands: f64,
+}
+
+impl Table2Row {
+    /// Measured / paper ratio for a per-run count, adjusting the paper
+    /// value by the run's scale (counts shrink with scale; the heap does
+    /// not — compare that one directly).
+    pub fn alloc_ratio_vs_scaled_paper(&self) -> f64 {
+        let expected = self.paper_allocated_thousands * 1e3 * self.scale;
+        self.allocated as f64 / expected.max(1.0)
+    }
+}
+
+/// Table 2 (five programs) or Table 3 (GhostScript input sets),
+/// FIRSTFIT baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Caption label ("Table 2" or "Table 3").
+    pub caption: String,
+    /// One row per program.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Renders the table, measured beside scale-adjusted paper values.
+    pub fn to_text(&self) -> String {
+        let mut t = TextTable::new([
+            "program",
+            "instr (M)",
+            "refs (M)",
+            "heap (K)",
+            "alloc'd (k)",
+            "freed (k)",
+            "paper heap (K)",
+            "paper alloc'd (k, scaled)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.program.clone(),
+                format!("{:.1}", r.instrs as f64 / 1e6),
+                format!("{:.1}", r.data_refs as f64 / 1e6),
+                format!("{}", r.heap_bytes / 1024),
+                format!("{:.1}", r.allocated as f64 / 1e3),
+                format!("{:.1}", r.freed as f64 / 1e3),
+                format!("{}", r.paper_heap_kbytes),
+                format!("{:.1}", r.paper_allocated_thousands * r.scale),
+            ]);
+        }
+        format!("{}: program statistics under FirstFit (measured vs. paper)\n{t}", self.caption)
+    }
+}
+
+fn stats_table(matrix: &Matrix, programs: &[Program], caption: &str) -> Table2 {
+    let rows = programs
+        .iter()
+        .filter_map(|p| {
+            let run = matrix.get(p.label(), "FirstFit")?;
+            let paper = p.paper_stats();
+            Some(Table2Row {
+                program: p.label().to_string(),
+                scale: run.scale,
+                instrs: run.instrs.total(),
+                data_refs: run.data_refs(),
+                heap_bytes: run.heap_high_water,
+                allocated: run.alloc_stats.mallocs,
+                freed: run.alloc_stats.frees,
+                paper_instr_millions: paper.instr_millions,
+                paper_refs_millions: paper.refs_millions,
+                paper_heap_kbytes: paper.heap_kbytes,
+                paper_allocated_thousands: paper.allocated_thousands,
+                paper_freed_thousands: paper.freed_thousands,
+            })
+        })
+        .collect();
+    Table2 { caption: caption.to_string(), rows }
+}
+
+/// Produces Table 2 from FirstFit runs of the five programs, or Table 3
+/// when given the GhostScript input sets.
+pub fn table2(matrix: &Matrix, programs: &[Program]) -> Table2 {
+    let caption = if programs == Program::GS_INPUTS { "Table 3" } else { "Table 2" };
+    stats_table(matrix, programs, caption)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocChoice, Experiment, SimOptions};
+    use allocators::AllocatorKind;
+    use workloads::Scale;
+
+    #[test]
+    fn table1_lists_the_five_programs() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.to_text().contains("espresso"));
+        assert!(t.to_text().contains("Pascal-to-C"));
+    }
+
+    #[test]
+    fn table2_compares_measured_with_paper() {
+        let scale = 0.01;
+        let run = Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::FirstFit))
+            .options(SimOptions {
+                cache_configs: vec![],
+                paging: false,
+                scale: Scale(scale),
+                ..SimOptions::default()
+            })
+            .run()
+            .unwrap();
+        let m = Matrix { runs: vec![run] };
+        let t = table2(&m, &[Program::Make]);
+        assert_eq!(t.caption, "Table 2");
+        assert_eq!(t.rows.len(), 1);
+        let r = &t.rows[0];
+        // Allocation counts should track the scaled paper value closely.
+        let ratio = r.alloc_ratio_vs_scaled_paper();
+        assert!((0.9..1.1).contains(&ratio), "alloc ratio {ratio}");
+        assert!(r.freed <= r.allocated);
+        assert!(t.to_text().contains("make"));
+    }
+}

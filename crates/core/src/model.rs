@@ -1,0 +1,100 @@
+//! The paper's execution-time model.
+//!
+//! §4.2: "If an application executed I instructions with D data
+//! references, a data cache miss rate of M and a miss penalty of P, we
+//! estimated the total execution time to be I + (M × P)D. We assume all
+//! instructions, including loads and stores, complete in a single machine
+//! cycle, and ignore the effects of page faults \[and\] instruction cache
+//! misses." Since `M × D` is simply the miss count, the model is
+//! `cycles = instructions + misses × penalty`.
+//!
+//! Seconds are derived at the 25 MHz clock of the paper's test vehicle
+//! (DECstation 5000/120), purely so tables print in familiar units.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's "modest cache miss penalty" used for Figures 4–5 and
+/// Tables 4–5.
+pub const MISS_PENALTY_CYCLES: u64 = 25;
+
+/// Clock rate of the DECstation 5000/120 (25 MHz R3000).
+pub const CLOCK_HZ: f64 = 25_000_000.0;
+
+/// Total estimated cycles: `I + misses × P`.
+pub fn estimated_cycles(instructions: u64, misses: u64, penalty: u64) -> u64 {
+    instructions + misses * penalty
+}
+
+/// Converts cycles to seconds at the paper's clock rate.
+pub fn estimated_seconds(cycles: u64) -> f64 {
+    cycles as f64 / CLOCK_HZ
+}
+
+/// An execution-time estimate broken into its components, as Tables 4
+/// and 5 print it ("Total time (sec) / Miss time (sec)").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeEstimate {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Data-cache misses.
+    pub misses: u64,
+    /// Miss penalty in cycles.
+    pub penalty: u64,
+}
+
+impl TimeEstimate {
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        estimated_cycles(self.instructions, self.misses, self.penalty)
+    }
+
+    /// Cycles spent waiting on cache misses.
+    pub fn miss_cycles(&self) -> u64 {
+        self.misses * self.penalty
+    }
+
+    /// Total estimated seconds.
+    pub fn total_seconds(&self) -> f64 {
+        estimated_seconds(self.cycles())
+    }
+
+    /// Seconds spent waiting on cache misses.
+    pub fn miss_seconds(&self) -> f64 {
+        estimated_seconds(self.miss_cycles())
+    }
+
+    /// Fraction of execution time attributable to cache misses.
+    pub fn miss_fraction(&self) -> f64 {
+        if self.cycles() == 0 {
+            0.0
+        } else {
+            self.miss_cycles() as f64 / self.cycles() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_follow_the_paper_formula() {
+        assert_eq!(estimated_cycles(1000, 10, 25), 1250);
+        assert_eq!(estimated_cycles(1000, 0, 25), 1000);
+    }
+
+    #[test]
+    fn seconds_at_25mhz() {
+        assert!((estimated_seconds(25_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_decomposition() {
+        let t = TimeEstimate { instructions: 1_000_000, misses: 10_000, penalty: 25 };
+        assert_eq!(t.cycles(), 1_250_000);
+        assert_eq!(t.miss_cycles(), 250_000);
+        assert!((t.miss_fraction() - 0.2).abs() < 1e-12);
+        assert!((t.total_seconds() - 0.05).abs() < 1e-12);
+        assert!((t.miss_seconds() - 0.01).abs() < 1e-12);
+    }
+}

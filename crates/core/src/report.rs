@@ -1,0 +1,136 @@
+//! Plain-text table rendering for the repro harness.
+
+use std::fmt;
+
+/// A column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use alloc_locality::report::TextTable;
+/// let mut t = TextTable::new(["allocator", "miss rate"]);
+/// t.row(["FirstFit", "5.1%"]);
+/// t.row(["BSD", "1.9%"]);
+/// let s = t.to_string();
+/// assert!(s.contains("FirstFit"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extras are kept.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i + 1 == widths.len() {
+                    writeln!(f, "{cell}")?;
+                } else {
+                    write!(f, "{cell:<w$}  ")?;
+                }
+            }
+            Ok(())
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a float with three significant decimals.
+pub fn num(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a byte count as kilobytes.
+pub fn kb(bytes: u64) -> String {
+    format!("{}K", bytes / 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = TextTable::new(["a", "long-header"]);
+        t.row(["xxxxxxxx", "1"]);
+        t.row(["y", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Both data rows start their second column at the same offset.
+        let col = |l: &str| l.find('1').or_else(|| l.find('2')).unwrap();
+        assert_eq!(col(lines[2]), col(lines[3]));
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let _ = t.to_string();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(num(1.23456), "1.235");
+        assert_eq!(kb(4096), "4K");
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated addresses.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// The machine word size in bytes.
+///
+/// The paper's test vehicle was a DECstation 5000/120 (32-bit MIPS), so a
+/// word is four bytes and allocator metadata (boundary tags, freelist
+/// links) is word-sized.
+pub const WORD: u64 = 4;
+
+/// A byte address in the simulated address space.
+///
+/// Addresses are plain 64-bit offsets; the heap segment conventionally
+/// starts at [`crate::heap::HEAP_BASE`]. `Address` is a newtype so that
+/// simulated addresses cannot be confused with sizes or counts.
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::{Address, WORD};
+/// let a = Address::new(0x1000);
+/// assert_eq!(a + WORD, Address::new(0x1004));
+/// assert_eq!((a + WORD) - a, WORD);
+/// assert!(a.is_word_aligned());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Address(u64);
+
+impl Address {
+    /// The null address. Allocators use it as the "no block" sentinel in
+    /// freelist links, mirroring C's `NULL`.
+    pub const NULL: Address = Address(0);
+
+    /// Creates an address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null sentinel.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the address is aligned to the machine word.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD)
+    }
+
+    /// Returns the page number for a given page size (which must be a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `page_size` is not a power of two.
+    pub const fn page(self, page_size: u64) -> u64 {
+        debug_assert!(page_size.is_power_of_two());
+        self.0 / page_size
+    }
+
+    /// Returns the cache-block number for a given block size (power of two).
+    pub const fn block(self, block_size: u64) -> u64 {
+        debug_assert!(block_size.is_power_of_two());
+        self.0 / block_size
+    }
+
+    /// Returns the address rounded down to a multiple of `align`.
+    pub const fn align_down(self, align: u64) -> Address {
+        Address(self.0 - self.0 % align)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, rhs: u64) -> Option<Address> {
+        match self.0.checked_add(rhs) {
+            Some(v) => Some(Address(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add<u64> for Address {
+    type Output = Address;
+
+    fn add(self, rhs: u64) -> Address {
+        Address(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Address {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for Address {
+    type Output = Address;
+
+    fn sub(self, rhs: u64) -> Address {
+        Address(self.0 - rhs)
+    }
+}
+
+/// Distance in bytes between two addresses.
+impl Sub<Address> for Address {
+    type Output = u64;
+
+    fn sub(self, rhs: Address) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> u64 {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero_and_detected() {
+        assert!(Address::NULL.is_null());
+        assert!(!Address::new(1).is_null());
+        assert_eq!(Address::default(), Address::NULL);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Address::new(100);
+        assert_eq!(a + 28, Address::new(128));
+        assert_eq!((a + 28) - 28, a);
+        assert_eq!(Address::new(128) - a, 28);
+        let mut b = a;
+        b += 4;
+        assert_eq!(b, Address::new(104));
+    }
+
+    #[test]
+    fn page_and_block_numbers() {
+        let a = Address::new(4096 * 3 + 17);
+        assert_eq!(a.page(4096), 3);
+        assert_eq!(a.block(32), (4096 * 3 + 17) / 32);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Address::new(8).is_word_aligned());
+        assert!(!Address::new(6).is_word_aligned());
+        assert_eq!(Address::new(37).align_down(32), Address::new(32));
+        assert_eq!(Address::new(32).align_down(32), Address::new(32));
+    }
+
+    #[test]
+    fn checked_add_saturates_at_overflow() {
+        assert_eq!(Address::new(u64::MAX).checked_add(1), None);
+        assert_eq!(Address::new(10).checked_add(1), Some(Address::new(11)));
+    }
+
+    #[test]
+    fn display_formats_as_hex() {
+        assert_eq!(Address::new(0x1000).to_string(), "0x00001000");
+        assert_eq!(format!("{:x}", Address::new(255)), "ff");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Address = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+}

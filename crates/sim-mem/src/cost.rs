@@ -1,0 +1,158 @@
+//! Instruction-cost accounting.
+//!
+//! The paper measured execution time in machine instructions (via the QP
+//! tool) and attributed them to `malloc`, `free`, and the rest of the
+//! application. [`InstrCounter`] reproduces that attribution: allocator
+//! code charges instructions to the current [`Phase`] as it executes, and
+//! the workload models charge the application's own compute instructions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which routine the currently executing instructions belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Application code outside the allocator.
+    App,
+    /// Inside `malloc` (and its helpers).
+    Malloc,
+    /// Inside `free` (and its helpers).
+    Free,
+}
+
+impl Phase {
+    const COUNT: usize = 3;
+
+    fn index(self) -> usize {
+        match self {
+            Phase::App => 0,
+            Phase::Malloc => 1,
+            Phase::Free => 2,
+        }
+    }
+}
+
+/// Per-phase instruction counters.
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::{InstrCounter, Phase};
+/// let mut c = InstrCounter::new();
+/// c.set_phase(Phase::Malloc);
+/// c.add(10);
+/// c.set_phase(Phase::App);
+/// c.add(90);
+/// assert_eq!(c.phase_total(Phase::Malloc), 10);
+/// assert_eq!(c.total(), 100);
+/// assert!((c.alloc_fraction() - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrCounter {
+    counts: [u64; Phase::COUNT],
+    phase: Phase,
+}
+
+impl Default for InstrCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstrCounter {
+    /// Creates a counter with all phases zeroed, starting in
+    /// [`Phase::App`].
+    pub fn new() -> Self {
+        InstrCounter { counts: [0; Phase::COUNT], phase: Phase::App }
+    }
+
+    /// Switches the phase instructions are charged to.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// The phase currently being charged.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Charges `n` instructions to the current phase.
+    pub fn add(&mut self, n: u64) {
+        self.counts[self.phase.index()] += n;
+    }
+
+    /// Total instructions charged to one phase.
+    pub fn phase_total(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Total instructions across all phases.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Instructions spent inside the allocator (`malloc` + `free`).
+    pub fn allocator_total(&self) -> u64 {
+        self.phase_total(Phase::Malloc) + self.phase_total(Phase::Free)
+    }
+
+    /// Fraction of all instructions spent inside the allocator; the
+    /// quantity plotted in the paper's Figure 1. Zero for an empty counter.
+    pub fn alloc_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.allocator_total() as f64 / total as f64
+        }
+    }
+
+    /// Adds another counter's totals into this one.
+    pub fn merge(&mut self, other: &InstrCounter) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed_in_app_phase() {
+        let c = InstrCounter::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.phase(), Phase::App);
+        assert_eq!(c.alloc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn charges_follow_phase_switches() {
+        let mut c = InstrCounter::new();
+        c.add(5);
+        c.set_phase(Phase::Malloc);
+        c.add(7);
+        c.set_phase(Phase::Free);
+        c.add(3);
+        assert_eq!(c.phase_total(Phase::App), 5);
+        assert_eq!(c.phase_total(Phase::Malloc), 7);
+        assert_eq!(c.phase_total(Phase::Free), 3);
+        assert_eq!(c.allocator_total(), 10);
+        assert_eq!(c.total(), 15);
+    }
+
+    #[test]
+    fn merge_adds_per_phase() {
+        let mut a = InstrCounter::new();
+        a.set_phase(Phase::Malloc);
+        a.add(10);
+        let mut b = InstrCounter::new();
+        b.set_phase(Phase::Malloc);
+        b.add(1);
+        b.set_phase(Phase::App);
+        b.add(2);
+        a.merge(&b);
+        assert_eq!(a.phase_total(Phase::Malloc), 11);
+        assert_eq!(a.phase_total(Phase::App), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! The simulated heap segment.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Address, WORD};
+
+/// Base address of the simulated heap segment.
+///
+/// Chosen nonzero so that [`Address::NULL`] never aliases a real block, and
+/// page-aligned so chunk-granular allocators see aligned pages.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// Default ceiling on heap growth (256 MiB), far above anything the
+/// workloads request; a guard against runaway allocator bugs.
+pub const DEFAULT_LIMIT: u64 = 256 << 20;
+
+/// Error returned when [`HeapImage::sbrk`] would exceed the heap limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes requested by the failing `sbrk`.
+    pub requested: u64,
+    /// Bytes in use (break minus base) at the time of the failure.
+    pub in_use: u64,
+    /// The configured limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulated heap exhausted: sbrk of {} bytes with {} of {} in use",
+            self.requested, self.in_use, self.limit
+        )
+    }
+}
+
+impl Error for OomError {}
+
+/// A flat, byte-addressed model of the program's heap segment.
+///
+/// The image has real backing storage: allocators store their metadata
+/// (freelist links, boundary tags, chunk descriptors) in it at exactly the
+/// offsets a C implementation would use, which is what makes the emitted
+/// reference traces address-faithful.
+///
+/// Reads and writes here do **not** emit trace events or count
+/// instructions; allocator code goes through [`crate::MemCtx`], which does
+/// both. `HeapImage`'s raw accessors exist for tests and for consistency
+/// checks that must not perturb the trace.
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::HeapImage;
+/// # fn main() -> Result<(), sim_mem::OomError> {
+/// let mut heap = HeapImage::new();
+/// let p = heap.sbrk(4096)?;
+/// heap.write_u32(p, 7);
+/// assert_eq!(heap.read_u32(p), 7);
+/// assert_eq!(heap.in_use(), 4096);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeapImage {
+    bytes: Vec<u8>,
+    base: u64,
+    brk: u64,
+    limit: u64,
+    high_water: u64,
+    sbrk_calls: u64,
+}
+
+impl Default for HeapImage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapImage {
+    /// Creates an empty heap with the default base and limit.
+    pub fn new() -> Self {
+        Self::with_limit(DEFAULT_LIMIT)
+    }
+
+    /// Creates an empty heap with an explicit growth limit in bytes.
+    pub fn with_limit(limit: u64) -> Self {
+        HeapImage {
+            bytes: Vec::new(),
+            base: HEAP_BASE,
+            brk: HEAP_BASE,
+            limit,
+            high_water: 0,
+            sbrk_calls: 0,
+        }
+    }
+
+    /// The lowest address of the heap segment.
+    pub fn base(&self) -> Address {
+        Address::new(self.base)
+    }
+
+    /// The current break (one past the last valid heap byte).
+    pub fn brk(&self) -> Address {
+        Address::new(self.brk)
+    }
+
+    /// Bytes currently obtained from the (simulated) operating system.
+    pub fn in_use(&self) -> u64 {
+        self.brk - self.base
+    }
+
+    /// The largest value [`Self::in_use`] has ever reached.
+    ///
+    /// This is the paper's "maximum heap size" metric (Table 2).
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Number of `sbrk` calls made so far.
+    pub fn sbrk_calls(&self) -> u64 {
+        self.sbrk_calls
+    }
+
+    /// Extends the heap by `amount` bytes, rounded up to a word multiple,
+    /// and returns the address of the new region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if growth would exceed the configured limit.
+    pub fn sbrk(&mut self, amount: u64) -> Result<Address, OomError> {
+        let amount = round_up_word(amount);
+        if self.in_use() + amount > self.limit {
+            return Err(OomError { requested: amount, in_use: self.in_use(), limit: self.limit });
+        }
+        let start = self.brk;
+        self.brk += amount;
+        self.sbrk_calls += 1;
+        self.high_water = self.high_water.max(self.in_use());
+        let new_len = (self.brk - self.base) as usize;
+        if new_len > self.bytes.len() {
+            self.bytes.resize(new_len, 0);
+        }
+        Ok(Address::new(start))
+    }
+
+    /// Returns `true` if `[addr, addr + len)` lies entirely inside the
+    /// currently allocated heap segment.
+    pub fn contains(&self, addr: Address, len: u64) -> bool {
+        let a = addr.raw();
+        a >= self.base && a + len <= self.brk
+    }
+
+    fn offset(&self, addr: Address, len: u64) -> usize {
+        assert!(
+            self.contains(addr, len),
+            "heap access out of bounds: {} (+{len}) not in [{:#x}, {:#x})",
+            addr,
+            self.base,
+            self.brk
+        );
+        (addr.raw() - self.base) as usize
+    }
+
+    /// Reads a 32-bit little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not inside the heap segment.
+    pub fn read_u32(&self, addr: Address) -> u32 {
+        let off = self.offset(addr, WORD);
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4-byte slice"))
+    }
+
+    /// Writes a 32-bit little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not inside the heap segment.
+    pub fn write_u32(&mut self, addr: Address, value: u32) {
+        let off = self.offset(addr, WORD);
+        self.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+/// Rounds `n` up to the next multiple of the machine word.
+pub fn round_up_word(n: u64) -> u64 {
+    n.div_ceil(WORD) * WORD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_heap_is_empty() {
+        let h = HeapImage::new();
+        assert_eq!(h.in_use(), 0);
+        assert_eq!(h.high_water(), 0);
+        assert_eq!(h.base(), h.brk());
+        assert_eq!(h.sbrk_calls(), 0);
+    }
+
+    #[test]
+    fn sbrk_returns_contiguous_regions() {
+        let mut h = HeapImage::new();
+        let a = h.sbrk(98).unwrap();
+        let b = h.sbrk(8).unwrap();
+        assert_eq!(a, h.base());
+        // 98 rounds up to 100.
+        assert_eq!(b - a, 100);
+        assert_eq!(h.in_use(), 108);
+        assert_eq!(h.sbrk_calls(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut h = HeapImage::new();
+        h.sbrk(4096).unwrap();
+        assert_eq!(h.high_water(), 4096);
+        h.sbrk(4096).unwrap();
+        assert_eq!(h.high_water(), 8192);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut h = HeapImage::new();
+        let p = h.sbrk(64).unwrap();
+        h.write_u32(p, 0xdead_beef);
+        h.write_u32(p + 4, 1);
+        assert_eq!(h.read_u32(p), 0xdead_beef);
+        assert_eq!(h.read_u32(p + 4), 1);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut h = HeapImage::with_limit(100);
+        let err = h.sbrk(200).unwrap_err();
+        assert_eq!(err.requested, 200);
+        assert_eq!(err.limit, 100);
+        assert!(err.to_string().contains("heap exhausted"));
+        // Heap unchanged after a failed sbrk.
+        assert_eq!(h.in_use(), 0);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let mut h = HeapImage::new();
+        let p = h.sbrk(32).unwrap();
+        assert!(h.contains(p, 32));
+        assert!(!h.contains(p, 33));
+        assert!(!h.contains(p - 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let h = HeapImage::new();
+        h.read_u32(Address::new(HEAP_BASE));
+    }
+
+    #[test]
+    fn round_up_word_cases() {
+        assert_eq!(round_up_word(0), 0);
+        assert_eq!(round_up_word(1), 4);
+        assert_eq!(round_up_word(4), 4);
+        assert_eq!(round_up_word(5), 8);
+    }
+}

@@ -1,0 +1,63 @@
+//! Simulated heap address space, memory-reference tracing, and
+//! instruction-cost accounting.
+//!
+//! This crate is the substrate on which the PLDI 1993 reproduction is built.
+//! The paper ("Improving the Cache Locality of Memory Allocation", Grunwald,
+//! Zorn & Henderson) instrumented real C programs with PIXIE and fed every
+//! data reference to a cache simulator. Here the same structure is recreated
+//! in-process:
+//!
+//! * [`HeapImage`] models the program's heap segment: a flat, byte-addressed
+//!   region grown with [`HeapImage::sbrk`], with real backing storage so
+//!   allocators can keep their metadata (freelist links, boundary tags,
+//!   chunk headers) *inside* the simulated heap at the same addresses a C
+//!   implementation would use.
+//! * [`MemRef`] is one observed data reference; [`AccessSink`] is the
+//!   consumer interface implemented by the cache and paging simulators.
+//! * [`MemCtx`] is the accessor handed to allocator code. Every metadata
+//!   load/store performed through it emits an address-faithful [`MemRef`]
+//!   and charges instructions to the current [`Phase`], so the reference
+//!   trace and the instruction counts can never drift apart from the
+//!   allocator logic.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_mem::{Address, HeapImage, MemCtx, NullSink, InstrCounter, Phase};
+//!
+//! # fn main() -> Result<(), sim_mem::OomError> {
+//! let mut heap = HeapImage::new();
+//! let mut sink = NullSink;
+//! let mut instrs = InstrCounter::new();
+//! let mut ctx = MemCtx::new(&mut heap, &mut sink, &mut instrs);
+//! ctx.set_phase(Phase::Malloc);
+//! let block = ctx.sbrk(64)?;
+//! ctx.store(block, 0xdead_beef);
+//! assert_eq!(ctx.load(block), 0xdead_beef);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod cost;
+pub mod ctx;
+pub mod heap;
+
+pub use access::{
+    AccessClass, AccessKind, CountingSink, FanoutSink, MemRef, NullSink, TraceStats, VecSink,
+};
+pub use addr::{Address, WORD};
+pub use cost::{InstrCounter, Phase};
+pub use ctx::MemCtx;
+pub use heap::{HeapImage, OomError};
+
+/// The trait implemented by every consumer of the simulated reference
+/// stream (cache simulators, paging simulators, statistics collectors).
+///
+/// Implementations must be prepared for references of arbitrary byte size;
+/// a single [`MemRef`] may span several cache blocks or pages.
+pub trait AccessSink {
+    /// Observe one data reference.
+    fn record(&mut self, r: MemRef);
+}

@@ -1,0 +1,120 @@
+//! Property tests for the memory substrate.
+
+use proptest::prelude::*;
+
+use sim_mem::heap::round_up_word;
+use sim_mem::{Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Word rounding: result is a multiple of 4, at least the input, and
+    /// less than input + 4.
+    #[test]
+    fn round_up_word_properties(n in 0u64..1 << 40) {
+        let r = round_up_word(n);
+        prop_assert_eq!(r % 4, 0);
+        prop_assert!(r >= n);
+        prop_assert!(r < n + 4);
+    }
+
+    /// sbrk hands out disjoint, contiguous, monotonically increasing
+    /// regions, and high-water tracking equals the sum of grants.
+    #[test]
+    fn sbrk_regions_tile(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let mut heap = HeapImage::new();
+        let mut expected_start = heap.base();
+        let mut total = 0;
+        for &s in &sizes {
+            let p = heap.sbrk(s).expect("below limit");
+            prop_assert_eq!(p, expected_start);
+            expected_start = p + round_up_word(s);
+            total += round_up_word(s);
+        }
+        prop_assert_eq!(heap.in_use(), total);
+        prop_assert_eq!(heap.high_water(), total);
+    }
+
+    /// Stored words read back exactly, independent of write order.
+    #[test]
+    fn words_round_trip(
+        writes in proptest::collection::vec((0u64..1000, any::<u32>()), 1..100),
+    ) {
+        let mut heap = HeapImage::new();
+        let base = heap.sbrk(4000).expect("small");
+        let mut model = std::collections::HashMap::new();
+        for &(slot, value) in &writes {
+            heap.write_u32(base + slot * 4, value);
+            model.insert(slot, value);
+        }
+        for (&slot, &value) in &model {
+            prop_assert_eq!(heap.read_u32(base + slot * 4), value);
+        }
+    }
+
+    /// MemCtx bookkeeping: instruction counts and reference counts both
+    /// equal the number of operations issued, attributed to the right
+    /// phase.
+    #[test]
+    fn ctx_accounting_balances(
+        loads in 0u64..200,
+        stores in 0u64..200,
+        ops in 0u64..1000,
+    ) {
+        let mut heap = HeapImage::new();
+        let mut sink = CountingSink::new();
+        let mut instrs = InstrCounter::new();
+        let mut ctx = MemCtx::new(&mut heap, &mut sink, &mut instrs);
+        let p = ctx.sbrk(4096).expect("small");
+        ctx.set_phase(Phase::Malloc);
+        for i in 0..stores {
+            ctx.store(p + (i % 1024) * 4, i as u32);
+        }
+        for i in 0..loads {
+            ctx.load(p + (i % 1024) * 4);
+        }
+        ctx.ops(ops);
+        prop_assert_eq!(sink.stats().meta_reads, loads);
+        prop_assert_eq!(sink.stats().meta_writes, stores);
+        prop_assert_eq!(
+            instrs.phase_total(Phase::Malloc),
+            loads + stores + ops
+        );
+        prop_assert_eq!(instrs.phase_total(Phase::App), sim_mem::ctx::SBRK_COST);
+    }
+
+    /// app_touch charges one instruction per word and records one
+    /// application reference of the right size.
+    #[test]
+    fn app_touch_charges_per_word(len in 1u32..100_000, write: bool) {
+        let mut heap = HeapImage::new();
+        let mut sink = CountingSink::new();
+        let mut instrs = InstrCounter::new();
+        let mut ctx = MemCtx::new(&mut heap, &mut sink, &mut instrs);
+        ctx.app_touch(Address::new(0x100), len, write);
+        prop_assert_eq!(instrs.total(), u64::from(len.div_ceil(4)));
+        prop_assert_eq!(sink.stats().app_refs(), 1);
+        prop_assert_eq!(sink.stats().app_bytes, u64::from(len));
+        if write {
+            prop_assert_eq!(sink.stats().app_writes, 1);
+        } else {
+            prop_assert_eq!(sink.stats().app_reads, 1);
+        }
+    }
+
+    /// Block decomposition covers the byte range exactly once.
+    #[test]
+    fn block_decomposition_covers(addr in 0u64..1 << 30, size in 1u32..10_000) {
+        let r = MemRef::app_read(Address::new(addr), size);
+        let blocks: Vec<u64> = r.blocks(32).collect();
+        // Contiguous ascending blocks.
+        for w in blocks.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+        prop_assert_eq!(blocks.first().copied().expect("nonempty"), addr / 32);
+        prop_assert_eq!(
+            blocks.last().copied().expect("nonempty"),
+            (addr + u64::from(size) - 1) / 32
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! The trace container format.
+//!
+//! ```text
+//! header:  magic "ALTR" | u8 version | u8 reserved×3 | u64 LE record count
+//! record:  flags u8 | zigzag-LEB128 addr delta | [LEB128 size]
+//!   flags bit 0: kind   (0 = read, 1 = write)
+//!   flags bit 1: class  (0 = app, 1 = allocator metadata)
+//!   flags bit 2: size field present (absent = one word, 4 bytes)
+//! ```
+//!
+//! Addresses are delta-encoded against the previous record, so the hot
+//! loops of a simulation (nearby metadata and object touches) cost one
+//! or two bytes each.
+
+use std::io::{self, Read, Write};
+
+use sim_mem::{AccessClass, AccessKind, AccessSink, Address, MemRef};
+
+use crate::varint;
+
+/// File magic: "ALTR" (ALlocator TRace).
+pub const MAGIC: [u8; 4] = *b"ALTR";
+
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+const F_WRITE: u8 = 0b001;
+const F_META: u8 = 0b010;
+const F_SIZED: u8 = 0b100;
+
+/// Parsed header of a trace stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version.
+    pub version: u8,
+    /// Number of records, if the writer finished cleanly (`u64::MAX`
+    /// means "unknown": the stream was not finalized).
+    pub records: u64,
+}
+
+/// Streams references into a compact binary trace.
+///
+/// Implements [`AccessSink`], so it can be attached anywhere a simulator
+/// can — including teeing alongside live simulation via
+/// [`sim_mem::FanoutSink`]. Call [`TraceWriter::finish`] to patch the
+/// record count into the header (requires buffering; this implementation
+/// writes the count at the *end* of the stream instead, keeping the
+/// writer single-pass).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    last_addr: u64,
+    records: u64,
+    header_written: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer over any byte sink.
+    pub fn new(out: W) -> Self {
+        TraceWriter { out, last_addr: 0, records: 0, header_written: false }
+    }
+
+    fn ensure_header(&mut self) -> io::Result<()> {
+        if !self.header_written {
+            self.out.write_all(&MAGIC)?;
+            self.out.write_all(&[VERSION, 0, 0, 0])?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+
+    /// Records one reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_ref(&mut self, r: MemRef) -> io::Result<()> {
+        self.ensure_header()?;
+        let mut flags = 0u8;
+        if r.kind == AccessKind::Write {
+            flags |= F_WRITE;
+        }
+        if r.class == AccessClass::AllocatorMeta {
+            flags |= F_META;
+        }
+        if r.size != 4 {
+            flags |= F_SIZED;
+        }
+        self.out.write_all(&[flags])?;
+        let delta = r.addr.raw() as i64 - self.last_addr as i64;
+        varint::write_i64(&mut self.out, delta)?;
+        if flags & F_SIZED != 0 {
+            varint::write_u64(&mut self.out, u64::from(r.size))?;
+        }
+        self.last_addr = r.addr.raw();
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of references recorded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Finalizes the stream: writes the end-of-trace sentinel and the
+    /// record count, and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.ensure_header()?;
+        // Sentinel: an impossible flag byte.
+        self.out.write_all(&[0xff])?;
+        self.out.write_all(&self.records.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> AccessSink for TraceWriter<W> {
+    /// # Panics
+    ///
+    /// Panics on I/O errors, since [`AccessSink`] is infallible; use
+    /// [`TraceWriter::write_ref`] directly for error handling.
+    fn record(&mut self, r: MemRef) {
+        self.write_ref(r).expect("trace write failed");
+    }
+}
+
+/// Iterates the references of a recorded trace.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    header: TraceHeader,
+    last_addr: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace stream, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic or unsupported version.
+    pub fn new(mut input: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ALTR trace"));
+        }
+        let mut ver = [0u8; 4];
+        input.read_exact(&mut ver)?;
+        if ver[0] != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {}", ver[0]),
+            ));
+        }
+        Ok(TraceReader {
+            input,
+            header: TraceHeader { version: ver[0], records: u64::MAX },
+            last_addr: 0,
+            done: false,
+        })
+    }
+
+    /// The parsed header. The record count becomes exact once the
+    /// end-of-trace sentinel has been consumed.
+    pub fn header(&self) -> TraceHeader {
+        self.header
+    }
+
+    fn read_record(&mut self) -> io::Result<Option<MemRef>> {
+        let mut flags = [0u8];
+        match self.input.read_exact(&mut flags) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // Unfinalized stream: accept a clean end.
+                self.done = true;
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
+        if flags[0] == 0xff {
+            // Sentinel: the trailer carries the record count.
+            let mut count = [0u8; 8];
+            self.input.read_exact(&mut count)?;
+            self.header.records = u64::from_le_bytes(count);
+            self.done = true;
+            return Ok(None);
+        }
+        if flags[0] & !0b111 != 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt flag byte"));
+        }
+        let delta = varint::read_i64(&mut self.input)?;
+        let addr = self
+            .last_addr
+            .checked_add_signed(delta)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "address underflow"))?;
+        self.last_addr = addr;
+        let size = if flags[0] & F_SIZED != 0 {
+            u32::try_from(varint::read_u64(&mut self.input)?)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "oversized record"))?
+        } else {
+            4
+        };
+        let kind = if flags[0] & F_WRITE != 0 { AccessKind::Write } else { AccessKind::Read };
+        let class =
+            if flags[0] & F_META != 0 { AccessClass::AllocatorMeta } else { AccessClass::AppData };
+        Ok(Some(MemRef { addr: Address::new(addr), size, kind, class }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<MemRef>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        self.read_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(refs: &[MemRef]) -> Vec<MemRef> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf);
+        for &r in refs {
+            w.write_ref(r).unwrap();
+        }
+        w.finish().unwrap();
+        TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap()
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        assert_eq!(roundtrip(&[]), Vec::new());
+    }
+
+    #[test]
+    fn all_flag_combinations_round_trip() {
+        let a = Address::new(0x1000_0000);
+        let refs = vec![
+            MemRef::app_read(a, 4),
+            MemRef::app_write(a + 8, 4),
+            MemRef::meta_read(a + 4, 4),
+            MemRef::meta_write(a, 4),
+            MemRef::app_write(a + 100, 65536),
+            MemRef::app_read(a, 1),
+        ];
+        assert_eq!(roundtrip(&refs), refs);
+    }
+
+    #[test]
+    fn backward_deltas_work() {
+        let refs = vec![
+            MemRef::app_read(Address::new(1_000_000), 4),
+            MemRef::app_read(Address::new(4), 4),
+            MemRef::app_read(Address::new(999_996), 4),
+        ];
+        assert_eq!(roundtrip(&refs), refs);
+    }
+
+    #[test]
+    fn record_count_in_trailer() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf);
+        for i in 0..10u64 {
+            w.write_ref(MemRef::app_read(Address::new(i * 4), 4)).unwrap();
+        }
+        assert_eq!(w.records(), 10);
+        w.finish().unwrap();
+        let mut r = TraceReader::new(&buf[..]).unwrap();
+        assert_eq!(r.header().records, u64::MAX, "unknown before the trailer");
+        let n = r.by_ref().count();
+        assert_eq!(n, 10);
+        assert_eq!(r.header().records, 10);
+    }
+
+    #[test]
+    fn unfinalized_stream_reads_cleanly() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf);
+        w.write_ref(MemRef::app_read(Address::new(0), 4)).unwrap();
+        let _ = w; // dropped without finish()
+        let refs: Vec<MemRef> =
+            TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(refs.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00";
+        assert!(TraceReader::new(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn corrupt_flags_rejected() {
+        let mut buf = Vec::new();
+        let w = TraceWriter::new(&mut buf);
+        w.finish().unwrap();
+        // Replace the sentinel with a garbage flag byte.
+        let pos = buf.len() - 9;
+        buf[pos] = 0b0101_0000;
+        let result: Result<Vec<MemRef>, _> = TraceReader::new(&buf[..]).unwrap().collect();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! VMSIM-style virtual-memory simulation.
+//!
+//! The paper measured page-fault rates with "VMSIM, a fast implementation
+//! of a stack simulation algorithm", using 4-kilobyte pages. Stack
+//! simulation (Mattson et al.) exploits LRU's inclusion property: one
+//! pass over the trace yields the fault count for *every* memory size
+//! simultaneously, which is exactly what Figures 2 and 3 plot.
+//!
+//! [`StackSim`] computes exact LRU stack distances with the
+//! Bennett–Kruskal algorithm: a Fenwick tree over access-time slots marks
+//! the most recent access of each page, so the reuse distance of an
+//! access is a prefix-sum query — O(log n) per reference, with periodic
+//! compaction to keep the tree bounded by the number of distinct pages.
+//!
+//! # Example
+//!
+//! ```
+//! use vm_sim::StackSim;
+//!
+//! let mut sim = StackSim::new(4096);
+//! for page in [0u64, 4096, 8192, 0, 4096, 8192] {
+//!     sim.access_addr(page.into(), 4);
+//! }
+//! // Three pages cycled twice: with 3+ pages of memory only the 3 cold
+//! // faults remain; with 2 pages every access faults.
+//! assert_eq!(sim.faults_at(3), 3);
+//! assert_eq!(sim.faults_at(2), 6);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use sim_mem::{AccessSink, Address, MemRef};
+use std::collections::HashMap;
+
+/// The paper's page size: 4 kilobytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Binary indexed tree over access-time slots.
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn with_capacity(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Adds `delta` at 1-based position `i`.
+    fn add(&mut self, mut i: usize, delta: i64) {
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u64);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `1..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        let mut s = 0u64;
+        while i > 0 {
+            s = s.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of positions `a..=b` (1-based, inclusive).
+    fn range(&self, a: usize, b: usize) -> u64 {
+        if b < a {
+            0
+        } else {
+            self.prefix(b) - self.prefix(a - 1)
+        }
+    }
+}
+
+/// Exact LRU stack-distance simulator over fixed-size pages.
+///
+/// Feed it references (it implements [`AccessSink`], so it can tee off a
+/// [`sim_mem::MemCtx`] pipeline) and read out the fault-versus-memory
+/// curve at the end.
+#[derive(Debug, Clone)]
+pub struct StackSim {
+    page_size: u64,
+    /// page -> 1-based time slot of its most recent access.
+    last: HashMap<u64, usize>,
+    tree: Fenwick,
+    /// Next free 1-based time slot.
+    now: usize,
+    /// hist[d] = accesses with stack distance d (index 0 unused).
+    hist: Vec<u64>,
+    /// Accesses to pages never seen before.
+    cold: u64,
+    /// Total page-granular accesses.
+    accesses: u64,
+    /// Fast path: the page of the previous access.
+    last_page: Option<u64>,
+}
+
+impl StackSim {
+    /// Creates a simulator for `page_size`-byte pages (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn new(page_size: u64) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        StackSim {
+            page_size,
+            last: HashMap::new(),
+            tree: Fenwick::with_capacity(1024),
+            now: 1,
+            hist: vec![0; 2],
+            cold: 0,
+            accesses: 0,
+            last_page: None,
+        }
+    }
+
+    /// Creates a simulator with the paper's 4 KB pages.
+    pub fn paper() -> Self {
+        Self::new(PAGE_SIZE)
+    }
+
+    /// Records an access of `size` bytes at `addr`, touching every page
+    /// the range spans.
+    pub fn access_addr(&mut self, addr: Address, size: u32) {
+        let first = addr.raw() / self.page_size;
+        let last = (addr.raw() + u64::from(size.max(1)) - 1) / self.page_size;
+        for page in first..=last {
+            self.access_page(page);
+        }
+    }
+
+    /// Records an access to a page number directly.
+    pub fn access_page(&mut self, page: u64) {
+        self.accesses += 1;
+        if self.last_page == Some(page) {
+            // Repeated access: stack distance 1, no tree work needed.
+            self.hist[1] += 1;
+            return;
+        }
+        self.last_page = Some(page);
+        if self.now > self.tree.len() {
+            self.compact();
+        }
+        let slot = self.now;
+        self.now += 1;
+        match self.last.insert(page, slot) {
+            None => {
+                self.cold += 1;
+                self.tree.add(slot, 1);
+            }
+            Some(prev) => {
+                // Distinct pages touched since this page's last access,
+                // plus the page itself.
+                let d = (self.tree.range(prev + 1, slot - 1) + 1) as usize;
+                if self.hist.len() <= d {
+                    self.hist.resize(d + 1, 0);
+                }
+                self.hist[d] += 1;
+                self.tree.add(prev, -1);
+                self.tree.add(slot, 1);
+            }
+        }
+    }
+
+    /// Renumbers time slots 1..=P in LRU order, keeping the tree bounded
+    /// by the number of distinct pages.
+    fn compact(&mut self) {
+        let mut entries: Vec<(u64, usize)> = self.last.iter().map(|(&p, &t)| (p, t)).collect();
+        entries.sort_by_key(|&(_, t)| t);
+        let n = entries.len().max(1);
+        self.tree = Fenwick::with_capacity((n * 2).max(1024));
+        for (rank, (page, _)) in entries.into_iter().enumerate() {
+            self.last.insert(page, rank + 1);
+            self.tree.add(rank + 1, 1);
+        }
+        self.now = n + 1;
+    }
+
+    /// Total page-granular accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of distinct pages ever touched.
+    pub fn distinct_pages(&self) -> u64 {
+        self.last.len() as u64
+    }
+
+    /// Page faults with an LRU-managed memory of `pages` page frames:
+    /// compulsory faults plus every access whose stack distance exceeds
+    /// the memory size.
+    pub fn faults_at(&self, pages: u64) -> u64 {
+        let beyond: u64 = self
+            .hist
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(d, _)| d as u64 > pages)
+            .map(|(_, &c)| c)
+            .sum();
+        self.cold + beyond
+    }
+
+    /// The full fault curve: `curve()[m]` is the fault count with `m`
+    /// page frames (index 0 = every access faults conceptually, reported
+    /// as faults at 0 frames = all accesses beyond distance 0).
+    pub fn curve(&self) -> FaultCurve {
+        let max = self.hist.len() as u64;
+        let points = (0..=max).map(|m| (m, self.faults_at(m))).collect();
+        FaultCurve { page_size: self.page_size, accesses: self.accesses, points }
+    }
+}
+
+impl AccessSink for StackSim {
+    fn record(&mut self, r: MemRef) {
+        self.access_addr(r.addr, r.size);
+    }
+}
+
+/// Fault counts as a function of memory size, extracted from a
+/// [`StackSim`] in one pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCurve {
+    /// Page size the curve was computed at.
+    pub page_size: u64,
+    /// Total accesses, for converting counts to rates.
+    pub accesses: u64,
+    /// `(page_frames, faults)` points for every frame count up to the
+    /// deepest observed stack distance.
+    pub points: Vec<(u64, u64)>,
+}
+
+impl FaultCurve {
+    /// Fault count with `frames` page frames (saturates at the curve's
+    /// flat tail: cold faults only).
+    pub fn faults(&self, frames: u64) -> u64 {
+        match self.points.get(frames as usize) {
+            Some(&(_, f)) => f,
+            None => self.points.last().map(|&(_, f)| f).unwrap_or(0),
+        }
+    }
+
+    /// Fault *rate* (faults per access) with memory of `bytes`.
+    pub fn rate_at_bytes(&self, bytes: u64) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.faults(bytes / self.page_size) as f64 / self.accesses as f64
+    }
+
+    /// The number of page frames needed to suffer cold faults only.
+    pub fn working_set_frames(&self) -> u64 {
+        let floor = self.points.last().map(|&(_, f)| f).unwrap_or(0);
+        self.points.iter().find(|&&(_, f)| f == floor).map(|&(m, _)| m).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_is_all_cold() {
+        let mut s = StackSim::new(4096);
+        for i in 0..100u64 {
+            s.access_page(i);
+        }
+        assert_eq!(s.faults_at(1), 100);
+        assert_eq!(s.faults_at(1000), 100);
+        assert_eq!(s.distinct_pages(), 100);
+    }
+
+    #[test]
+    fn cyclic_scan_thrashes_small_memory() {
+        let mut s = StackSim::new(4096);
+        for _ in 0..10 {
+            for i in 0..4u64 {
+                s.access_page(i);
+            }
+        }
+        // 4-page cycle: distance is always 4 after warmup.
+        assert_eq!(s.faults_at(4), 4, "fits: only cold faults");
+        assert_eq!(s.faults_at(3), 40, "LRU thrashes a cyclic scan");
+    }
+
+    #[test]
+    fn repeated_access_is_distance_one() {
+        let mut s = StackSim::new(4096);
+        for _ in 0..5 {
+            s.access_page(7);
+        }
+        assert_eq!(s.faults_at(1), 1);
+        assert_eq!(s.accesses(), 5);
+    }
+
+    #[test]
+    fn lru_inclusion_faults_never_increase_with_memory() {
+        let mut s = StackSim::new(4096);
+        // Pseudo-random page stream.
+        let mut x = 12345u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.access_page(x % 50);
+        }
+        let curve = s.curve();
+        for w in curve.points.windows(2) {
+            assert!(w[0].1 >= w[1].1, "faults increased with more memory");
+        }
+    }
+
+    #[test]
+    fn stack_distance_matches_naive_lru() {
+        // Cross-check against a brute-force LRU stack.
+        let mut s = StackSim::new(4096);
+        let mut stack: Vec<u64> = Vec::new();
+        let mut hist: Vec<u64> = vec![0; 64];
+        let mut cold = 0u64;
+        let mut x = 999u64;
+        let mut pages = Vec::new();
+        for _ in 0..2000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            pages.push(x % 23);
+        }
+        for &p in &pages {
+            s.access_page(p);
+            match stack.iter().position(|&q| q == p) {
+                Some(pos) => {
+                    hist[pos + 1] += 1;
+                    stack.remove(pos);
+                }
+                None => cold += 1,
+            }
+            stack.insert(0, p);
+        }
+        for m in 0..30u64 {
+            let naive: u64 = cold
+                + hist
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .filter(|&(d, _)| d as u64 > m)
+                    .map(|(_, &c)| c)
+                    .sum::<u64>();
+            assert_eq!(s.faults_at(m), naive, "mismatch at memory {m}");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        // Enough accesses to force several compactions (tree cap 1024).
+        let mut s = StackSim::new(4096);
+        for round in 0..200u64 {
+            for i in 0..16u64 {
+                s.access_page(i);
+                let _ = round;
+            }
+        }
+        assert_eq!(s.faults_at(16), 16);
+        assert_eq!(s.faults_at(15), 16 + 199 * 16);
+    }
+
+    #[test]
+    fn multi_page_refs_touch_every_page() {
+        let mut s = StackSim::new(4096);
+        s.access_addr(Address::new(4000), 8192);
+        assert_eq!(s.distinct_pages(), 3);
+    }
+
+    #[test]
+    fn curve_rates_and_working_set() {
+        let mut s = StackSim::new(4096);
+        for _ in 0..100 {
+            for i in 0..8u64 {
+                s.access_page(i);
+            }
+        }
+        let curve = s.curve();
+        assert_eq!(curve.working_set_frames(), 8);
+        assert!(curve.rate_at_bytes(8 * 4096) < 0.02);
+        assert!((curve.rate_at_bytes(4 * 4096) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn sink_impl_decomposes_refs() {
+        use sim_mem::AccessSink;
+        let mut s = StackSim::paper();
+        s.record(MemRef::app_write(Address::new(0), 4096 * 2));
+        assert_eq!(s.distinct_pages(), 2);
+    }
+}

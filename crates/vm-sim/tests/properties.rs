@@ -1,0 +1,106 @@
+//! Property tests for the stack-distance simulator: it must agree with a
+//! brute-force LRU oracle on arbitrary page streams, and its fault curve
+//! must have LRU's inclusion property.
+
+use proptest::prelude::*;
+use vm_sim::StackSim;
+
+/// Brute-force LRU stack: returns (cold, histogram of distances).
+fn oracle(pages: &[u64]) -> (u64, Vec<u64>) {
+    let mut stack: Vec<u64> = Vec::new();
+    let mut hist = vec![0u64; pages.len() + 2];
+    let mut cold = 0;
+    for &p in pages {
+        match stack.iter().position(|&q| q == p) {
+            Some(pos) => {
+                hist[pos + 1] += 1;
+                stack.remove(pos);
+            }
+            None => cold += 1,
+        }
+        stack.insert(0, p);
+    }
+    (cold, hist)
+}
+
+fn oracle_faults(pages: &[u64], mem: u64) -> u64 {
+    let (cold, hist) = oracle(pages);
+    cold + hist
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|&(d, _)| d as u64 > mem)
+        .map(|(_, &c)| c)
+        .sum::<u64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Exact agreement with the oracle at every memory size.
+    #[test]
+    fn matches_naive_lru(
+        pages in proptest::collection::vec(0u64..40, 1..400),
+    ) {
+        let mut sim = StackSim::new(4096);
+        for &p in &pages {
+            sim.access_page(p);
+        }
+        for mem in 0..45u64 {
+            prop_assert_eq!(
+                sim.faults_at(mem),
+                oracle_faults(&pages, mem),
+                "divergence at memory {}", mem
+            );
+        }
+    }
+
+    /// Inclusion: more memory never faults more; the curve bottoms out at
+    /// the compulsory faults (= distinct pages).
+    #[test]
+    fn curve_is_monotone_and_bottoms_at_cold(
+        pages in proptest::collection::vec(0u64..100, 1..500),
+    ) {
+        let mut sim = StackSim::new(4096);
+        for &p in &pages {
+            sim.access_page(p);
+        }
+        let curve = sim.curve();
+        for w in curve.points.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        let distinct = sim.distinct_pages();
+        prop_assert_eq!(sim.faults_at(u64::MAX), distinct);
+        prop_assert_eq!(curve.faults(0), sim.accesses());
+    }
+
+    /// Page decomposition: an address-range access touches exactly the
+    /// pages the range spans.
+    #[test]
+    fn ranges_touch_the_right_pages(start in 0u64..1_000_000, len in 1u32..100_000) {
+        let mut sim = StackSim::new(4096);
+        sim.access_addr(start.into(), len);
+        let expected = (start + u64::from(len) - 1) / 4096 - start / 4096 + 1;
+        prop_assert_eq!(sim.distinct_pages(), expected);
+    }
+
+    /// Compaction (forced by long streams over few pages) never changes
+    /// results: two simulators fed the same stream with different
+    /// interleavings of the same accesses agree.
+    #[test]
+    fn long_streams_survive_compaction(reps in 1usize..80, npages in 1u64..32) {
+        let mut sim = StackSim::new(4096);
+        let mut pages = Vec::new();
+        for r in 0..reps as u64 {
+            for p in 0..npages {
+                // Vary order per round to exercise distances.
+                let page = if r % 2 == 0 { p } else { npages - 1 - p };
+                sim.access_page(page);
+                pages.push(page);
+            }
+        }
+        for mem in [0, 1, npages / 2, npages, npages + 5] {
+            prop_assert_eq!(sim.faults_at(mem), oracle_faults(&pages, mem));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Importing external allocation traces.
+//!
+//! The synthetic models substitute for the paper's five C programs, but
+//! the laboratory is just as happy to replay a *real* program's
+//! allocation behaviour. This module parses a simple line-oriented text
+//! format that instrumented programs (or converters from formats like
+//! those of Zorn & Grunwald's trace archives) can emit:
+//!
+//! ```text
+//! # comment / blank lines ignored
+//! a <id> <size> [site]    allocate <size> bytes as object <id>
+//! f <id>                  free object <id>
+//! t <id> <offset> <len> <r|w>   touch bytes of a live object
+//! c <instrs>              non-memory compute instructions
+//! s <words>               stack/static data references
+//! ```
+//!
+//! The parser validates the same well-formedness invariants the
+//! synthetic generator guarantees (unique ids, frees and touches name
+//! live objects, touches stay in bounds), so the engine can run imported
+//! traces without further checking.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::import::parse_trace;
+//!
+//! let text = "a 0 24\n t 0 0 24 w\n f 0\n";
+//! let events = parse_trace(text.as_bytes())?;
+//! assert_eq!(events.len(), 3);
+//! # Ok::<(), workloads::import::ImportError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read};
+
+use std::collections::HashMap;
+
+use crate::AppEvent;
+
+/// A parse or validation failure, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportError {
+    /// 1-based line of the offending record.
+    pub line: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ImportError {}
+
+impl From<std::io::Error> for ImportError {
+    fn from(e: std::io::Error) -> Self {
+        ImportError { line: 0, message: format!("I/O error: {e}") }
+    }
+}
+
+fn err(line: u64, message: impl Into<String>) -> ImportError {
+    ImportError { line, message: message.into() }
+}
+
+/// Parses and validates a text allocation trace into engine events.
+///
+/// # Errors
+///
+/// Returns [`ImportError`] on the first malformed or inconsistent record
+/// (unknown verb, duplicate id, free/touch of a dead object,
+/// out-of-bounds touch).
+pub fn parse_trace<R: Read>(input: R) -> Result<Vec<AppEvent>, ImportError> {
+    let mut events = Vec::new();
+    let mut live: HashMap<u64, u32> = HashMap::new();
+    let mut seen_ids = std::collections::HashSet::new();
+    for (idx, line) in BufReader::new(input).lines().enumerate() {
+        let lineno = idx as u64 + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let verb = parts.next().expect("non-empty line has a verb");
+        let mut field = |name: &str| {
+            parts.next().ok_or_else(|| err(lineno, format!("missing field <{name}>")))
+        };
+        match verb {
+            "a" => {
+                let id: u64 = field("id")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad id: {e}")))?;
+                let size: u32 = field("size")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad size: {e}")))?;
+                let site: u32 = match parts.next() {
+                    Some(s) => s.parse().map_err(|e| err(lineno, format!("bad site: {e}")))?,
+                    None => 0,
+                };
+                if !seen_ids.insert(id) {
+                    return Err(err(lineno, format!("object id {id} reused")));
+                }
+                live.insert(id, size);
+                events.push(AppEvent::Malloc { id, size, site });
+            }
+            "f" => {
+                let id: u64 = field("id")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad id: {e}")))?;
+                if live.remove(&id).is_none() {
+                    return Err(err(lineno, format!("free of dead object {id}")));
+                }
+                events.push(AppEvent::Free { id });
+            }
+            "t" => {
+                let id: u64 = field("id")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad id: {e}")))?;
+                let offset: u32 = field("offset")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad offset: {e}")))?;
+                let len: u32 = field("len")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad len: {e}")))?;
+                let write = match field("r|w")? {
+                    "r" => false,
+                    "w" => true,
+                    other => return Err(err(lineno, format!("bad access kind {other:?}"))),
+                };
+                let Some(&size) = live.get(&id) else {
+                    return Err(err(lineno, format!("touch of dead object {id}")));
+                };
+                if len == 0 {
+                    return Err(err(lineno, "zero-length touch"));
+                }
+                if u64::from(offset) + u64::from(len) > u64::from(size.max(4)) {
+                    return Err(err(
+                        lineno,
+                        format!("touch {offset}+{len} outside {size}-byte object {id}"),
+                    ));
+                }
+                events.push(AppEvent::Access { id, offset, len, write });
+            }
+            "c" => {
+                let instrs: u64 = field("instrs")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad instruction count: {e}")))?;
+                events.push(AppEvent::Compute { instrs });
+            }
+            "s" => {
+                let words: u64 = field("words")?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad word count: {e}")))?;
+                events.push(AppEvent::Stack { words });
+            }
+            other => return Err(err(lineno, format!("unknown verb {other:?}"))),
+        }
+        if let Some(extra) = parts.next() {
+            return Err(err(lineno, format!("trailing field {extra:?}")));
+        }
+    }
+    Ok(events)
+}
+
+/// Writes events back out in the text format (the inverse of
+/// [`parse_trace`]); useful for exporting a synthetic workload so it can
+/// be edited or shared.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: std::io::Write>(events: &[AppEvent], mut out: W) -> std::io::Result<()> {
+    for e in events {
+        match *e {
+            AppEvent::Malloc { id, size, site } => writeln!(out, "a {id} {size} {site}")?,
+            AppEvent::Free { id } => writeln!(out, "f {id}")?,
+            AppEvent::Access { id, offset, len, write } => {
+                writeln!(out, "t {id} {offset} {len} {}", if write { "w" } else { "r" })?
+            }
+            AppEvent::Compute { instrs } => writeln!(out, "c {instrs}")?,
+            AppEvent::Stack { words } => writeln!(out, "s {words}")?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Program, Scale};
+
+    #[test]
+    fn well_formed_trace_parses() {
+        let text = "# demo\n\na 0 24 3\nt 0 0 24 w\na 1 100\nt 1 96 4 r\nf 0\nc 500\ns 32\nf 1\n";
+        let events = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events[0], AppEvent::Malloc { id: 0, size: 24, site: 3 });
+        assert_eq!(events[2], AppEvent::Malloc { id: 1, size: 100, site: 0 });
+        assert_eq!(events[6], AppEvent::Stack { words: 32 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("x 1 2\n", "unknown verb"),
+            ("a 0\n", "missing field"),
+            ("a 0 8\na 0 8\n", "reused"),
+            ("f 7\n", "dead object"),
+            ("a 0 8\nt 0 4 8 w\n", "outside"),
+            ("a 0 8\nt 0 0 4 q\n", "bad access kind"),
+            ("a 0 8 1 junk\n", "trailing"),
+            ("a 0 8\nt 0 0 0 r\n", "zero-length"),
+        ];
+        for (text, needle) in cases {
+            let e = parse_trace(text.as_bytes()).unwrap_err();
+            assert!(e.message.contains(needle), "{text:?} -> {e}");
+            assert!(e.line > 0);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let original: Vec<AppEvent> =
+            Program::Make.spec().events(Scale(0.02)).collect();
+        let mut buf = Vec::new();
+        write_trace(&original, &mut buf).unwrap();
+        let back = parse_trace(&buf[..]).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn synthetic_streams_are_valid_imports() {
+        // The generator's invariants are exactly the importer's checks.
+        for p in [Program::Gawk, Program::Ptc] {
+            let events: Vec<AppEvent> = p.spec().events(Scale(0.002)).collect();
+            let mut buf = Vec::new();
+            write_trace(&events, &mut buf).unwrap();
+            parse_trace(&buf[..]).unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic allocation-intensive application models.
+//!
+//! The paper measured five real C programs (espresso, GhostScript, ptc,
+//! gawk, make) instrumented with PIXIE. Those binaries, inputs, and
+//! traces are not reproducible here, so this crate substitutes *workload
+//! models*: deterministic generators that reproduce each program's
+//! published heap statistics (Tables 1–3) — object counts, request-size
+//! mixture, steady-state live set, free ratio, references and
+//! instructions per allocation — plus the allocation-behaviour facts from
+//! Zorn & Grunwald's companion studies (a few distinct sizes dominate;
+//! ~24-byte requests are very common; objects are re-used rapidly; ptc
+//! never frees).
+//!
+//! The locality phenomena the paper studies are driven by the allocation
+//! request stream and the application's touch pattern over heap objects,
+//! not by program semantics, so exercising the allocators with a
+//! statistically matched stream preserves the behaviour under study (see
+//! DESIGN.md §2 for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{Program, Scale};
+//!
+//! let spec = Program::Espresso.spec();
+//! let events: Vec<_> = spec.events(Scale(0.001)).collect();
+//! assert!(events.len() > 100);
+//! ```
+
+pub mod events;
+pub mod generator;
+pub mod import;
+pub mod spec;
+
+pub use events::AppEvent;
+pub use generator::EventStream;
+pub use spec::{PaperStats, PhaseBehavior, Program, Scale, SizePick, WorkloadSpec};

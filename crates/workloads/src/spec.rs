@@ -1,0 +1,444 @@
+//! Workload specifications: the five paper programs and their published
+//! statistics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::EventStream;
+
+/// Scale factor applied to a workload's allocation count.
+///
+/// Scaling shortens the run without changing its steady state: object
+/// lifetimes, the size mixture, and the reference intensity stay fixed,
+/// so the live set (and therefore the working set the caches and pager
+/// see) matches the full-size program once warm. `Scale(1.0)` reproduces
+/// the paper's full allocation counts (hundreds of millions of simulated
+/// references); the repro harness defaults to a documented fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale(pub f64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+/// How a size-mixture entry draws a request size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SizePick {
+    /// Always this many bytes (the dominant pattern: "most allocation
+    /// requests were for one of a few different object sizes").
+    Exact(u32),
+    /// Uniformly within `[lo, hi]` (buffers, strings).
+    Range(u32, u32),
+}
+
+impl SizePick {
+    /// Mean of the distribution, for calibration arithmetic.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizePick::Exact(s) => f64::from(s),
+            SizePick::Range(lo, hi) => (f64::from(lo) + f64::from(hi)) / 2.0,
+        }
+    }
+}
+
+/// Optional phase structure: real programs frequently allocate a
+/// cohort of objects, work on it, and release it wholesale (espresso's
+/// per-iteration cube sets, a compiler's per-function data). Phase
+/// deaths are what coalescing exploits best, so the phase knob is the
+/// natural ablation axis for the paper's coalescing discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBehavior {
+    /// Allocations per phase.
+    pub period: u64,
+    /// Probability that a non-permanent object dies at its phase's end
+    /// rather than by its exponential lifetime.
+    pub cohort_fraction: f64,
+}
+
+/// Everything the generator needs to synthesize one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Display name ("espresso", "gs-large", ...).
+    pub name: String,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Allocations at `Scale(1.0)`.
+    pub total_allocs: u64,
+    /// Weighted request-size mixture.
+    pub size_mix: Vec<(SizePick, u32)>,
+    /// Fraction of objects that live until program exit.
+    pub permanent_fraction: f64,
+    /// Mean object lifetime in allocation events (exponential); also the
+    /// steady-state live-object count.
+    pub mean_lifetime: f64,
+    /// Word-sized data references issued between consecutive
+    /// allocations (heap + stack together).
+    pub refs_per_alloc: f64,
+    /// Fraction of those references that go to the heap; the rest are
+    /// stack/static traffic (real allocation-intensive C programs send
+    /// well under half of their data references at the heap).
+    pub heap_ref_fraction: f64,
+    /// Non-heap instructions per heap reference (sets the instruction /
+    /// data-reference ratio of Table 2).
+    pub instrs_per_ref: f64,
+    /// Probability an access goes to the recency window rather than a
+    /// uniformly random live object.
+    pub recency_bias: f64,
+    /// Recency window length (objects).
+    pub recency_window: usize,
+    /// Fraction of accesses that are stores.
+    pub write_fraction: f64,
+    /// Optional phase structure (cohort deaths at phase boundaries).
+    pub phases: Option<PhaseBehavior>,
+}
+
+impl WorkloadSpec {
+    /// Instantiates the deterministic event stream at the given scale.
+    pub fn events(&self, scale: Scale) -> EventStream {
+        EventStream::new(self.clone(), scale)
+    }
+
+    /// Mean request size implied by the mixture.
+    pub fn mean_request(&self) -> f64 {
+        let total: u64 = self.size_mix.iter().map(|&(_, w)| u64::from(w)).sum();
+        self.size_mix.iter().map(|&(pick, w)| pick.mean() * f64::from(w)).sum::<f64>()
+            / total as f64
+    }
+
+    /// Expected steady-state live bytes (mean lifetime × mean size),
+    /// the knob calibrated against the paper's "Max. Heap Size".
+    pub fn expected_live_bytes(&self) -> f64 {
+        self.mean_lifetime * self.mean_request()
+            + self.permanent_fraction * self.total_allocs as f64 * self.mean_request()
+    }
+}
+
+/// Published statistics (Tables 1–3 of the paper) for one program under
+/// the FIRSTFIT baseline, used for calibration and for printing the
+/// paper-vs-measured comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperStats {
+    /// Execution time on the DECstation 5000/120, seconds.
+    pub exec_seconds: f64,
+    /// Total instructions, millions.
+    pub instr_millions: f64,
+    /// Data references, millions.
+    pub refs_millions: f64,
+    /// Maximum heap size, kilobytes.
+    pub heap_kbytes: u64,
+    /// Objects allocated, thousands.
+    pub allocated_thousands: f64,
+    /// Objects freed, thousands.
+    pub freed_thousands: f64,
+}
+
+/// The paper's test programs (Table 1), with GhostScript's three input
+/// sets (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Program {
+    /// Espresso 2.3, PLA logic optimizer.
+    Espresso,
+    /// GhostScript 2.1 on the small input set.
+    GsSmall,
+    /// GhostScript 2.1 on the medium input set.
+    GsMedium,
+    /// GhostScript 2.1 on the large input set (the 126-page manual);
+    /// this is the "GS" column of Tables 2, 4 and 5.
+    GsLarge,
+    /// Pascal-to-C translator: allocates and never frees.
+    Ptc,
+    /// GNU awk interpreter: a tiny heap recycled at very high rate.
+    Gawk,
+    /// GNU make dependency analysis.
+    Make,
+}
+
+impl Program {
+    /// The five programs of the paper's main tables (GS = large input).
+    pub const FIVE: [Program; 5] =
+        [Program::Espresso, Program::GsLarge, Program::Ptc, Program::Gawk, Program::Make];
+
+    /// The three GhostScript input sets of Figures 6–8 / Table 3.
+    pub const GS_INPUTS: [Program; 3] = [Program::GsSmall, Program::GsMedium, Program::GsLarge];
+
+    /// Display name as the paper prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            Program::Espresso => "espresso",
+            Program::GsSmall => "GS-Small",
+            Program::GsMedium => "GS-Medium",
+            Program::GsLarge => "GS",
+            Program::Ptc => "ptc",
+            Program::Gawk => "gawk",
+            Program::Make => "make",
+        }
+    }
+
+    /// One-line description (Table 1).
+    pub fn description(self) -> &'static str {
+        match self {
+            Program::Espresso => "PLA logic optimization, release example input",
+            Program::GsSmall => "PostScript interpreter, small input files",
+            Program::GsMedium => "PostScript interpreter, medium input files",
+            Program::GsLarge => "PostScript interpreter, 126-page user manual (NODISPLAY)",
+            Program::Ptc => "Pascal-to-C translator",
+            Program::Gawk => "GNU awk interpreter",
+            Program::Make => "GNU make dependency analyzer",
+        }
+    }
+
+    /// The paper's measured statistics for this program (Tables 2 and 3,
+    /// FIRSTFIT baseline).
+    pub fn paper_stats(self) -> PaperStats {
+        match self {
+            Program::Espresso => PaperStats {
+                exec_seconds: 155.1,
+                instr_millions: 2506.0,
+                refs_millions: 595.0,
+                heap_kbytes: 396,
+                allocated_thousands: 1673.0,
+                freed_thousands: 1666.0,
+            },
+            Program::GsSmall => PaperStats {
+                exec_seconds: 17.0,
+                instr_millions: 195.0,
+                refs_millions: 66.0,
+                heap_kbytes: 1092,
+                allocated_thousands: 109.0,
+                freed_thousands: 102.0,
+            },
+            Program::GsMedium => PaperStats {
+                exec_seconds: 51.3,
+                instr_millions: 539.0,
+                refs_millions: 172.0,
+                heap_kbytes: 2721,
+                allocated_thousands: 567.0,
+                freed_thousands: 551.0,
+            },
+            Program::GsLarge => PaperStats {
+                exec_seconds: 131.3,
+                instr_millions: 1344.0,
+                refs_millions: 421.0,
+                heap_kbytes: 4129,
+                allocated_thousands: 924.0,
+                freed_thousands: 898.0,
+            },
+            Program::Ptc => PaperStats {
+                exec_seconds: 25.1,
+                instr_millions: 367.0,
+                refs_millions: 125.0,
+                heap_kbytes: 3146,
+                allocated_thousands: 103.0,
+                freed_thousands: 0.0,
+            },
+            Program::Gawk => PaperStats {
+                exec_seconds: 76.7,
+                instr_millions: 1215.0,
+                refs_millions: 374.0,
+                heap_kbytes: 60,
+                allocated_thousands: 1704.0,
+                freed_thousands: 1702.0,
+            },
+            Program::Make => PaperStats {
+                exec_seconds: 4.0,
+                instr_millions: 56.0,
+                refs_millions: 17.0,
+                heap_kbytes: 380,
+                allocated_thousands: 24.0,
+                freed_thousands: 13.0,
+            },
+        }
+    }
+
+    /// The calibrated workload model. The parameters are derived from
+    /// [`Self::paper_stats`]: `refs_per_alloc` = refs / allocations,
+    /// `instrs_per_ref` = instructions / refs, `mean_lifetime` ≈ live
+    /// objects = heap bytes / mean request size, and the size mixtures
+    /// encode each program's qualitative behaviour (tiny cells for
+    /// espresso and gawk, large buffers for GhostScript, ~32-byte
+    /// permanent nodes for ptc).
+    pub fn spec(self) -> WorkloadSpec {
+        use SizePick::{Exact, Range};
+        let stats = self.paper_stats();
+        let refs_per_alloc = stats.refs_millions * 1e6 / (stats.allocated_thousands * 1e3);
+        let instrs_per_ref = stats.instr_millions / stats.refs_millions;
+        let base = WorkloadSpec {
+            name: self.label().to_lowercase(),
+            seed: 0x9e37_79b9 ^ (self as u64) << 8,
+            total_allocs: (stats.allocated_thousands * 1e3) as u64,
+            size_mix: Vec::new(),
+            permanent_fraction: 0.0,
+            mean_lifetime: 1000.0,
+            refs_per_alloc,
+            instrs_per_ref,
+            heap_ref_fraction: 0.4,
+            recency_bias: 0.85,
+            recency_window: 12,
+            write_fraction: 0.35,
+            phases: None,
+        };
+        match self {
+            Program::Espresso => WorkloadSpec {
+                size_mix: vec![
+                    (Exact(8), 100),
+                    (Exact(16), 250),
+                    (Exact(24), 300),
+                    (Exact(40), 150),
+                    (Exact(64), 100),
+                    (Range(128, 512), 40),
+                    (Range(1024, 4096), 5),
+                ],
+                mean_lifetime: 7500.0,
+                ..base
+            },
+            Program::GsSmall | Program::GsMedium | Program::GsLarge => {
+                let mean_lifetime = match self {
+                    Program::GsSmall => 2400.0,
+                    Program::GsMedium => 5900.0,
+                    _ => 9000.0,
+                };
+                WorkloadSpec {
+                    // Most *requests* are small (interpreter cells and
+                    // tokens; Zorn & Grunwald find a few small sizes
+                    // dominate), while most *bytes* sit in the raster and
+                    // path buffers of the long tail.
+                    size_mix: vec![
+                        (Exact(16), 250),
+                        (Exact(24), 200),
+                        (Exact(32), 250),
+                        (Exact(48), 150),
+                        (Exact(96), 80),
+                        (Range(128, 1024), 120),
+                        (Range(4096, 16384), 25),
+                        (Range(32768, 65536), 3),
+                    ],
+                    permanent_fraction: 0.02,
+                    mean_lifetime,
+                    heap_ref_fraction: 0.4,
+                    recency_bias: 0.9,
+                    recency_window: 10,
+                    ..base
+                }
+            }
+            Program::Ptc => WorkloadSpec {
+                size_mix: vec![
+                    (Exact(16), 300),
+                    (Exact(24), 350),
+                    (Exact(32), 200),
+                    (Exact(48), 100),
+                    (Range(64, 256), 50),
+                ],
+                // ptc frees nothing: the AST lives until exit.
+                permanent_fraction: 1.0,
+                mean_lifetime: 1.0,
+                heap_ref_fraction: 0.5,
+                recency_bias: 0.7,
+                recency_window: 24,
+                ..base
+            },
+            Program::Gawk => WorkloadSpec {
+                size_mix: vec![
+                    (Exact(8), 200),
+                    (Exact(16), 400),
+                    (Exact(24), 250),
+                    (Exact(32), 100),
+                    (Range(48, 128), 50),
+                ],
+                mean_lifetime: 2000.0,
+                heap_ref_fraction: 0.35,
+                recency_bias: 0.9,
+                recency_window: 8,
+                ..base
+            },
+            Program::Make => WorkloadSpec {
+                size_mix: vec![
+                    (Exact(16), 350),
+                    (Exact(24), 300),
+                    (Exact(32), 200),
+                    (Exact(80), 100),
+                    (Range(128, 512), 30),
+                ],
+                permanent_fraction: 0.35,
+                mean_lifetime: 3000.0,
+                recency_bias: 0.75,
+                recency_window: 16,
+                ..base
+            },
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_programs_and_labels() {
+        assert_eq!(Program::FIVE.len(), 5);
+        assert_eq!(Program::GsLarge.to_string(), "GS");
+        assert_eq!(Program::Espresso.label(), "espresso");
+    }
+
+    #[test]
+    fn refs_and_instr_ratios_derive_from_paper() {
+        let s = Program::Espresso.spec();
+        // 595M refs / 1.673M allocs ≈ 356.
+        assert!((s.refs_per_alloc - 355.6).abs() < 1.0);
+        // 2506M instr / 595M refs ≈ 4.2.
+        assert!((s.instrs_per_ref - 4.21).abs() < 0.05);
+    }
+
+    #[test]
+    fn ptc_never_frees() {
+        let s = Program::Ptc.spec();
+        assert_eq!(s.permanent_fraction, 1.0);
+    }
+
+    #[test]
+    fn live_set_calibration_is_in_the_right_ballpark() {
+        // Expected steady-state live bytes should be within 2x of the
+        // paper's max heap for the transient-free programs.
+        for p in [Program::Espresso, Program::Gawk, Program::GsLarge] {
+            let spec = p.spec();
+            let expected = spec.mean_lifetime * spec.mean_request();
+            let paper = p.paper_stats().heap_kbytes as f64 * 1024.0;
+            let ratio = expected / paper;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{p}: expected {expected:.0} vs paper {paper:.0} (ratio {ratio:.2})"
+            );
+        }
+        // ptc: all-permanent heap should land near the paper's total.
+        let spec = Program::Ptc.spec();
+        let expected = spec.total_allocs as f64 * spec.mean_request();
+        let paper = Program::Ptc.paper_stats().heap_kbytes as f64 * 1024.0;
+        assert!((0.5..2.0).contains(&(expected / paper)));
+    }
+
+    #[test]
+    fn gs_inputs_scale_up() {
+        let a = Program::GsSmall.spec();
+        let b = Program::GsMedium.spec();
+        let c = Program::GsLarge.spec();
+        assert!(a.total_allocs < b.total_allocs && b.total_allocs < c.total_allocs);
+        assert!(a.mean_lifetime < b.mean_lifetime && b.mean_lifetime < c.mean_lifetime);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: Vec<u64> = Program::FIVE.iter().map(|p| p.spec().seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(seeds.len(), dedup.len());
+    }
+}

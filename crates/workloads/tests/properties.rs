@@ -1,0 +1,103 @@
+//! Property tests for the workload generators: any program at any scale
+//! must produce a well-formed, deterministic event stream.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use workloads::{AppEvent, Program, Scale};
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop_oneof![
+        Just(Program::Espresso),
+        Just(Program::GsSmall),
+        Just(Program::GsMedium),
+        Just(Program::GsLarge),
+        Just(Program::Ptc),
+        Just(Program::Gawk),
+        Just(Program::Make),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streams are well-formed: ids unique, frees and accesses only name
+    /// live objects, accesses stay inside the (word-rounded) object.
+    #[test]
+    fn streams_are_well_formed(
+        program in program_strategy(),
+        scale in 0.0002f64..0.002,
+    ) {
+        let mut live: HashMap<u64, u32> = HashMap::new();
+        let mut next_expected_id = 0u64;
+        let mut mallocs = 0u64;
+        let mut frees = 0u64;
+        for e in program.spec().events(Scale(scale)) {
+            match e {
+                AppEvent::Malloc { id, size, .. } => {
+                    prop_assert_eq!(id, next_expected_id, "ids are sequential");
+                    next_expected_id += 1;
+                    prop_assert!(size >= 1);
+                    live.insert(id, size);
+                    mallocs += 1;
+                }
+                AppEvent::Free { id } => {
+                    prop_assert!(live.remove(&id).is_some(), "free of dead object");
+                    frees += 1;
+                }
+                AppEvent::Access { id, offset, len, .. } => {
+                    let size = *live.get(&id).expect("access to live object");
+                    prop_assert!(len >= 1);
+                    prop_assert!(u64::from(offset) + u64::from(len) <= u64::from(size.max(4)));
+                }
+                AppEvent::Compute { instrs } => prop_assert!(instrs > 0),
+                AppEvent::Stack { words } => prop_assert!(words > 0),
+            }
+        }
+        prop_assert!(frees <= mallocs);
+        if program == Program::Ptc {
+            prop_assert_eq!(frees, 0, "ptc never frees");
+        }
+    }
+
+    /// Determinism: the same (program, scale) yields the same stream.
+    #[test]
+    fn streams_are_deterministic(
+        program in program_strategy(),
+        scale in 0.0002f64..0.001,
+    ) {
+        let a: Vec<AppEvent> = program.spec().events(Scale(scale)).collect();
+        let b: Vec<AppEvent> = program.spec().events(Scale(scale)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scale controls the allocation count exactly: the stream produces
+    /// `max(1, floor(total_allocs * scale))` allocations.
+    #[test]
+    fn scale_is_exact(program in program_strategy(), scale in 0.0005f64..0.002) {
+        let spec = program.spec();
+        let n = spec
+            .events(Scale(scale))
+            .filter(|e| matches!(e, AppEvent::Malloc { .. }))
+            .count() as u64;
+        let expected = ((spec.total_allocs as f64 * scale) as u64).max(1);
+        prop_assert_eq!(n, expected);
+    }
+
+    /// The size mixture respects each program's declared picks: every
+    /// generated size is producible by the spec.
+    #[test]
+    fn sizes_come_from_the_mixture(program in program_strategy()) {
+        use workloads::SizePick;
+        let spec = program.spec();
+        for e in spec.events(Scale(0.0005)) {
+            if let AppEvent::Malloc { size, .. } = e {
+                let ok = spec.size_mix.iter().any(|&(pick, _)| match pick {
+                    SizePick::Exact(s) => s == size,
+                    SizePick::Range(lo, hi) => (lo..=hi).contains(&size),
+                });
+                prop_assert!(ok, "size {} not in {}'s mixture", size, spec.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's core comparison as a one-screen shootout: run all five
+//! allocators (plus the synthesized `Custom`) on one program and print
+//! the metrics every figure in the paper is built from.
+//!
+//! ```sh
+//! cargo run --release --example allocator_shootout [program] [scale]
+//! # program: espresso | gs | ptc | gawk | make   (default espresso)
+//! ```
+
+use alloc_locality_repro::engine::MISS_PENALTY_CYCLES;
+use alloc_locality_repro::engine::{run_parallel, AllocChoice, Experiment, SimOptions};
+use cache_sim::CacheConfig;
+use workloads::{Program, Scale};
+
+fn parse_program(name: &str) -> Option<Program> {
+    match name {
+        "espresso" => Some(Program::Espresso),
+        "gs" => Some(Program::GsLarge),
+        "ptc" => Some(Program::Ptc),
+        "gawk" => Some(Program::Gawk),
+        "make" => Some(Program::Make),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let program = args
+        .next()
+        .map(|n| parse_program(&n).ok_or(format!("unknown program {n:?}")))
+        .transpose()?
+        .unwrap_or(Program::Espresso);
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.01);
+
+    let mut choices = AllocChoice::paper_five();
+    choices.push(AllocChoice::BestFit);
+    choices.push(AllocChoice::Buddy);
+    choices.push(AllocChoice::Custom);
+    choices.push(AllocChoice::Predictive);
+    let opts = SimOptions { scale: Scale(scale), ..SimOptions::default() };
+    let jobs =
+        choices.into_iter().map(|c| Experiment::new(program, c).options(opts.clone())).collect();
+    let matrix = run_parallel(jobs)?;
+
+    let k16 = CacheConfig::direct_mapped(16 * 1024, 32);
+    let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
+    println!("{} at scale {scale} — lower is better everywhere\n", program.label());
+    println!(
+        "{:<20} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "allocator", "heap KB", "in-alloc", "miss@16K", "miss@64K", "time@16K", "time@64K"
+    );
+    for r in &matrix.runs {
+        let t16 = r.time_estimate(k16, MISS_PENALTY_CYCLES).expect("16K simulated");
+        let t64 = r.time_estimate(k64, MISS_PENALTY_CYCLES).expect("64K simulated");
+        println!(
+            "{:<20} {:>8} {:>8.2}% {:>8.2}% {:>8.2}% {:>9.3}s {:>9.3}s",
+            r.allocator,
+            r.heap_high_water / 1024,
+            r.alloc_fraction() * 100.0,
+            r.miss_rate(k16).expect("16K simulated") * 100.0,
+            r.miss_rate(k64).expect("64K simulated") * 100.0,
+            t16.total_seconds(),
+            t64.total_seconds(),
+        );
+    }
+
+    println!("\npage-fault resilience (faults per million refs at half / full heap):");
+    for r in &matrix.runs {
+        let Some(curve) = &r.fault_curve else { continue };
+        let frames = r.heap_high_water.div_ceil(4096);
+        let rate = |f: u64| curve.faults(f) as f64 / curve.accesses.max(1) as f64 * 1e6;
+        println!("  {:<20} {:>10.1} {:>10.1}", r.allocator, rate(frames / 2), rate(frames));
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Sweep cache geometry for one workload: the paper's direct-mapped
+//! 16K–256K sweep (Figures 6–8) plus the associativity extension the
+//! related work discusses (Wilson et al. on cache associativity).
+//!
+//! ```sh
+//! cargo run --release --example cache_curves [scale]
+//! ```
+
+use alloc_locality_repro::engine::{AllocChoice, Experiment, SimOptions};
+use allocators::AllocatorKind;
+use cache_sim::CacheConfig;
+use workloads::{Program, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(0.01);
+
+    // Direct-mapped sweep plus 2-way and 4-way variants of each size.
+    let mut configs = Vec::new();
+    for kb in [16u32, 32, 64, 128, 256] {
+        for assoc in [1u32, 2, 4] {
+            configs.push(CacheConfig::set_associative(kb * 1024, 32, assoc));
+        }
+    }
+
+    println!("GS-Medium miss rates by cache geometry (scale {scale})\n");
+    println!("{:<12} {:>10} {:>10} {:>10}", "cache", "1-way", "2-way", "4-way");
+    for kind in [AllocatorKind::FirstFit, AllocatorKind::Bsd] {
+        let result = Experiment::new(Program::GsMedium, AllocChoice::Paper(kind))
+            .options(SimOptions {
+                cache_configs: configs.clone(),
+                paging: false,
+                scale: Scale(scale),
+                ..SimOptions::default()
+            })
+            .run()?;
+        println!("--- {}", kind.label());
+        for kb in [16u32, 32, 64, 128, 256] {
+            let rate = |assoc: u32| {
+                result
+                    .miss_rate(CacheConfig::set_associative(kb * 1024, 32, assoc))
+                    .map(|r| format!("{:.2}%", r * 100.0))
+                    .unwrap_or_default()
+            };
+            println!("{:<12} {:>10} {:>10} {:>10}", format!("{kb}K"), rate(1), rate(2), rate(4));
+        }
+    }
+    println!(
+        "\nAssociativity damps the conflict misses of the sequential-fit\n\
+         allocator more than the segregated one — its freelist traffic is\n\
+         what collides with application data in a direct-mapped cache."
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Synthesize the allocator the paper's §4.4 recommends and compare it
+//! against the five measured designs.
+//!
+//! The pipeline: profile the workload's allocation sizes, derive a
+//! Figure 9 size-mapping array (exact classes for hot sizes over a
+//! bounded-fragmentation backbone), and run the resulting tag-free,
+//! chunked, no-search allocator head-to-head.
+//!
+//! ```sh
+//! cargo run --release --example custom_allocator [scale]
+//! ```
+
+use alloc_locality_repro::engine::{
+    sample_profile, AllocChoice, Experiment, SimOptions, MISS_PENALTY_CYCLES,
+};
+use allocators::{AllocatorKind, SizeMap};
+use cache_sim::CacheConfig;
+use workloads::{Program, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(0.01);
+    let program = Program::Espresso;
+
+    // Step 1: empirical measurement of the program's behaviour.
+    let profile = sample_profile(&program.spec(), 20_000);
+    println!("{}: top request sizes {:?}", program.label(), profile.top_sizes(5));
+
+    // Step 2: derive the size classes (Figure 9's size-mapping array).
+    let map = SizeMap::from_profile(&profile, 16, 0.25);
+    println!("derived {} size classes; examples:", map.class_sizes().len());
+    for req in [8u32, 16, 20, 24, 100, 1000] {
+        println!("  request {req:>5} -> class {:>5}", map.rounded(req).expect("mapped"));
+    }
+
+    // Step 3: head-to-head.
+    let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
+    let opts = SimOptions { scale: Scale(scale), ..SimOptions::default() };
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "allocator", "heap KB", "in-alloc", "miss@64K", "time@64K"
+    );
+    for choice in [
+        AllocChoice::Paper(AllocatorKind::Bsd),
+        AllocChoice::Paper(AllocatorKind::QuickFit),
+        AllocChoice::Paper(AllocatorKind::GnuLocal),
+        AllocChoice::Custom,
+    ] {
+        let r = Experiment::new(program, choice).options(opts.clone()).run()?;
+        let t = r.time_estimate(k64, MISS_PENALTY_CYCLES).expect("64K simulated");
+        println!(
+            "{:<12} {:>8} {:>9.2}% {:>9.2}% {:>9.3}s",
+            r.allocator,
+            r.heap_high_water / 1024,
+            r.alloc_fraction() * 100.0,
+            r.miss_rate(k64).expect("64K simulated") * 100.0,
+            t.total_seconds(),
+        );
+    }
+    println!(
+        "\nOn espresso the synthesized allocator pairs QuickFit-class speed\n\
+         with GNU-LOCAL-class locality and uses less space than BSD — the\n\
+         design point the paper's conclusions argue for. (On very small\n\
+         heaps, e.g. gawk's 60 KB, the chunk granularity costs instead:\n\
+         try `allocator_shootout gawk`.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the `alloc-locality` workspace.
+//!
+//! This crate exists to host the cross-crate integration tests (in
+//! `tests/`) and the runnable examples (in `examples/`). It re-exports the
+//! member crates so examples can use a single dependency root.
+
+pub use alloc_locality as engine;
+pub use allocators;
+pub use cache_sim;
+pub use sim_mem;
+pub use vm_sim;
+pub use workloads;

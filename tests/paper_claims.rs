@@ -1,0 +1,239 @@
+//! The paper's headline qualitative claims, asserted against the
+//! reproduction. These are the "shape" checks EXPERIMENTS.md reports: who
+//! wins, roughly by how much, and where the trade-offs fall — not
+//! absolute numbers.
+//!
+//! Each program runs at a scale that guarantees several object lifetimes
+//! of steady state (the live set must churn, or sequential-fit
+//! fragmentation — the phenomenon under study — never develops).
+
+use alloc_locality_repro::engine::{
+    run_parallel, AllocChoice, Experiment, Matrix, SimOptions, MISS_PENALTY_CYCLES,
+};
+use cache_sim::CacheConfig;
+use workloads::{Program, Scale};
+
+/// Scale giving each program at least ~4 mean lifetimes of churn.
+fn scale_for(p: Program) -> f64 {
+    match p {
+        Program::Espresso => 0.02,
+        Program::GsLarge => 0.03,
+        Program::Gawk => 0.008,
+        Program::Make => 0.5, // make is tiny: 24k allocations at full scale
+        _ => 0.02,
+    }
+}
+
+const CLAIM_PROGRAMS: [Program; 4] =
+    [Program::Espresso, Program::GsLarge, Program::Gawk, Program::Make];
+
+fn matrix() -> &'static Matrix {
+    use std::sync::OnceLock;
+    static MATRIX: OnceLock<Matrix> = OnceLock::new();
+    MATRIX.get_or_init(|| {
+        let jobs = CLAIM_PROGRAMS
+            .iter()
+            .flat_map(|&p| {
+                AllocChoice::paper_five().into_iter().map(move |c| {
+                    Experiment::new(p, c)
+                        .options(SimOptions { scale: Scale(scale_for(p)), ..SimOptions::default() })
+                })
+            })
+            .collect();
+        run_parallel(jobs).expect("paper sweep completes")
+    })
+}
+
+fn k(size_kb: u32) -> CacheConfig {
+    CacheConfig::direct_mapped(size_kb * 1024, 32)
+}
+
+/// §1: "the choice of allocator dramatically affects the fraction of
+/// time spent doing allocation" — from a few percent (BSD) upward.
+#[test]
+fn claim_alloc_time_fraction_spread() {
+    let m = matrix();
+    for program in m.programs() {
+        let bsd = m.get(program, "BSD").expect("run").alloc_fraction();
+        let ff = m.get(program, "FirstFit").expect("run").alloc_fraction();
+        assert!(bsd < 0.05, "{program}: BSD should be a few percent, got {bsd}");
+        assert!(ff > bsd, "{program}: FirstFit ({ff}) must exceed BSD ({bsd})");
+    }
+}
+
+/// §4.2: "the DSA implementation with the largest cache miss ratio is
+/// FIRSTFIT". Asserted against the pure segregated-storage designs on
+/// GS, and against all four on the small-object program (espresso).
+/// (Our QuickFit forwards GS's many >32-byte requests to its embedded
+/// GNU G++, so on GS it tracks the first-fit family, as the paper's own
+/// GS numbers show.)
+#[test]
+fn claim_firstfit_worst_cache_locality() {
+    let m = matrix();
+    for cfg in CacheConfig::paper_sweep() {
+        let ff = m.get("GS", "FirstFit").expect("run").miss_rate(cfg).expect("cfg");
+        for alloc in ["BSD", "GNU local"] {
+            let other = m.get("GS", alloc).expect("run").miss_rate(cfg).expect("cfg");
+            assert!(ff > other, "{cfg}: GS FirstFit ({ff:.4}) should exceed {alloc} ({other:.4})");
+        }
+    }
+    for cfg in [k(16), k(32), k(64)] {
+        let ff = m.get("espresso", "FirstFit").expect("run").miss_rate(cfg).expect("cfg");
+        for alloc in ["QuickFit", "GNU G++", "BSD", "GNU local"] {
+            let other = m.get("espresso", alloc).expect("run").miss_rate(cfg).expect("cfg");
+            assert!(
+                ff > other,
+                "{cfg}: espresso FirstFit ({ff:.4}) should exceed {alloc} ({other:.4})"
+            );
+        }
+    }
+}
+
+/// §4.2: the other first-fit implementation (GNU G++) also misses more
+/// than the segregated-storage designs on GS at the paper's headline
+/// sizes.
+#[test]
+fn claim_gnu_gxx_second_worst() {
+    let m = matrix();
+    for cfg in [k(16), k(32), k(64)] {
+        let gxx = m.get("GS", "GNU G++").expect("run").miss_rate(cfg).expect("cfg");
+        for alloc in ["BSD", "GNU local"] {
+            let seg = m.get("GS", alloc).expect("run").miss_rate(cfg).expect("cfg");
+            assert!(
+                gxx > seg,
+                "{cfg}: GNU G++ ({gxx:.4}) should exceed segregated {alloc} ({seg:.4})"
+            );
+        }
+    }
+}
+
+/// §4.1: searching a freelist is disastrous for page locality — under
+/// restricted memory, FIRSTFIT faults far more than segregated storage.
+#[test]
+fn claim_firstfit_pages_poorly() {
+    let m = matrix();
+    let rate = |alloc: &str, frames: u64| {
+        let r = m.get("GS", alloc).expect("run");
+        let curve = r.fault_curve.as_ref().expect("paging");
+        curve.faults(frames) as f64 / curve.accesses as f64
+    };
+    let ff_run = m.get("GS", "FirstFit").expect("run");
+    let half = ff_run.heap_high_water.div_ceil(4096) / 2;
+    let ff = rate("FirstFit", half);
+    for alloc in ["BSD", "GNU local", "QuickFit"] {
+        let other = rate(alloc, half);
+        assert!(
+            ff > other,
+            "at half memory FirstFit ({ff:.5}) should out-fault {alloc} ({other:.5})"
+        );
+    }
+}
+
+/// §4.1: BSD "wastes considerable space": its heap exceeds the exact-fit
+/// allocators' on every program.
+#[test]
+fn claim_bsd_wastes_space() {
+    let m = matrix();
+    for program in ["espresso", "GS", "gawk"] {
+        let bsd = m.get(program, "BSD").expect("run").heap_high_water;
+        let ql = m.get(program, "QuickFit").expect("run").heap_high_water;
+        assert!(bsd > ql, "{program}: BSD heap ({bsd}) should exceed QuickFit's ({ql})");
+    }
+}
+
+/// §4.2 / Table 5: GNU LOCAL's locality engineering works (its miss rate
+/// at 64K is at or near the bottom) but its CPU overhead makes its
+/// instruction count the highest of the segregated allocators.
+#[test]
+fn claim_gnu_local_trades_cpu_for_locality() {
+    let m = matrix();
+    let espresso = |alloc: &str| m.get("espresso", alloc).expect("run");
+    let gl = espresso("GNU local");
+    let bsd = espresso("BSD");
+    let ql = espresso("QuickFit");
+    // Locality: best or near-best miss rate at 64K.
+    let gl_miss = gl.miss_rate(k(64)).expect("cfg");
+    assert!(gl_miss <= bsd.miss_rate(k(64)).expect("cfg") * 1.05);
+    // CPU: more instructions than the fast segregated allocators.
+    assert!(gl.instrs.total() > bsd.instrs.total());
+    assert!(gl.instrs.total() > ql.instrs.total());
+}
+
+/// §4.2 / Tables 4–5: at a modest 25-cycle penalty, the fast allocators
+/// (BSD, QuickFit) beat FIRSTFIT on total estimated time on the
+/// high-turnover programs. (ptc never frees, so FIRSTFIT degenerates to
+/// a cheap bump allocator there — in the paper too, the ptc spread is
+/// small.)
+#[test]
+fn claim_fast_allocators_win_total_time() {
+    let m = matrix();
+    for program in ["espresso", "GS", "gawk", "make"] {
+        let t = |alloc: &str| {
+            m.get(program, alloc)
+                .expect("run")
+                .time_estimate(k(16), MISS_PENALTY_CYCLES)
+                .expect("cfg")
+                .cycles()
+        };
+        let ff = t("FirstFit");
+        assert!(t("BSD") < ff, "{program}: BSD should beat FirstFit");
+        if program == "make" {
+            // The paper's make spread is tiny (3.43-3.69s across all five
+            // allocators): only require QuickFit to be competitive.
+            assert!(
+                (t("QuickFit") as f64) < ff as f64 * 1.05,
+                "make: QuickFit should be within 5% of FirstFit"
+            );
+        } else {
+            assert!(t("QuickFit") < ff, "{program}: QuickFit should beat FirstFit");
+        }
+    }
+}
+
+/// §1: cache effects of DSA choice move total execution time by a
+/// double-digit percentage ("up to 25%") on the allocation-intensive
+/// programs.
+#[test]
+fn claim_total_time_spread_is_significant() {
+    let m = matrix();
+    let mut max_spread = 0.0f64;
+    for program in m.programs() {
+        let times: Vec<u64> = m
+            .runs
+            .iter()
+            .filter(|r| r.program == program)
+            .map(|r| r.time_estimate(k(16), MISS_PENALTY_CYCLES).expect("cfg").cycles())
+            .collect();
+        let best = *times.iter().min().expect("runs") as f64;
+        let worst = *times.iter().max().expect("runs") as f64;
+        max_spread = max_spread.max(worst / best - 1.0);
+    }
+    assert!(
+        max_spread > 0.10,
+        "allocator choice should move execution time by >10%, got {:.1}%",
+        max_spread * 100.0
+    );
+}
+
+/// Figures 6–8 / §4.2: "large caches contain enough of the working set
+/// that all algorithms begin to perform well" — the allocator spread
+/// narrows as the cache grows.
+#[test]
+fn claim_allocators_converge_at_large_caches() {
+    let m = matrix();
+    let spread = |cfg: CacheConfig| {
+        let rates: Vec<f64> = m
+            .runs
+            .iter()
+            .filter(|r| r.program == "GS")
+            .map(|r| r.miss_rate(cfg).expect("cfg"))
+            .collect();
+        let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    assert!(
+        spread(k(256)) < spread(k(16)),
+        "the absolute miss-rate spread should narrow from 16K to 256K"
+    );
+}

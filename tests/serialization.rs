@@ -1,0 +1,94 @@
+//! The `--json` pipeline: every result type must round-trip through
+//! serde so recorded artifacts can be re-loaded, diffed, and re-plotted.
+
+use alloc_locality_repro::engine::experiments::{
+    exec_time_figure, fig1, miss_curves, paging_figure, table1, time_table,
+};
+use alloc_locality_repro::engine::{AllocChoice, Experiment, Matrix, RunResult, SimOptions};
+use allocators::AllocatorKind;
+use cache_sim::CacheConfig;
+use workloads::{Program, Scale};
+
+fn sample_run() -> RunResult {
+    Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::QuickFit))
+        .options(SimOptions {
+            cache_configs: vec![CacheConfig::direct_mapped(16 * 1024, 32)],
+            paging: true,
+            scale: Scale(0.02),
+            victim_entries: Some(4),
+            three_c: true,
+            two_level: true,
+            ..SimOptions::default()
+        })
+        .run()
+        .expect("run completes")
+}
+
+#[test]
+fn run_result_round_trips_through_json() {
+    let run = sample_run();
+    let json = serde_json::to_string(&run).expect("serialize");
+    let back: RunResult = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.program, run.program);
+    assert_eq!(back.allocator, run.allocator);
+    assert_eq!(back.instrs, run.instrs);
+    assert_eq!(back.trace, run.trace);
+    assert_eq!(back.cache, run.cache);
+    assert_eq!(back.heap_high_water, run.heap_high_water);
+    assert_eq!(back.alloc_stats, run.alloc_stats);
+    assert_eq!(back.victim, run.victim);
+    assert_eq!(back.three_c, run.three_c);
+    assert_eq!(back.two_level, run.two_level);
+    assert_eq!(
+        back.fault_curve.as_ref().map(|c| &c.points),
+        run.fault_curve.as_ref().map(|c| &c.points)
+    );
+}
+
+#[test]
+fn figures_and_tables_round_trip() {
+    let m = Matrix { runs: vec![sample_run()] };
+    let cfg = CacheConfig::direct_mapped(16 * 1024, 32);
+
+    let f1 = fig1(&m);
+    let back: alloc_locality_repro::engine::experiments::Fig1 =
+        serde_json::from_str(&serde_json::to_string(&f1).expect("ser")).expect("de");
+    assert_eq!(back, f1);
+
+    let pf = paging_figure(&m, "make");
+    let back: alloc_locality_repro::engine::experiments::PagingFigure =
+        serde_json::from_str(&serde_json::to_string(&pf).expect("ser")).expect("de");
+    assert_eq!(back, pf);
+
+    let mc = miss_curves(&m, "make");
+    let back: alloc_locality_repro::engine::experiments::MissCurveFigure =
+        serde_json::from_str(&serde_json::to_string(&mc).expect("ser")).expect("de");
+    assert_eq!(back, mc);
+
+    let et = exec_time_figure(&m, cfg);
+    let back: alloc_locality_repro::engine::experiments::ExecTimeFigure =
+        serde_json::from_str(&serde_json::to_string(&et).expect("ser")).expect("de");
+    assert_eq!(back, et);
+
+    let tt = time_table(&m, cfg);
+    let back: alloc_locality_repro::engine::experiments::TimeTable =
+        serde_json::from_str(&serde_json::to_string(&tt).expect("ser")).expect("de");
+    assert_eq!(back, tt);
+
+    let t1 = table1();
+    let back: alloc_locality_repro::engine::experiments::Table1 =
+        serde_json::from_str(&serde_json::to_string(&t1).expect("ser")).expect("de");
+    assert_eq!(back, t1);
+}
+
+#[test]
+fn matrix_round_trips_and_indexes() {
+    let m = Matrix { runs: vec![sample_run()] };
+    let json = serde_json::to_string(&m).expect("ser");
+    let back: Matrix = serde_json::from_str(&json).expect("de");
+    assert_eq!(back.runs.len(), 1);
+    assert!(back.get("make", "QuickFit").is_some());
+    assert!(back.get("make", "BSD").is_none());
+    assert_eq!(back.programs(), vec!["make"]);
+    assert_eq!(back.allocators(), vec!["QuickFit"]);
+}
