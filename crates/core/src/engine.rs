@@ -15,7 +15,8 @@ use cache_sim::{
     CacheBank, CacheConfig, CacheStats, ThreeC, ThreeCAnalyzer, TwoLevelCache, TwoLevelStats,
     VictimCache, VictimStats,
 };
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 use sim_mem::{
     AccessSink, Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, TraceStats,
@@ -653,28 +654,42 @@ pub fn standard_matrix(
 ///
 /// Returns the first [`EngineError`] any run produced.
 pub fn run_parallel(jobs: Vec<Experiment>) -> Result<Matrix, EngineError> {
+    run_parallel_with(jobs, default_threads())
+}
+
+/// The default worker count: one per hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
+/// Runs a list of experiments on a pool of exactly `threads` workers
+/// (clamped to the job count), preserving order.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] any run produced.
+pub fn run_parallel_with(jobs: Vec<Experiment>, threads: usize) -> Result<Matrix, EngineError> {
     let n = jobs.len();
     let results: Mutex<Vec<Option<Result<RunResult, EngineError>>>> =
         Mutex::new((0..n).map(|_| None).collect());
     let queue: Mutex<Vec<(usize, Experiment)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
-    crossbeam::thread::scope(|s| {
+    let workers = threads.max(1).min(n.max(1));
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let job = queue.lock().pop();
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
                 match job {
                     Some((idx, exp)) => {
                         let result = exp.run();
-                        results.lock()[idx] = Some(result);
+                        results.lock().expect("results lock")[idx] = Some(result);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     let mut runs = Vec::with_capacity(n);
-    for slot in results.into_inner() {
+    for slot in results.into_inner().expect("results lock") {
         runs.push(slot.expect("every job ran")?);
     }
     Ok(Matrix { runs })

@@ -60,4 +60,19 @@ pub use heap::{HeapImage, OomError};
 pub trait AccessSink {
     /// Observe one data reference.
     fn record(&mut self, r: MemRef);
+
+    /// Observe a batch of references, in program order.
+    ///
+    /// The default forwards to [`AccessSink::record`] one reference at a
+    /// time, so batching is purely an amortization of the virtual
+    /// dispatch: any sink must produce *identical* state whether a stream
+    /// arrives reference-by-reference or chopped into batches at
+    /// arbitrary boundaries. Implementations may override this to hoist
+    /// per-call work out of the loop (see `cache_sim::CacheBank`), but
+    /// must preserve that equivalence.
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        for &r in batch {
+            self.record(r);
+        }
+    }
 }

@@ -1,0 +1,159 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion API to compile and run this
+//! workspace's benches: `Criterion::default().sample_size(..)`,
+//! `bench_function`, `benchmark_group`/`finish`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros (both the simple
+//! and the `name/config/targets` forms).
+//!
+//! Measurement is deliberately simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed iterations, and prints the mean
+//! and min wall-clock time per iteration. No statistics, no HTML
+//! reports, no baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: one untimed run.
+        std_black_box(body());
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(body());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.timings.is_empty() {
+            println!("{label}: no samples");
+            return;
+        }
+        let total: Duration = self.timings.iter().sum();
+        let mean = total / self.timings.len() as u32;
+        let min = self.timings.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label}: mean {mean:?}, min {min:?} over {} samples",
+            self.timings.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: self.sample_size, timings: Vec::new() };
+        body(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(label, body);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, t1, t2)`
+/// or the braced `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

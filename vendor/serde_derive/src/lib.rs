@@ -1,0 +1,460 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are not available in this container, so the derives
+//! parse the item by walking `proc_macro::TokenTree`s directly and emit
+//! the generated impl by formatting source text and re-parsing it. The
+//! supported shape is exactly what this workspace uses:
+//!
+//! * structs with named fields, tuple structs (incl. newtypes), unit
+//!   structs — no generics;
+//! * enums with unit / newtype / tuple / struct variants — no generics;
+//! * the `#[serde(default)]` field attribute.
+//!
+//! Generated code follows serde's data model so JSON produced by the
+//! real serde_json parses identically: structs are objects, newtype
+//! structs are their inner value, enums are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields; 1 == newtype.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True if an attribute group (the `[...]` after `#`) is `serde(default)`.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes (incl. doc comments); returns whether any
+/// was `#[serde(default)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut default = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            if is_serde_default(&g) {
+                default = true;
+            }
+        }
+    }
+    default
+}
+
+/// Consumes a `pub` / `pub(crate)` visibility prefix if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` (a named-field body).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-depth zero.
+        // Parenthesised/bracketed types are single groups, so only `<`/`>`
+        // need depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in stream {
+        any = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a `= discriminant` and the separating comma.
+        for tt in tokens.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                }
+                "struct" => {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde derive: expected struct name, found {other:?}"),
+                    };
+                    return match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            panic!("serde derive (vendored): generic struct `{name}` unsupported")
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                            Item::UnitStruct { name }
+                        }
+                        other => panic!("serde derive: unexpected token after struct name: {other:?}"),
+                    };
+                }
+                "enum" => {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde derive: expected enum name, found {other:?}"),
+                    };
+                    return match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            panic!("serde derive (vendored): generic enum `{name}` unsupported")
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Item::Enum { name, variants: parse_variants(g.stream()) }
+                        }
+                        other => panic!("serde derive: expected enum body, found {other:?}"),
+                    };
+                }
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("serde derive: no struct or enum found in input"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_body(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { fields, .. } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Item::TupleStruct { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::TupleStruct { arity, .. } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{tag} => ::serde::Value::Str(::std::string::String::from(\"{tag}\"))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{tag}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{tag}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), ::serde::Value::Array(::std::vec![{vals}]))])",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{tag} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), ::serde::Value::Object(::std::vec![{pairs}]))])",
+                                binds = binds.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    }
+}
+
+/// `Ok(Name { field: ..., ... })` construction from an object binding
+/// named `__fields`.
+fn named_fields_ctor(path: &str, fields: &[Field], type_label: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{}` in {}\"))",
+                    f.name, type_label
+                )
+            };
+            format!(
+                "{0}: match ::serde::__find_field(__fields, \"{0}\") {{ ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, ::std::option::Option::None => {missing} }}",
+                f.name
+            )
+        })
+        .collect();
+    format!("::std::result::Result::Ok({path} {{ {} }})", inits.join(", "))
+}
+
+fn deserialize_body(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => format!(
+            "let __fields = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for struct {name}\"))?;\n{}",
+            named_fields_ctor(name, fields, name)
+        ),
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for struct {name}\"))?;\nif __items.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for struct {name}\")); }}\n::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), _ => ::std::result::Result::Err(::serde::Error::custom(\"expected null for unit struct {name}\")) }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}(::serde::Deserialize::from_value(__inner)?))",
+                        v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{0}\" => {{ let __items = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for variant {name}::{0}\"))?; if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for variant {name}::{0}\")); }} ::std::result::Result::Ok({name}::{0}({elems})) }}",
+                            v.name,
+                            elems = elems.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let path = format!("{name}::{}", v.name);
+                        let label = path.clone();
+                        Some(format!(
+                            "\"{0}\" => {{ let __fields = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant {label}\"))?; {ctor} }}",
+                            v.name,
+                            ctor = named_fields_ctor(&path, fields, &label)
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}{unit_comma}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown unit variant `{{__other}}` for enum {name}\")))\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}{tagged_comma}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` for enum {name}\")))\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"invalid value of kind {{}} for enum {name}\", __other.kind())))\n\
+                 }}",
+                unit_arms = unit_arms.join(",\n"),
+                unit_comma = if unit_arms.is_empty() { "" } else { "," },
+                tagged_arms = tagged_arms.join(",\n"),
+                tagged_comma = if tagged_arms.is_empty() { "" } else { "," },
+            )
+        }
+    }
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        name = item_name(&item),
+        body = serialize_body(&item)
+    );
+    code.parse().expect("serde derive: generated Serialize impl fails to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        name = item_name(&item),
+        body = deserialize_body(&item)
+    );
+    code.parse().expect("serde derive: generated Deserialize impl fails to parse")
+}
