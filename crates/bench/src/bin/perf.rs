@@ -1,0 +1,225 @@
+//! `perf`: wall-clock harness for the reference pipeline.
+//!
+//! ```text
+//! perf [--scale F] [--repeat N] [--out FILE]
+//! ```
+//!
+//! Runs a fixed heavy configuration — the full paper cache sweep plus the
+//! stack-distance pager — once per [`PipelineMode`], takes the best of
+//! `--repeat` timings for each, checks the two modes produced
+//! bit-identical results, and writes `BENCH_pipeline.json` with
+//! references/second, the sharded-over-inline speedup, and a per-sink
+//! cost breakdown (each sink timed alone against the same workload).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use alloc_locality::{
+    default_threads, AllocChoice, Experiment, PipelineMode, RunResult, SimOptions,
+};
+use allocators::AllocatorKind;
+use cache_sim::CacheConfig;
+use serde::Serialize;
+use workloads::{Program, Scale};
+
+/// One timed mode (or lone sink) of the harness.
+#[derive(Debug, Clone, Serialize)]
+struct Timing {
+    /// What ran: "inline", "sharded", or a sink label.
+    label: String,
+    /// Best wall-clock seconds over the repeats.
+    secs: f64,
+    /// Word-granular data references per second at that timing.
+    refs_per_sec: f64,
+}
+
+/// The harness's JSON report (`BENCH_pipeline.json`).
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    program: String,
+    allocator: String,
+    scale: f64,
+    /// Word-granular data references the workload produced.
+    data_refs: u64,
+    /// Reference records (a multi-word access is one record).
+    records: u64,
+    /// Hardware threads the sharded mode had available.
+    hardware_threads: usize,
+    repeats: u32,
+    inline: Timing,
+    sharded: Timing,
+    /// `inline.secs / sharded.secs`.
+    speedup: f64,
+    /// Whether the two modes produced bit-identical results.
+    identical_results: bool,
+    /// Each sink run alone against the same workload, inline.
+    per_sink: Vec<Timing>,
+}
+
+struct Args {
+    scale: f64,
+    repeat: u32,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = 0.02;
+    let mut repeat = 3;
+    let mut out = PathBuf::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|e| format!("bad scale {v}: {e}"))?;
+                if scale <= 0.0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--repeat" => {
+                let v = args.next().ok_or("--repeat needs a value")?;
+                repeat = v.parse().map_err(|e| format!("bad repeat count {v}: {e}"))?;
+                if repeat == 0 {
+                    return Err("repeat count must be at least 1".into());
+                }
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a path")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: perf [--scale F] [--repeat N] [--out FILE]".into());
+            }
+            other => return Err(format!("unknown argument {other:?}; try --help")),
+        }
+    }
+    Ok(Args { scale, repeat, out })
+}
+
+/// The fixed heavy workload: espresso under FIRSTFIT (the paper's most
+/// metadata-hungry pairing) with the full cache sweep and paging on.
+fn experiment(scale: f64, opts: SimOptions) -> Experiment {
+    Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+        .options(SimOptions { scale: Scale(scale), ..opts })
+}
+
+/// Best-of-`repeat` wall-clock run; returns the last result and the
+/// fastest time.
+fn time_run(exp: &Experiment, repeat: u32) -> Result<(RunResult, f64), String> {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let r = exp.run().map_err(|e| e.to_string())?;
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    Ok((result.expect("repeat >= 1"), best))
+}
+
+fn timing(label: &str, secs: f64, refs: u64) -> Timing {
+    Timing { label: label.to_string(), secs, refs_per_sec: refs as f64 / secs.max(1e-9) }
+}
+
+/// Two results are interchangeable iff every measured field matches.
+fn identical(a: &RunResult, b: &RunResult) -> bool {
+    a.instrs == b.instrs
+        && a.trace == b.trace
+        && a.cache == b.cache
+        && a.fault_curve == b.fault_curve
+        && a.victim == b.victim
+        && a.three_c == b.three_c
+        && a.two_level == b.two_level
+        && a.frag_curve == b.frag_curve
+        && a.heap_high_water == b.heap_high_water
+        && a.alloc_stats == b.alloc_stats
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let base = SimOptions {
+        cache_configs: CacheConfig::paper_sweep(),
+        paging: true,
+        ..SimOptions::default()
+    };
+
+    eprintln!(
+        "# pipeline perf: espresso/FirstFit, {} cache configs + pager, scale {}, best of {}",
+        base.cache_configs.len(),
+        args.scale,
+        args.repeat
+    );
+
+    let inline_exp = experiment(args.scale, base.clone()).pipeline(PipelineMode::Inline);
+    let (inline_result, inline_secs) = time_run(&inline_exp, args.repeat)?;
+    let refs = inline_result.data_refs();
+    eprintln!("inline:  {inline_secs:.3}s  ({:.1} Mrefs/s)", refs as f64 / inline_secs / 1e6);
+
+    let sharded_exp = experiment(args.scale, base.clone()).pipeline(PipelineMode::Sharded);
+    let (sharded_result, sharded_secs) = time_run(&sharded_exp, args.repeat)?;
+    eprintln!("sharded: {sharded_secs:.3}s  ({:.1} Mrefs/s)", refs as f64 / sharded_secs / 1e6);
+
+    let same = identical(&inline_result, &sharded_result);
+    if !same {
+        eprintln!("WARNING: sharded result differs from inline result");
+    }
+
+    // Cost of each sink alone: the workload replayed inline with exactly
+    // one consumer attached.
+    let mut per_sink = Vec::new();
+    for cfg in &base.cache_configs {
+        let opts = SimOptions { cache_configs: vec![*cfg], paging: false, ..base.clone() };
+        let (_, secs) = time_run(&experiment(args.scale, opts), args.repeat)?;
+        per_sink.push(timing(&format!("cache-{}K", cfg.size / 1024), secs, refs));
+    }
+    {
+        let opts = SimOptions { cache_configs: vec![], paging: true, ..base.clone() };
+        let (_, secs) = time_run(&experiment(args.scale, opts), args.repeat)?;
+        per_sink.push(timing("pager", secs, refs));
+    }
+    {
+        // The driver itself: allocator + workload replay, no sinks.
+        let opts = SimOptions { cache_configs: vec![], paging: false, ..base.clone() };
+        let (_, secs) = time_run(&experiment(args.scale, opts), args.repeat)?;
+        per_sink.push(timing("driver-only", secs, refs));
+    }
+    for t in &per_sink {
+        eprintln!("  {:<12} {:.3}s", t.label, t.secs);
+    }
+
+    let report = Report {
+        program: inline_result.program.clone(),
+        allocator: inline_result.allocator.clone(),
+        scale: args.scale,
+        data_refs: refs,
+        records: inline_result.trace.total_refs(),
+        hardware_threads: default_threads(),
+        repeats: args.repeat,
+        inline: timing("inline", inline_secs, refs),
+        sharded: timing("sharded", sharded_secs, refs),
+        speedup: inline_secs / sharded_secs.max(1e-9),
+        identical_results: same,
+        per_sink,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out.display()))?;
+    eprintln!(
+        "speedup: {:.2}x (identical results: {same})\n[wrote {}]",
+        report.speedup,
+        args.out.display()
+    );
+    if !same {
+        return Err("sharded pipeline diverged from inline".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

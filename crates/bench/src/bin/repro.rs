@@ -2,7 +2,7 @@
 //! Locality of Memory Allocation* (PLDI 1993).
 //!
 //! ```text
-//! repro [--scale F] [--json DIR] [TARGET ...]
+//! repro [--scale F] [--threads N] [--json DIR] [TARGET ...]
 //!
 //! TARGETS: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          table1 table2 table3 table4 table5 table6 all
@@ -10,6 +10,8 @@
 //!
 //! With no target, `all` is assumed. `--json DIR` additionally writes
 //! each result as machine-readable JSON for re-plotting and diffing.
+//! `--threads N` sizes the sweep's worker pool (default: one worker per
+//! hardware thread).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,12 +48,14 @@ const ALL_TARGETS: [&str; 18] = [
 
 struct Args {
     scale: f64,
+    threads: usize,
     json_dir: Option<PathBuf>,
     targets: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = 0.02;
+    let mut threads = alloc_locality::default_threads();
     let mut json_dir = None;
     let mut targets = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -64,12 +68,19 @@ fn parse_args() -> Result<Args, String> {
                     return Err("scale must be positive".into());
                 }
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|e| format!("bad thread count {v}: {e}"))?;
+                if threads == 0 {
+                    return Err("thread count must be at least 1".into());
+                }
+            }
             "--json" => {
                 json_dir = Some(PathBuf::from(args.next().ok_or("--json needs a directory")?));
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--scale F] [--json DIR] [TARGET ...]\ntargets: {} all",
+                    "usage: repro [--scale F] [--threads N] [--json DIR] [TARGET ...]\ntargets: {} all",
                     ALL_TARGETS.join(" ")
                 ));
             }
@@ -82,7 +93,7 @@ fn parse_args() -> Result<Args, String> {
         targets.extend(ALL_TARGETS.iter().map(|s| s.to_string()));
     }
     targets.dedup();
-    Ok(Args { scale, json_dir, targets })
+    Ok(Args { scale, threads, json_dir, targets })
 }
 
 fn emit<T: Serialize>(args: &Args, name: &str, text: &str, value: &T) {
@@ -98,14 +109,15 @@ fn emit<T: Serialize>(args: &Args, name: &str, text: &str, value: &T) {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let mut cache = MatrixCache::new(args.scale);
+    let mut cache = MatrixCache::with_threads(args.scale, args.threads);
     let k16 = CacheConfig::direct_mapped(16 * 1024, 32);
     let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
     eprintln!(
         "# reproducing Grunwald, Zorn & Henderson (PLDI 1993) at scale {} \
-         ({}% of the paper's allocation counts)\n",
+         ({}% of the paper's allocation counts), {} sweep worker(s)\n",
         args.scale,
-        args.scale * 100.0
+        args.scale * 100.0,
+        args.threads
     );
     for target in args.targets.clone() {
         let err = |e: alloc_locality::EngineError| format!("{target}: {e}");

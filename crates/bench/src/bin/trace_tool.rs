@@ -245,8 +245,7 @@ fn export(args: &[String]) -> Result<(), String> {
         }
     }
     let program = parse_program(program).ok_or(format!("unknown program {program}"))?;
-    let events: Vec<workloads::AppEvent> =
-        program.spec().events(Scale(scale)).collect();
+    let events: Vec<workloads::AppEvent> = program.spec().events(Scale(scale)).collect();
     let file = File::create(out).map_err(|e| format!("{out}: {e}"))?;
     workloads::import::write_trace(&events, std::io::BufWriter::new(file))
         .map_err(|e| e.to_string())?;
@@ -259,12 +258,10 @@ fn run_app(args: &[String]) -> Result<(), String> {
         return Err("usage: trace-tool run-app <events.txt> <allocator>".into());
     };
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let events =
-        workloads::import::parse_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let events = workloads::import::parse_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
     let choice = parse_allocator(allocator).ok_or(format!("unknown allocator {allocator}"))?;
-    let r = Experiment::with_events(path.clone(), events, choice)
-        .run()
-        .map_err(|e| e.to_string())?;
+    let r =
+        Experiment::with_events(path.clone(), events, choice).run().map_err(|e| e.to_string())?;
     println!(
         "{}: {} allocs / {} frees, peak heap {} KB, {:.2}% of instructions in malloc/free",
         r.allocator,
@@ -291,9 +288,7 @@ fn main() -> ExitCode {
             "replay" => replay(rest),
             "export" => export(rest),
             "run-app" => run_app(rest),
-            "--help" | "-h" => {
-                Err("subcommands: record, info, replay, export, run-app".into())
-            }
+            "--help" | "-h" => Err("subcommands: record, info, replay, export, run-app".into()),
             other => Err(format!("unknown subcommand {other}; try --help")),
         },
         None => Err("subcommands: record, info, replay, export, run-app".into()),

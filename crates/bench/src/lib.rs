@@ -5,7 +5,8 @@
 //! can serve several tables and figures.
 
 use alloc_locality::{
-    run_parallel, standard_matrix, AllocChoice, EngineError, Experiment, Matrix, SimOptions,
+    default_threads, run_parallel_with, standard_matrix_with, AllocChoice, EngineError, Experiment,
+    Matrix, SimOptions,
 };
 use cache_sim::CacheConfig;
 use workloads::{Program, Scale};
@@ -19,12 +20,19 @@ pub struct MatrixCache {
     tags: Option<Matrix>,
     ext: Option<Matrix>,
     scale: f64,
+    threads: usize,
 }
 
 impl MatrixCache {
-    /// Creates an empty cache that will run sweeps at `scale`.
+    /// Creates an empty cache that will run sweeps at `scale` on the
+    /// default worker pool (one worker per hardware thread).
     pub fn new(scale: f64) -> Self {
-        MatrixCache { scale, ..Default::default() }
+        Self::with_threads(scale, default_threads())
+    }
+
+    /// Creates an empty cache with an explicit worker-pool size.
+    pub fn with_threads(scale: f64, threads: usize) -> Self {
+        MatrixCache { scale, threads: threads.max(1), ..Default::default() }
     }
 
     fn opts(&self) -> SimOptions {
@@ -39,8 +47,12 @@ impl MatrixCache {
     /// Propagates the first failing run.
     pub fn main(&mut self) -> Result<&Matrix, EngineError> {
         if self.main.is_none() {
-            self.main =
-                Some(standard_matrix(&Program::FIVE, &AllocChoice::paper_five(), &self.opts())?);
+            self.main = Some(standard_matrix_with(
+                &Program::FIVE,
+                &AllocChoice::paper_five(),
+                &self.opts(),
+                self.threads,
+            )?);
         }
         Ok(self.main.as_ref().expect("just set"))
     }
@@ -54,10 +66,11 @@ impl MatrixCache {
     pub fn gs(&mut self) -> Result<&Matrix, EngineError> {
         if self.gs.is_none() {
             let opts = SimOptions { paging: false, ..self.opts() };
-            self.gs = Some(standard_matrix(
+            self.gs = Some(standard_matrix_with(
                 &[Program::GsSmall, Program::GsMedium],
                 &AllocChoice::paper_five(),
                 &opts,
+                self.threads,
             )?);
         }
         Ok(self.gs.as_ref().expect("just set"))
@@ -76,8 +89,12 @@ impl MatrixCache {
                 paging: false,
                 ..self.opts()
             };
-            self.tags =
-                Some(standard_matrix(&Program::FIVE, &[AllocChoice::GnuLocalTagged], &opts)?);
+            self.tags = Some(standard_matrix_with(
+                &Program::FIVE,
+                &[AllocChoice::GnuLocalTagged],
+                &opts,
+                self.threads,
+            )?);
         }
         Ok(self.tags.as_ref().expect("just set"))
     }
@@ -124,7 +141,7 @@ impl MatrixCache {
                     choices.iter().map(move |c| Experiment::new(p, c.clone()).options(opts.clone()))
                 })
                 .collect();
-            self.ext = Some(run_parallel(jobs)?);
+            self.ext = Some(run_parallel_with(jobs, self.threads)?);
         }
         Ok(self.ext.as_ref().expect("just set"))
     }

@@ -55,6 +55,18 @@ impl AccessSink for CacheBank {
             cache.access(r);
         }
     }
+
+    /// Inverts the loop nest: each cache consumes the whole batch before
+    /// the next starts, so one cache's tag arrays and statistics stay hot
+    /// for thousands of references instead of being evicted by its
+    /// siblings' on every single reference.
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        for cache in &mut self.caches {
+            for &r in batch {
+                cache.access(r);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

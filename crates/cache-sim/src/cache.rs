@@ -1,11 +1,63 @@
 //! One simulated cache.
 
-use std::collections::HashSet;
-
 use serde::{Deserialize, Serialize};
 use sim_mem::{AccessClass, AccessSink, MemRef};
 
 use crate::CacheConfig;
+
+/// Membership set over block numbers, used for cold-miss classification.
+///
+/// A two-level bitmap: the address space of block numbers is divided
+/// into 4096-block leaves (512 bytes each), allocated on first touch.
+/// Block numbers cluster tightly — the heap, the stack segment, and the
+/// static data each occupy a contiguous range — so the populated leaves
+/// are few, while lookups are two array indexes and a mask instead of a
+/// `HashSet` probe (hash, bucket walk) per block reference. This is the
+/// hottest query in the simulator: every block miss consults it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BlockSet {
+    /// Leaf `i` covers block numbers `i * 4096 .. (i + 1) * 4096`.
+    leaves: Vec<Option<Box<[u64; 64]>>>,
+    len: u64,
+}
+
+impl BlockSet {
+    pub(crate) fn new() -> Self {
+        BlockSet::default()
+    }
+
+    /// Inserts `block`; returns `true` if it was not already present.
+    #[inline]
+    pub(crate) fn insert(&mut self, block: u64) -> bool {
+        let leaf = (block >> 12) as usize;
+        if leaf >= self.leaves.len() {
+            self.leaves.resize(leaf + 1, None);
+        }
+        let words = self.leaves[leaf].get_or_insert_with(|| Box::new([0u64; 64]));
+        let word = ((block >> 6) & 63) as usize;
+        let mask = 1u64 << (block & 63);
+        let fresh = words[word] & mask == 0;
+        words[word] |= mask;
+        self.len += u64::from(fresh);
+        fresh
+    }
+
+    /// Whether `block` has been inserted.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, block: u64) -> bool {
+        let leaf = (block >> 12) as usize;
+        match self.leaves.get(leaf) {
+            Some(Some(words)) => words[((block >> 6) & 63) as usize] & (1u64 << (block & 63)) != 0,
+            _ => false,
+        }
+    }
+
+    /// Number of distinct blocks inserted.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+}
 
 /// Per-cache counters, split by reference class.
 ///
@@ -65,7 +117,11 @@ pub struct Cache {
     /// Associative: MRU-first tag lists per set (empty when direct).
     sets: Vec<Vec<u64>>,
     /// Every block number ever referenced, for cold-miss classification.
-    seen: HashSet<u64>,
+    seen: BlockSet,
+    /// The most recently touched block (`u64::MAX` before any access):
+    /// consecutive references to one block — the common case for
+    /// word-by-word walks of an object — skip the lookup entirely.
+    last_block: u64,
     stats: CacheStats,
 }
 
@@ -81,7 +137,8 @@ impl Cache {
             } else {
                 vec![Vec::with_capacity(config.assoc as usize); config.sets() as usize]
             },
-            seen: HashSet::new(),
+            seen: BlockSet::new(),
+            last_block: u64::MAX,
             stats: CacheStats::default(),
         }
     }
@@ -102,6 +159,13 @@ impl Cache {
     pub fn access(&mut self, r: MemRef) -> u32 {
         let mut misses = 0;
         for block in r.blocks(u64::from(self.config.block)) {
+            // The last touched block is necessarily still resident (and,
+            // in an associative set, already at the MRU position): no
+            // lookup, no LRU work, no miss.
+            if block == self.last_block {
+                continue;
+            }
+            self.last_block = block;
             let hit = self.touch_block(block);
             if !hit {
                 misses += 1;
@@ -144,13 +208,20 @@ impl Cache {
             let idx = (block % u64::from(self.config.sets())) as usize;
             let set = &mut self.sets[idx];
             if let Some(pos) = set.iter().position(|&t| t == block) {
-                // Move to MRU position.
-                set.remove(pos);
-                set.insert(0, block);
+                // Move to MRU position: rotate the prefix in place
+                // instead of remove + insert (two shifting memmoves).
+                set[..=pos].rotate_right(1);
                 true
             } else {
-                set.insert(0, block);
-                set.truncate(self.config.assoc as usize);
+                if set.len() < self.config.assoc as usize {
+                    set.push(block);
+                    set.rotate_right(1);
+                } else {
+                    // Full set: the rotate parks the LRU tag at the
+                    // front, where the new block overwrites it.
+                    set.rotate_right(1);
+                    set[0] = block;
+                }
                 false
             }
         }
@@ -170,6 +241,38 @@ mod tests {
 
     fn dm(size: u32) -> Cache {
         Cache::new(CacheConfig::direct_mapped(size, 32))
+    }
+
+    #[test]
+    fn blockset_tracks_membership_across_leaves() {
+        let mut s = BlockSet::new();
+        // Blocks straddling leaf boundaries and far-apart ranges.
+        for &b in &[0u64, 63, 64, 4095, 4096, 1 << 20, (1 << 20) + 1] {
+            assert!(!s.contains(b));
+            assert!(s.insert(b), "first insert of {b}");
+            assert!(!s.insert(b), "second insert of {b}");
+            assert!(s.contains(b));
+        }
+        assert_eq!(s.len(), 7);
+        assert!(!s.contains(1), "neighbours stay clear");
+        assert!(!s.contains(1 << 30), "unallocated leaves read as absent");
+    }
+
+    #[test]
+    fn blockset_matches_hashset_on_random_stream() {
+        use std::collections::HashSet;
+        let mut bitmap = BlockSet::new();
+        let mut reference = HashSet::new();
+        let mut x = 42u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let block = x % 100_000;
+            assert_eq!(bitmap.insert(block), reference.insert(block));
+        }
+        assert_eq!(bitmap.len(), reference.len() as u64);
+        for b in 0..100_000 {
+            assert_eq!(bitmap.contains(b), reference.contains(&b));
+        }
     }
 
     #[test]

@@ -112,6 +112,18 @@ impl AccessSink for ThreeCAnalyzer {
     fn record(&mut self, r: MemRef) {
         self.access(r);
     }
+
+    /// The target and shadow caches are independent, so each can consume
+    /// the whole batch in turn, keeping its state hot (classification
+    /// only compares their totals at the end).
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        for &r in batch {
+            self.target.access(r);
+        }
+        for &r in batch {
+            self.shadow.access(r);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,11 +7,10 @@
 //! few-entry victim buffer rescue the sequential-fit allocators, whose
 //! freelist traffic conflicts with application data?
 
-use std::collections::HashSet;
-
 use serde::{Deserialize, Serialize};
 use sim_mem::{AccessSink, MemRef};
 
+use crate::cache::BlockSet;
 use crate::CacheConfig;
 
 /// Statistics for a victim-cached hierarchy.
@@ -82,7 +81,7 @@ pub struct VictimCache {
     /// Victim buffer, MRU first.
     victims: Vec<u64>,
     capacity: usize,
-    seen: HashSet<u64>,
+    seen: BlockSet,
     stats: VictimStats,
 }
 
@@ -102,7 +101,7 @@ impl VictimCache {
             lines: vec![u64::MAX; main.lines() as usize],
             victims: Vec::with_capacity(entries),
             capacity: entries,
-            seen: HashSet::new(),
+            seen: BlockSet::new(),
             stats: VictimStats::default(),
         }
     }

@@ -79,6 +79,60 @@ proptest! {
         prop_assert_eq!(cache.stats().misses(), nblocks, "warm set must not miss");
     }
 
+    /// Batch delivery is invisible: chopping the stream into batches at
+    /// arbitrary boundaries (including empty batches) via `record_batch`
+    /// leaves a cache in exactly the state per-record delivery does.
+    #[test]
+    fn batch_boundaries_are_invisible(
+        refs in refs_strategy(),
+        cuts in proptest::collection::vec(0usize..=500, 0..16),
+        assoc in prop_oneof![Just(1u32), Just(4)],
+    ) {
+        let cfg = CacheConfig::set_associative(16 * 1024, 32, assoc);
+        let stream: Vec<MemRef> =
+            refs.iter().map(|&(a, l)| MemRef::app_read(Address::new(a), l)).collect();
+
+        let mut per_record = Cache::new(cfg);
+        for &r in &stream {
+            per_record.record(r);
+        }
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+        bounds.sort_unstable();
+        let mut batched = Cache::new(cfg);
+        let mut prev = 0;
+        for &b in &bounds {
+            batched.record_batch(&stream[prev..b]);
+            prev = b;
+        }
+        batched.record_batch(&stream[prev..]);
+
+        prop_assert_eq!(per_record.stats(), batched.stats());
+    }
+
+    /// The bank's loop-inverted `record_batch` agrees with per-record
+    /// delivery for every member.
+    #[test]
+    fn bank_batching_is_invisible(refs in refs_strategy(), cut in 0usize..=500) {
+        let cfg_a = CacheConfig::direct_mapped(16 * 1024, 32);
+        let cfg_b = CacheConfig::set_associative(32 * 1024, 32, 4);
+        let stream: Vec<MemRef> =
+            refs.iter().map(|&(a, l)| MemRef::app_write(Address::new(a), l)).collect();
+
+        let mut per_record = CacheBank::new([cfg_a, cfg_b]);
+        for &r in &stream {
+            per_record.record(r);
+        }
+
+        let mut batched = CacheBank::new([cfg_a, cfg_b]);
+        let split = cut % (stream.len() + 1);
+        batched.record_batch(&stream[..split]);
+        batched.record_batch(&stream[split..]);
+
+        prop_assert_eq!(per_record.stats_for(cfg_a), batched.stats_for(cfg_a));
+        prop_assert_eq!(per_record.stats_for(cfg_b), batched.stats_for(cfg_b));
+    }
+
     /// A bank's members behave identically to standalone caches fed the
     /// same stream.
     #[test]

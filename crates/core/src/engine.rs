@@ -12,10 +12,11 @@ use allocators::{
     GnuLocal, Predictive, SizeMap, SizeProfile,
 };
 use cache_sim::{
-    CacheBank, CacheConfig, CacheStats, ThreeC, ThreeCAnalyzer, TwoLevelCache, TwoLevelStats,
+    Cache, CacheConfig, CacheStats, ThreeC, ThreeCAnalyzer, TwoLevelCache, TwoLevelStats,
     VictimCache, VictimStats,
 };
-use std::sync::Mutex;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 use sim_mem::{
@@ -34,6 +35,26 @@ pub const DEFAULT_SCALE: Scale = Scale(0.02);
 /// How many allocations to sample when deriving a [`SizeProfile`] for
 /// the synthesized allocator.
 pub const PROFILE_SAMPLES: u64 = 20_000;
+
+/// How one run delivers its reference stream to the measurement sinks.
+///
+/// Every consumer of the stream — each simulated cache, the pager, the
+/// extension analyzers, the trace writer — is independent of the others,
+/// so the same batched stream can be replayed into them serially or
+/// concurrently. Both modes produce **bit-identical** [`RunResult`]s;
+/// the only difference is wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Every sink consumes each batch on the driving thread, in turn.
+    /// The default: no thread overhead, right for sweeps that already
+    /// parallelize across (program, allocator) runs.
+    #[default]
+    Inline,
+    /// Sinks are sharded across worker threads fed by bounded channels
+    /// of shared reference batches. Right for a single heavy run — a
+    /// full cache bank plus pager — on an otherwise idle machine.
+    Sharded,
+}
 
 /// Simulation options for one run.
 #[derive(Debug, Clone)]
@@ -62,6 +83,8 @@ pub struct SimOptions {
     /// requested from the OS over time, the paper's space-efficiency
     /// story as a curve.
     pub frag_sample_every: u64,
+    /// How the reference stream reaches the sinks (see [`PipelineMode`]).
+    pub pipeline: PipelineMode,
 }
 
 impl Default for SimOptions {
@@ -76,6 +99,7 @@ impl Default for SimOptions {
             three_c: false,
             two_level: false,
             frag_sample_every: 0,
+            pipeline: PipelineMode::Inline,
         }
     }
 }
@@ -193,6 +217,10 @@ pub fn profile_from_events(
     profile
 }
 
+/// One fragmentation sample: `(allocations so far, live granted bytes,
+/// heap bytes obtained from the OS)`.
+pub type FragSample = (u64, u64, u64);
+
 /// Everything measured by one (program, allocator) run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -216,10 +244,9 @@ pub struct RunResult {
     pub three_c: Option<ThreeC>,
     /// Two-level hierarchy statistics, if requested.
     pub two_level: Option<TwoLevelStats>,
-    /// `(allocations so far, live granted bytes, heap bytes)` samples,
-    /// if fragmentation sampling was enabled.
+    /// [`FragSample`] points, if fragmentation sampling was enabled.
     #[serde(default)]
-    pub frag_curve: Vec<(u64, u64, u64)>,
+    pub frag_curve: Vec<FragSample>,
     /// Peak bytes obtained from the simulated operating system.
     pub heap_high_water: u64,
     /// The allocator's own statistics.
@@ -337,36 +364,99 @@ impl StackWalker {
     }
 }
 
-/// The composite sink: counts, caches, pages, and optionally records,
-/// in one pass.
-struct Pipeline {
-    counting: CountingSink,
-    bank: CacheBank,
-    pager: Option<StackSim>,
-    tracer: Option<trace::TraceWriter<std::io::BufWriter<std::fs::File>>>,
-    victim: Option<VictimCache>,
-    three_c: Option<ThreeCAnalyzer>,
-    two_level: Option<TwoLevelCache>,
+/// Batches in flight per worker channel before the producer blocks.
+///
+/// A few batches of slack per consumer absorb scheduling jitter; a
+/// deeper queue only grows memory without speeding up a pipeline whose
+/// throughput is set by its slowest consumer.
+const BATCH_CHANNEL_DEPTH: usize = 8;
+
+/// One independent consumer of the reference stream.
+///
+/// Every measurement the engine takes is a fold over the stream that
+/// shares no state with its peers, so each can be boxed into a shard and
+/// placed on whichever thread the [`PipelineMode`] dictates. Shards are
+/// kept in a canonical order (caches in configuration order, then pager,
+/// tracer, victim, three-C, two-level) so results can be reassembled
+/// identically however the shards were distributed.
+enum SinkShard {
+    Cache(Cache),
+    Pager(StackSim),
+    Tracer(trace::TraceWriter<std::io::BufWriter<std::fs::File>>),
+    Victim(VictimCache),
+    ThreeC(ThreeCAnalyzer),
+    TwoLevel(TwoLevelCache),
 }
 
-impl AccessSink for Pipeline {
+impl AccessSink for SinkShard {
+    fn record(&mut self, r: MemRef) {
+        match self {
+            SinkShard::Cache(s) => s.record(r),
+            SinkShard::Pager(s) => s.record(r),
+            SinkShard::Tracer(s) => s.record(r),
+            SinkShard::Victim(s) => s.record(r),
+            SinkShard::ThreeC(s) => s.record(r),
+            SinkShard::TwoLevel(s) => s.record(r),
+        }
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        match self {
+            SinkShard::Cache(s) => s.record_batch(batch),
+            SinkShard::Pager(s) => s.record_batch(batch),
+            SinkShard::Tracer(s) => s.record_batch(batch),
+            SinkShard::Victim(s) => s.record_batch(batch),
+            SinkShard::ThreeC(s) => s.record_batch(batch),
+            SinkShard::TwoLevel(s) => s.record_batch(batch),
+        }
+    }
+}
+
+/// [`PipelineMode::Inline`]: the counting sink and every shard consume
+/// each batch on the calling thread.
+struct InlineSink {
+    counting: CountingSink,
+    shards: Vec<SinkShard>,
+}
+
+impl AccessSink for InlineSink {
     fn record(&mut self, r: MemRef) {
         self.counting.record(r);
-        self.bank.record(r);
-        if let Some(pager) = &mut self.pager {
-            pager.record(r);
+        for shard in &mut self.shards {
+            shard.record(r);
         }
-        if let Some(tracer) = &mut self.tracer {
-            tracer.record(r);
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        self.counting.record_batch(batch);
+        for shard in &mut self.shards {
+            shard.record_batch(batch);
         }
-        if let Some(victim) = &mut self.victim {
-            victim.record(r);
-        }
-        if let Some(three_c) = &mut self.three_c {
-            three_c.record(r);
-        }
-        if let Some(two_level) = &mut self.two_level {
-            two_level.record(r);
+    }
+}
+
+/// [`PipelineMode::Sharded`]: batches are wrapped in an [`Arc`] and
+/// broadcast to one bounded channel per worker (SPMC by cloning the
+/// `Arc`, not the data). The cheap counting fold stays on the producer
+/// thread. Dropping the sink closes every channel, which is how workers
+/// learn the stream ended — on both the success and the error path.
+struct BroadcastSink {
+    counting: CountingSink,
+    senders: Vec<SyncSender<Arc<Vec<MemRef>>>>,
+}
+
+impl AccessSink for BroadcastSink {
+    fn record(&mut self, r: MemRef) {
+        self.record_batch(&[r]);
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        self.counting.record_batch(batch);
+        let batch = Arc::new(batch.to_vec());
+        for tx in &self.senders {
+            // A send only fails if a worker panicked; the panic itself
+            // resurfaces when the worker is joined.
+            let _ = tx.send(Arc::clone(&batch));
         }
     }
 }
@@ -470,56 +560,64 @@ impl Experiment {
         self
     }
 
-    /// Runs the experiment to completion.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Alloc`] if the allocator reports an error
-    /// (out of simulated memory, invalid free).
-    pub fn run(&self) -> Result<RunResult, EngineError> {
-        let mut heap = HeapImage::with_limit(self.opts.heap_limit);
-        let tracer = match &self.opts.record_trace {
-            Some(path) => {
-                let file = std::fs::File::create(path)
-                    .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
-                Some(trace::TraceWriter::new(std::io::BufWriter::new(file)))
-            }
-            None => None,
-        };
+    /// Selects how the reference stream reaches the sinks.
+    pub fn pipeline(mut self, mode: PipelineMode) -> Self {
+        self.opts.pipeline = mode;
+        self
+    }
+
+    /// Builds the run's sinks in canonical order (see [`SinkShard`]).
+    fn build_shards(&self) -> Vec<SinkShard> {
+        let mut shards: Vec<SinkShard> =
+            self.opts.cache_configs.iter().map(|&cfg| SinkShard::Cache(Cache::new(cfg))).collect();
+        if self.opts.paging {
+            shards.push(SinkShard::Pager(StackSim::paper()));
+        }
+        if let Some(path) = &self.opts.record_trace {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+            shards.push(SinkShard::Tracer(trace::TraceWriter::new(std::io::BufWriter::new(file))));
+        }
         let first_cache = self.opts.cache_configs.first().copied();
-        let mut pipeline = Pipeline {
-            counting: CountingSink::new(),
-            bank: CacheBank::new(self.opts.cache_configs.iter().copied()),
-            pager: self.opts.paging.then(StackSim::paper),
-            tracer,
-            victim: self
-                .opts
-                .victim_entries
-                .and_then(|entries| first_cache.map(|cfg| VictimCache::new(cfg, entries))),
-            three_c: self
-                .opts
-                .three_c
-                .then(|| ThreeCAnalyzer::new(first_cache.expect("three_c needs a cache config"))),
-            two_level: self.opts.two_level.then(TwoLevelCache::paper_default),
-        };
-        let mut instrs = InstrCounter::new();
-        let mut allocator = {
-            let mut ctx = MemCtx::new(&mut heap, &mut pipeline, &mut instrs);
-            ctx.set_phase(Phase::Malloc);
-            let a = self
-                .choice
-                .build(&mut ctx, &self.source)
-                .map_err(|source| EngineError::Alloc { at_event: 0, source })?;
-            ctx.set_phase(Phase::App);
-            a
-        };
+        if let Some(entries) = self.opts.victim_entries {
+            if let Some(cfg) = first_cache {
+                shards.push(SinkShard::Victim(VictimCache::new(cfg, entries)));
+            }
+        }
+        if self.opts.three_c {
+            shards.push(SinkShard::ThreeC(ThreeCAnalyzer::new(
+                first_cache.expect("three_c needs a cache config"),
+            )));
+        }
+        if self.opts.two_level {
+            shards.push(SinkShard::TwoLevel(TwoLevelCache::paper_default()));
+        }
+        shards
+    }
+
+    /// The workload loop: builds the allocator, replays every event
+    /// through a batching [`MemCtx`] over `sink`, and flushes. Both
+    /// pipeline modes share this — the mode only decides what `sink`
+    /// does with each batch.
+    fn drive(
+        &self,
+        heap: &mut HeapImage,
+        instrs: &mut InstrCounter,
+        sink: &mut dyn AccessSink,
+    ) -> Result<(Vec<FragSample>, AllocStats), EngineError> {
+        let mut ctx = MemCtx::batched(heap, sink, instrs);
+        ctx.set_phase(Phase::Malloc);
+        let mut allocator = self
+            .choice
+            .build(&mut ctx, &self.source)
+            .map_err(|source| EngineError::Alloc { at_event: 0, source })?;
+        ctx.set_phase(Phase::App);
 
         let mut objects: HashMap<u64, (Address, u32)> = HashMap::new();
         let mut frag_curve = Vec::new();
         // The stack segment sits below the heap; its traffic cycles
         // through a small hot window, as real call stacks do.
         let mut stack = StackWalker::new();
-        let mut ctx = MemCtx::new(&mut heap, &mut pipeline, &mut instrs);
         let events: Box<dyn Iterator<Item = AppEvent>> = match &self.source {
             WorkloadSource::Spec(spec) => Box::new(spec.events(self.opts.scale)),
             WorkloadSource::Events(events) => Box::new(events.iter().copied()),
@@ -563,9 +661,101 @@ impl Experiment {
                 }
             }
         }
-        let _ = ctx;
-        if let Some(tracer) = pipeline.tracer.take() {
-            tracer.finish().expect("finalize trace file");
+        ctx.flush();
+        Ok((frag_curve, *allocator.stats()))
+    }
+
+    /// Drives the run with every shard on its own worker (round-robin
+    /// grouped when there are more shards than hardware threads), then
+    /// hands the shards back in canonical order.
+    #[allow(clippy::type_complexity)]
+    fn run_sharded(
+        &self,
+        heap: &mut HeapImage,
+        instrs: &mut InstrCounter,
+        counting: CountingSink,
+        shards: Vec<SinkShard>,
+    ) -> Result<(Vec<FragSample>, AllocStats, Vec<SinkShard>, CountingSink), EngineError> {
+        if shards.is_empty() {
+            // Only the counting fold is active: nothing to fan out.
+            let mut sink = InlineSink { counting, shards };
+            let (frag_curve, alloc_stats) = self.drive(heap, instrs, &mut sink)?;
+            return Ok((frag_curve, alloc_stats, sink.shards, sink.counting));
+        }
+        let workers = shards.len().min(default_threads().max(1));
+        let mut groups: Vec<Vec<(usize, SinkShard)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (position, shard) in shards.into_iter().enumerate() {
+            groups[position % workers].push((position, shard));
+        }
+        std::thread::scope(|s| {
+            let mut senders = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for mut group in groups {
+                let (tx, rx) =
+                    std::sync::mpsc::sync_channel::<Arc<Vec<MemRef>>>(BATCH_CHANNEL_DEPTH);
+                senders.push(tx);
+                handles.push(s.spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        for (_, shard) in &mut group {
+                            shard.record_batch(&batch);
+                        }
+                    }
+                    group
+                }));
+            }
+            let mut sink = BroadcastSink { counting, senders };
+            let driven = self.drive(heap, instrs, &mut sink);
+            // Drop the senders: each channel closes, each worker drains
+            // its queue and returns its shards — on error paths too.
+            let BroadcastSink { counting, senders } = sink;
+            drop(senders);
+            let mut tagged: Vec<(usize, SinkShard)> = Vec::new();
+            for handle in handles {
+                tagged.extend(handle.join().expect("pipeline worker panicked"));
+            }
+            tagged.sort_by_key(|&(position, _)| position);
+            let shards = tagged.into_iter().map(|(_, shard)| shard).collect();
+            let (frag_curve, alloc_stats) = driven?;
+            Ok((frag_curve, alloc_stats, shards, counting))
+        })
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    pub fn run(&self) -> Result<RunResult, EngineError> {
+        let mut heap = HeapImage::with_limit(self.opts.heap_limit);
+        let mut instrs = InstrCounter::new();
+        let counting = CountingSink::new();
+        let shards = self.build_shards();
+        let (frag_curve, alloc_stats, shards, counting) = match self.opts.pipeline {
+            PipelineMode::Inline => {
+                let mut sink = InlineSink { counting, shards };
+                let (frag_curve, alloc_stats) = self.drive(&mut heap, &mut instrs, &mut sink)?;
+                (frag_curve, alloc_stats, sink.shards, sink.counting)
+            }
+            PipelineMode::Sharded => self.run_sharded(&mut heap, &mut instrs, counting, shards)?,
+        };
+
+        let mut cache = Vec::new();
+        let mut fault_curve = None;
+        let mut victim = None;
+        let mut three_c = None;
+        let mut two_level = None;
+        for shard in shards {
+            match shard {
+                SinkShard::Cache(c) => cache.push((c.config(), *c.stats())),
+                SinkShard::Pager(p) => fault_curve = Some(p.curve()),
+                SinkShard::Tracer(t) => {
+                    t.finish().expect("finalize trace file");
+                }
+                SinkShard::Victim(v) => victim = Some(*v.stats()),
+                SinkShard::ThreeC(a) => three_c = Some(a.classify()),
+                SinkShard::TwoLevel(t) => two_level = Some(t.stats()),
+            }
         }
 
         Ok(RunResult {
@@ -573,15 +763,15 @@ impl Experiment {
             allocator: self.choice.label(),
             scale: self.opts.scale.0,
             instrs,
-            trace: pipeline.counting.stats(),
-            cache: pipeline.bank.results(),
-            fault_curve: pipeline.pager.map(|p| p.curve()),
-            victim: pipeline.victim.map(|v| *v.stats()),
-            three_c: pipeline.three_c.map(|a| a.classify()),
-            two_level: pipeline.two_level.map(|t| t.stats()),
+            trace: counting.stats(),
+            cache,
+            fault_curve,
+            victim,
+            three_c,
+            two_level,
             frag_curve,
             heap_high_water: heap.high_water(),
-            alloc_stats: *allocator.stats(),
+            alloc_stats,
         })
     }
 }
@@ -639,13 +829,27 @@ pub fn standard_matrix(
     choices: &[AllocChoice],
     opts: &SimOptions,
 ) -> Result<Matrix, EngineError> {
+    standard_matrix_with(programs, choices, opts, default_threads())
+}
+
+/// [`standard_matrix`] with an explicit worker-pool size.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] any run produced.
+pub fn standard_matrix_with(
+    programs: &[Program],
+    choices: &[AllocChoice],
+    opts: &SimOptions,
+    threads: usize,
+) -> Result<Matrix, EngineError> {
     let jobs: Vec<Experiment> = programs
         .iter()
         .flat_map(|&p| {
             choices.iter().map(move |c| Experiment::new(p, c.clone()).options(opts.clone()))
         })
         .collect();
-    run_parallel(jobs)
+    run_parallel_with(jobs, threads)
 }
 
 /// Runs a list of experiments on a thread pool, preserving order.

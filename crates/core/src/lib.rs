@@ -43,7 +43,8 @@ pub mod model;
 pub mod report;
 
 pub use engine::{
-    profile_from_events, run_parallel, sample_profile, standard_matrix, AllocChoice, EngineError,
-    Experiment, Matrix, RunResult, SimOptions, WorkloadSource,
+    default_threads, profile_from_events, run_parallel, run_parallel_with, sample_profile,
+    standard_matrix, standard_matrix_with, AllocChoice, EngineError, Experiment, FragSample,
+    Matrix, PipelineMode, RunResult, SimOptions, WorkloadSource,
 };
 pub use model::{estimated_cycles, estimated_seconds, CLOCK_HZ, MISS_PENALTY_CYCLES};

@@ -49,7 +49,7 @@ pub use access::{
 };
 pub use addr::{Address, WORD};
 pub use cost::{InstrCounter, Phase};
-pub use ctx::MemCtx;
+pub use ctx::{MemCtx, BATCH_CAPACITY};
 pub use heap::{HeapImage, OomError};
 
 /// The trait implemented by every consumer of the simulated reference

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use sim_mem::heap::round_up_word;
-use sim_mem::{Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase};
+use sim_mem::{Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, VecSink};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -81,6 +81,46 @@ proptest! {
             loads + stores + ops
         );
         prop_assert_eq!(instrs.phase_total(Phase::App), sim_mem::ctx::SBRK_COST);
+    }
+
+    /// A batching context, once flushed, delivers exactly the reference
+    /// stream an unbatched context does — same records, same order —
+    /// and charges identical instruction counts.
+    #[test]
+    fn batched_ctx_is_equivalent_to_unbatched(
+        ops in proptest::collection::vec(
+            (0u64..1024, any::<u32>(), 0u8..4),
+            1..600,
+        ),
+    ) {
+        let run = |batched: bool| {
+            let mut heap = HeapImage::new();
+            let mut sink = VecSink::new();
+            let mut instrs = InstrCounter::new();
+            let mut ctx = if batched {
+                MemCtx::batched(&mut heap, &mut sink, &mut instrs)
+            } else {
+                MemCtx::new(&mut heap, &mut sink, &mut instrs)
+            };
+            let p = ctx.sbrk(4096).expect("small");
+            ctx.set_phase(Phase::Malloc);
+            for &(slot, value, op) in &ops {
+                match op {
+                    0 => ctx.store(p + (slot % 1024) * 4, value),
+                    1 => {
+                        ctx.load(p + (slot % 1024) * 4);
+                    }
+                    2 => ctx.app_touch(Address::new(slot * 4), value % 4096 + 1, value % 2 == 0),
+                    _ => ctx.ops(u64::from(value % 16)),
+                }
+            }
+            ctx.flush();
+            (sink.refs, instrs.total())
+        };
+        let (plain_refs, plain_instrs) = run(false);
+        let (batch_refs, batch_instrs) = run(true);
+        prop_assert_eq!(plain_refs, batch_refs);
+        prop_assert_eq!(plain_instrs, batch_instrs);
     }
 
     /// app_touch charges one instruction per word and records one

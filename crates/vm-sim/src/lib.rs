@@ -85,6 +85,9 @@ impl Fenwick {
 #[derive(Debug, Clone)]
 pub struct StackSim {
     page_size: u64,
+    /// `log2(page_size)`, so page numbers come from a shift, not a
+    /// division, on the per-reference fast path.
+    page_shift: u32,
     /// page -> 1-based time slot of its most recent access.
     last: HashMap<u64, usize>,
     tree: Fenwick,
@@ -98,6 +101,12 @@ pub struct StackSim {
     accesses: u64,
     /// Fast path: the page of the previous access.
     last_page: Option<u64>,
+    /// Lazily-built suffix sums of `hist` (`suffix[d] = Σ_{i≥d} hist[i]`),
+    /// tagged with the access count they were computed at so any further
+    /// access invalidates them. `RefCell`, not a plain field: queries
+    /// take `&self`, and the simulator is moved — never shared — across
+    /// pipeline workers.
+    suffix: std::cell::RefCell<(u64, Vec<u64>)>,
 }
 
 impl StackSim {
@@ -110,6 +119,7 @@ impl StackSim {
         assert!(page_size.is_power_of_two(), "page size must be a power of two");
         StackSim {
             page_size,
+            page_shift: page_size.trailing_zeros(),
             last: HashMap::new(),
             tree: Fenwick::with_capacity(1024),
             now: 1,
@@ -117,6 +127,7 @@ impl StackSim {
             cold: 0,
             accesses: 0,
             last_page: None,
+            suffix: std::cell::RefCell::new((0, Vec::new())),
         }
     }
 
@@ -128,10 +139,17 @@ impl StackSim {
     /// Records an access of `size` bytes at `addr`, touching every page
     /// the range spans.
     pub fn access_addr(&mut self, addr: Address, size: u32) {
-        let first = addr.raw() / self.page_size;
-        let last = (addr.raw() + u64::from(size.max(1)) - 1) / self.page_size;
-        for page in first..=last {
-            self.access_page(page);
+        let first = addr.raw() >> self.page_shift;
+        let last = (addr.raw() + u64::from(size.max(1)) - 1) >> self.page_shift;
+        if first == last {
+            // Nearly every reference is word-sized and page-aligned
+            // traffic is rare, so the single-page case skips the range
+            // loop entirely.
+            self.access_page(first);
+        } else {
+            for page in first..=last {
+                self.access_page(page);
+            }
         }
     }
 
@@ -194,22 +212,32 @@ impl StackSim {
 
     /// Page faults with an LRU-managed memory of `pages` page frames:
     /// compulsory faults plus every access whose stack distance exceeds
-    /// the memory size.
+    /// the memory size — `faults(m) = cold + Σ_{d>m} hist[d]`.
+    ///
+    /// An O(1) indexed lookup into the histogram's suffix sums, which
+    /// are (re)built in one reverse pass whenever an access has landed
+    /// since the last build. (The old implementation rescanned the
+    /// whole histogram per call, which made [`StackSim::curve`]
+    /// quadratic in the deepest stack distance.)
     pub fn faults_at(&self, pages: u64) -> u64 {
-        let beyond: u64 = self
-            .hist
-            .iter()
-            .enumerate()
-            .skip(1)
-            .filter(|&(d, _)| d as u64 > pages)
-            .map(|(_, &c)| c)
-            .sum();
-        self.cold + beyond
+        let mut cache = self.suffix.borrow_mut();
+        if cache.0 != self.accesses || cache.1.len() != self.hist.len() + 1 {
+            let mut suffix = vec![0u64; self.hist.len() + 1];
+            for d in (1..self.hist.len()).rev() {
+                suffix[d] = suffix[d + 1] + self.hist[d];
+            }
+            *cache = (self.accesses, suffix);
+        }
+        let idx = pages.saturating_add(1).min(cache.1.len() as u64 - 1) as usize;
+        self.cold + cache.1[idx]
     }
 
     /// The full fault curve: `curve()[m]` is the fault count with `m`
     /// page frames (index 0 = every access faults conceptually, reported
     /// as faults at 0 frames = all accesses beyond distance 0).
+    ///
+    /// One suffix-sum pass (the first [`StackSim::faults_at`] call
+    /// builds the cache) plus an indexed lookup per point.
     pub fn curve(&self) -> FaultCurve {
         let max = self.hist.len() as u64;
         let points = (0..=max).map(|m| (m, self.faults_at(m))).collect();
@@ -349,6 +377,23 @@ mod tests {
                     .sum::<u64>();
             assert_eq!(s.faults_at(m), naive, "mismatch at memory {m}");
         }
+    }
+
+    #[test]
+    fn curve_matches_pointwise_faults_at() {
+        // The suffix-sum curve must agree with the direct histogram scan
+        // at every memory size.
+        let mut s = StackSim::new(4096);
+        let mut x = 77u64;
+        for _ in 0..8000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.access_page(x % 200);
+        }
+        let curve = s.curve();
+        for &(m, f) in &curve.points {
+            assert_eq!(f, s.faults_at(m), "curve disagrees at {m} frames");
+        }
+        assert_eq!(curve.points.len(), s.curve().points.len());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! must have LRU's inclusion property.
 
 use proptest::prelude::*;
+use sim_mem::{AccessSink, Address, MemRef};
 use vm_sim::StackSim;
 
 /// Brute-force LRU stack: returns (cold, histogram of distances).
@@ -82,6 +83,47 @@ proptest! {
         sim.access_addr(start.into(), len);
         let expected = (start + u64::from(len) - 1) / 4096 - start / 4096 + 1;
         prop_assert_eq!(sim.distinct_pages(), expected);
+    }
+
+    /// The suffix-sum fault curve agrees with `faults_at` pointwise at
+    /// every memory size it covers.
+    #[test]
+    fn curve_agrees_with_pointwise_faults(
+        pages in proptest::collection::vec(0u64..60, 1..400),
+    ) {
+        let mut sim = StackSim::new(4096);
+        for &p in &pages {
+            sim.access_page(p);
+        }
+        let curve = sim.curve();
+        for &(mem, faults) in &curve.points {
+            prop_assert_eq!(faults, sim.faults_at(mem), "divergence at memory {}", mem);
+        }
+    }
+
+    /// Batch delivery through the `AccessSink` trait is invisible: a
+    /// reference stream chopped at an arbitrary boundary produces the
+    /// same fault curve as per-record delivery.
+    #[test]
+    fn batch_boundaries_are_invisible(
+        refs in proptest::collection::vec((0u64..1_000_000, 1u32..20_000), 1..200),
+        cut in 0usize..=200,
+    ) {
+        let stream: Vec<MemRef> =
+            refs.iter().map(|&(a, l)| MemRef::app_read(Address::new(a), l)).collect();
+
+        let mut per_record = StackSim::new(4096);
+        for &r in &stream {
+            per_record.record(r);
+        }
+
+        let mut batched = StackSim::new(4096);
+        let split = cut % (stream.len() + 1);
+        batched.record_batch(&stream[..split]);
+        batched.record_batch(&stream[split..]);
+
+        prop_assert_eq!(per_record.curve().points, batched.curve().points);
+        prop_assert_eq!(per_record.distinct_pages(), batched.distinct_pages());
     }
 
     /// Compaction (forced by long streams over few pages) never changes

@@ -86,17 +86,14 @@ pub fn parse_trace<R: Read>(input: R) -> Result<Vec<AppEvent>, ImportError> {
         }
         let mut parts = line.split_ascii_whitespace();
         let verb = parts.next().expect("non-empty line has a verb");
-        let mut field = |name: &str| {
-            parts.next().ok_or_else(|| err(lineno, format!("missing field <{name}>")))
-        };
+        let mut field =
+            |name: &str| parts.next().ok_or_else(|| err(lineno, format!("missing field <{name}>")));
         match verb {
             "a" => {
-                let id: u64 = field("id")?
-                    .parse()
-                    .map_err(|e| err(lineno, format!("bad id: {e}")))?;
-                let size: u32 = field("size")?
-                    .parse()
-                    .map_err(|e| err(lineno, format!("bad size: {e}")))?;
+                let id: u64 =
+                    field("id")?.parse().map_err(|e| err(lineno, format!("bad id: {e}")))?;
+                let size: u32 =
+                    field("size")?.parse().map_err(|e| err(lineno, format!("bad size: {e}")))?;
                 let site: u32 = match parts.next() {
                     Some(s) => s.parse().map_err(|e| err(lineno, format!("bad site: {e}")))?,
                     None => 0,
@@ -108,24 +105,21 @@ pub fn parse_trace<R: Read>(input: R) -> Result<Vec<AppEvent>, ImportError> {
                 events.push(AppEvent::Malloc { id, size, site });
             }
             "f" => {
-                let id: u64 = field("id")?
-                    .parse()
-                    .map_err(|e| err(lineno, format!("bad id: {e}")))?;
+                let id: u64 =
+                    field("id")?.parse().map_err(|e| err(lineno, format!("bad id: {e}")))?;
                 if live.remove(&id).is_none() {
                     return Err(err(lineno, format!("free of dead object {id}")));
                 }
                 events.push(AppEvent::Free { id });
             }
             "t" => {
-                let id: u64 = field("id")?
-                    .parse()
-                    .map_err(|e| err(lineno, format!("bad id: {e}")))?;
+                let id: u64 =
+                    field("id")?.parse().map_err(|e| err(lineno, format!("bad id: {e}")))?;
                 let offset: u32 = field("offset")?
                     .parse()
                     .map_err(|e| err(lineno, format!("bad offset: {e}")))?;
-                let len: u32 = field("len")?
-                    .parse()
-                    .map_err(|e| err(lineno, format!("bad len: {e}")))?;
+                let len: u32 =
+                    field("len")?.parse().map_err(|e| err(lineno, format!("bad len: {e}")))?;
                 let write = match field("r|w")? {
                     "r" => false,
                     "w" => true,
@@ -224,8 +218,7 @@ mod tests {
 
     #[test]
     fn round_trips_through_text() {
-        let original: Vec<AppEvent> =
-            Program::Make.spec().events(Scale(0.02)).collect();
+        let original: Vec<AppEvent> = Program::Make.spec().events(Scale(0.02)).collect();
         let mut buf = Vec::new();
         write_trace(&original, &mut buf).unwrap();
         let back = parse_trace(&buf[..]).unwrap();

@@ -110,6 +110,60 @@ fn full_pipeline_is_deterministic() {
 }
 
 #[test]
+fn sharded_pipeline_matches_inline_bit_for_bit() {
+    // Acceptance criterion for the batched pipeline: fanning the
+    // reference stream out to worker threads (PipelineMode::Sharded)
+    // must leave every measurement — including the recorded trace
+    // file — bit-identical to the single-threaded inline pass. Every
+    // shard kind is attached: two caches, the pager, a trace writer,
+    // a victim buffer, the three-C analyzer, the two-level hierarchy,
+    // and fragmentation sampling.
+    use alloc_locality_repro::engine::PipelineMode;
+
+    let dir = std::env::temp_dir();
+    let trace_for =
+        |mode: &str| dir.join(format!("pipeline-eq-{}-{mode}.altr", std::process::id()));
+    let run = |mode: PipelineMode, trace: std::path::PathBuf| {
+        let opts = SimOptions {
+            victim_entries: Some(8),
+            three_c: true,
+            two_level: true,
+            frag_sample_every: 64,
+            record_trace: Some(trace),
+            ..quick_opts(0.005)
+        };
+        Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+            .options(opts)
+            .pipeline(mode)
+            .run()
+            .expect("runs")
+    };
+
+    let inline_trace = trace_for("inline");
+    let sharded_trace = trace_for("sharded");
+    let a = run(PipelineMode::Inline, inline_trace.clone());
+    let b = run(PipelineMode::Sharded, sharded_trace.clone());
+
+    assert_eq!(a.instrs, b.instrs);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.fault_curve, b.fault_curve);
+    assert_eq!(a.victim, b.victim);
+    assert_eq!(a.three_c, b.three_c);
+    assert_eq!(a.two_level, b.two_level);
+    assert_eq!(a.frag_curve, b.frag_curve);
+    assert_eq!(a.heap_high_water, b.heap_high_water);
+    assert_eq!(a.alloc_stats, b.alloc_stats);
+
+    let inline_bytes = std::fs::read(&inline_trace).expect("inline trace written");
+    let sharded_bytes = std::fs::read(&sharded_trace).expect("sharded trace written");
+    assert!(!inline_bytes.is_empty());
+    assert_eq!(inline_bytes, sharded_bytes, "trace files must be byte-identical");
+    let _ = std::fs::remove_file(inline_trace);
+    let _ = std::fs::remove_file(sharded_trace);
+}
+
+#[test]
 fn custom_and_tagged_variants_run_end_to_end() {
     for choice in
         [AllocChoice::Custom, AllocChoice::CustomBounded(0.25), AllocChoice::GnuLocalTagged]
@@ -142,17 +196,15 @@ fn exported_trace_replays_identically() {
         .run()
         .expect("original run");
 
-    let events: Vec<workloads::AppEvent> =
-        Program::Make.spec().events(Scale(scale)).collect();
+    let events: Vec<workloads::AppEvent> = Program::Make.spec().events(Scale(scale)).collect();
     let mut text = Vec::new();
     write_trace(&events, &mut text).expect("export");
     let imported = parse_trace(&text[..]).expect("import");
 
-    let replayed =
-        Exp::with_events("make", imported, AllocChoice::Paper(AllocatorKind::GnuLocal))
-            .options(quick_opts(scale))
-            .run()
-            .expect("replayed run");
+    let replayed = Exp::with_events("make", imported, AllocChoice::Paper(AllocatorKind::GnuLocal))
+        .options(quick_opts(scale))
+        .run()
+        .expect("replayed run");
 
     assert_eq!(replayed.instrs, original.instrs);
     assert_eq!(replayed.trace, original.trace);
