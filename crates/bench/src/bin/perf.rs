@@ -1,15 +1,29 @@
 //! `perf`: wall-clock harness for the reference pipeline.
 //!
 //! ```text
-//! perf [--scale F] [--repeat N] [--out FILE]
+//! perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]
 //! ```
 //!
-//! Runs a fixed heavy configuration — the full paper cache sweep plus the
-//! stack-distance pager — once per [`PipelineMode`], takes the best of
-//! `--repeat` timings for each, checks the two modes produced
-//! bit-identical results, and writes `BENCH_pipeline.json` with
-//! references/second, the sharded-over-inline speedup, and a per-sink
-//! cost breakdown (each sink timed alone against the same workload).
+//! Two measurements, two reports:
+//!
+//! 1. **Pipeline** (`BENCH_pipeline.json`): the fixed heavy
+//!    configuration — full paper cache sweep plus the stack-distance
+//!    pager — once per [`PipelineMode`], best of `--repeat`, with a
+//!    per-sink cost breakdown.
+//! 2. **Sweep** (`BENCH_sweep.json`): the single-pass
+//!    [`cache_sim::SweepCache`] against the per-cache
+//!    [`cache_sim::CacheBank`] on the paper's five-configuration sweep.
+//!    Each cell's run-compressed reference stream is captured once with
+//!    [`Experiment::capture_runs`], then replayed into each cache
+//!    component directly, so the timing isolates the simulators from
+//!    the (identical) workload-driver cost. By default one cell
+//!    (espresso/FirstFit); with `--matrix`, all five paper programs ×
+//!    (FirstFit, BSD, QuickFit), one aggregated JSON with per-cell
+//!    refs/sec.
+//!
+//! Every comparison checks the two paths produced bit-identical
+//! [`RunResult`]s; any divergence makes the process exit non-zero, which
+//! is what CI's release-mode smoke job keys on.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,14 +33,15 @@ use alloc_locality::{
     default_threads, AllocChoice, Experiment, PipelineMode, RunResult, SimOptions,
 };
 use allocators::AllocatorKind;
-use cache_sim::CacheConfig;
+use cache_sim::{CacheBank, CacheConfig, SweepCache};
 use serde::Serialize;
+use sim_mem::{AccessSink, CountingSink, RefRun};
 use workloads::{Program, Scale};
 
 /// One timed mode (or lone sink) of the harness.
 #[derive(Debug, Clone, Serialize)]
 struct Timing {
-    /// What ran: "inline", "sharded", or a sink label.
+    /// What ran: "inline", "sharded", "bank", "sweep", or a sink label.
     label: String,
     /// Best wall-clock seconds over the repeats.
     secs: f64,
@@ -34,9 +49,9 @@ struct Timing {
     refs_per_sec: f64,
 }
 
-/// The harness's JSON report (`BENCH_pipeline.json`).
+/// The pipeline harness's JSON report (`BENCH_pipeline.json`).
 #[derive(Debug, Clone, Serialize)]
-struct Report {
+struct PipelineReport {
     program: String,
     allocator: String,
     scale: f64,
@@ -57,16 +72,60 @@ struct Report {
     per_sink: Vec<Timing>,
 }
 
+/// One (program, allocator) cell of the bank-vs-sweep comparison.
+#[derive(Debug, Clone, Serialize)]
+struct SweepCell {
+    program: String,
+    allocator: String,
+    /// Word-granular data references the cell's workload produced.
+    data_refs: u64,
+    /// Run-compressed entries in the captured stream.
+    stream_runs: u64,
+    /// The per-cache [`CacheBank`] replaying the captured stream.
+    bank: Timing,
+    /// The single-pass [`SweepCache`] replaying the same stream.
+    sweep: Timing,
+    /// `bank.secs / sweep.secs`.
+    speedup: f64,
+    /// Whether the two simulators produced bit-identical statistics.
+    identical_results: bool,
+}
+
+/// The sweep harness's JSON report (`BENCH_sweep.json`).
+#[derive(Debug, Clone, Serialize)]
+struct SweepReport {
+    scale: f64,
+    repeats: u32,
+    /// Whether the full program × allocator matrix was measured.
+    matrix: bool,
+    /// The cache configurations both engines simulated.
+    cache_configs: Vec<String>,
+    cells: Vec<SweepCell>,
+    /// Total refs over total seconds, across all cells.
+    aggregate_bank_refs_per_sec: f64,
+    aggregate_sweep_refs_per_sec: f64,
+    /// Aggregate bank seconds over aggregate sweep seconds.
+    aggregate_speedup: f64,
+    /// Smallest per-cell speedup (the conservative headline).
+    min_cell_speedup: f64,
+    /// True iff every cell was bit-identical across engines.
+    identical_results: bool,
+}
+
 struct Args {
     scale: f64,
     repeat: u32,
+    matrix: bool,
     out: PathBuf,
+    sweep_out: PathBuf,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = 0.02;
     let mut repeat = 3;
+    let mut matrix = false;
     let mut out = PathBuf::from("BENCH_pipeline.json");
+    let mut sweep_out = PathBuf::from("BENCH_sweep.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -84,22 +143,40 @@ fn parse_args() -> Result<Args, String> {
                     return Err("repeat count must be at least 1".into());
                 }
             }
+            "--matrix" => matrix = true,
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a path")?);
             }
+            "--sweep-out" => {
+                sweep_out = PathBuf::from(args.next().ok_or("--sweep-out needs a path")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: perf [--scale F] [--repeat N] [--out FILE]".into());
+                return Err(
+                    "usage: perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]\n\
+                     --matrix measures all five paper programs x (FirstFit, BSD, QuickFit)\n\
+                     in the bank-vs-sweep comparison instead of espresso/FirstFit alone"
+                        .into(),
+                );
             }
             other => return Err(format!("unknown argument {other:?}; try --help")),
         }
     }
-    Ok(Args { scale, repeat, out })
+    Ok(Args { scale, repeat, matrix, out, sweep_out })
 }
 
-/// The fixed heavy workload: espresso under FIRSTFIT (the paper's most
-/// metadata-hungry pairing) with the full cache sweep and paging on.
+/// The fixed heavy workload of the pipeline report: espresso under
+/// FIRSTFIT (the paper's most metadata-hungry pairing).
 fn experiment(scale: f64, opts: SimOptions) -> Experiment {
-    Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+    cell_experiment(Program::Espresso, AllocatorKind::FirstFit, scale, opts)
+}
+
+fn cell_experiment(
+    program: Program,
+    allocator: AllocatorKind,
+    scale: f64,
+    opts: SimOptions,
+) -> Experiment {
+    Experiment::new(program, AllocChoice::Paper(allocator))
         .options(SimOptions { scale: Scale(scale), ..opts })
 }
 
@@ -135,8 +212,9 @@ fn identical(a: &RunResult, b: &RunResult) -> bool {
         && a.alloc_stats == b.alloc_stats
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+/// The pipeline report: inline vs. sharded delivery of the full heavy
+/// configuration (cache sweep + pager), plus each sink timed alone.
+fn pipeline_report(args: &Args) -> Result<PipelineReport, String> {
     let base = SimOptions {
         cache_configs: CacheConfig::paper_sweep(),
         paging: true,
@@ -187,7 +265,7 @@ fn run() -> Result<(), String> {
         eprintln!("  {:<12} {:.3}s", t.label, t.secs);
     }
 
-    let report = Report {
+    Ok(PipelineReport {
         program: inline_result.program.clone(),
         allocator: inline_result.allocator.clone(),
         scale: args.scale,
@@ -200,16 +278,157 @@ fn run() -> Result<(), String> {
         speedup: inline_secs / sharded_secs.max(1e-9),
         identical_results: same,
         per_sink,
+    })
+}
+
+/// The allocators of the `--matrix` sweep: the sequential fit the paper
+/// indicts, segregated storage, and the paper's recommended default.
+const MATRIX_ALLOCATORS: [AllocatorKind; 3] =
+    [AllocatorKind::FirstFit, AllocatorKind::Bsd, AllocatorKind::QuickFit];
+
+/// Best-of-`repeat` replay of a captured stream into a freshly built
+/// sink; returns the last build's finished value and the fastest time.
+fn time_component<S: AccessSink, R>(
+    repeat: u32,
+    runs: &[RefRun],
+    build: impl Fn() -> S,
+    finish: impl Fn(S) -> R,
+) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeat {
+        let mut sink = build();
+        let start = Instant::now();
+        sink.record_runs(runs);
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(finish(sink));
+    }
+    (result.expect("repeat >= 1"), best)
+}
+
+/// The bank-vs-sweep report: the single-pass [`SweepCache`] against the
+/// per-cache [`CacheBank`] on the paper's five-configuration sweep, per
+/// (program, allocator) cell.
+///
+/// Each cell's run-compressed stream is captured once; both simulators
+/// then replay the identical stream, so the measured refs/sec is cache
+/// simulation throughput with the (shared, unchanged) workload-driver
+/// cost excluded.
+fn sweep_report(args: &Args) -> Result<SweepReport, String> {
+    let configs = CacheConfig::paper_sweep();
+    let cells_spec: Vec<(Program, AllocatorKind)> = if args.matrix {
+        Program::FIVE
+            .into_iter()
+            .flat_map(|p| MATRIX_ALLOCATORS.into_iter().map(move |a| (p, a)))
+            .collect()
+    } else {
+        vec![(Program::Espresso, AllocatorKind::FirstFit)]
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out.display()))?;
+
     eprintln!(
-        "speedup: {:.2}x (identical results: {same})\n[wrote {}]",
-        report.speedup,
-        args.out.display()
+        "# sweep perf: bank vs single-pass sweep, {} cache configs, {} cell(s), best of {}",
+        configs.len(),
+        cells_spec.len(),
+        args.repeat
     );
-    if !same {
+
+    let mut cells = Vec::with_capacity(cells_spec.len());
+    let (mut bank_total, mut sweep_total, mut refs_total) = (0.0f64, 0.0f64, 0u64);
+    let mut min_speedup = f64::INFINITY;
+    let mut all_identical = true;
+    for (program, allocator) in cells_spec {
+        // No sinks attached: the capture drive only collects the stream.
+        let opts = SimOptions { cache_configs: vec![], paging: false, ..SimOptions::default() };
+        let exp = cell_experiment(program, allocator, args.scale, opts);
+        let runs = exp.capture_runs().map_err(|e| e.to_string())?;
+        let mut counter = CountingSink::new();
+        counter.record_runs(&runs);
+        let refs = counter.stats().total_words();
+
+        let (bank_results, bank_secs) = time_component(
+            args.repeat,
+            &runs,
+            || CacheBank::new(configs.iter().copied()),
+            |bank| bank.results(),
+        );
+        let (sweep_results, sweep_secs) = time_component(
+            args.repeat,
+            &runs,
+            || SweepCache::try_new(configs.iter().copied()).expect("paper sweep is sweepable"),
+            |sweep| sweep.results(),
+        );
+
+        let same = bank_results == sweep_results;
+        let speedup = bank_secs / sweep_secs.max(1e-9);
+        eprintln!(
+            "  {:<10}/{:<9} bank {bank_secs:.3}s  sweep {sweep_secs:.3}s  {speedup:.2}x  \
+             (identical: {same})",
+            program.label(),
+            allocator.label(),
+        );
+        if !same {
+            eprintln!("WARNING: sweep statistics differ from bank statistics");
+        }
+        bank_total += bank_secs;
+        sweep_total += sweep_secs;
+        refs_total += refs;
+        min_speedup = min_speedup.min(speedup);
+        all_identical &= same;
+        cells.push(SweepCell {
+            program: program.label().to_string(),
+            allocator: allocator.label().to_string(),
+            data_refs: refs,
+            stream_runs: runs.len() as u64,
+            bank: timing("bank", bank_secs, refs),
+            sweep: timing("sweep", sweep_secs, refs),
+            speedup,
+            identical_results: same,
+        });
+    }
+
+    Ok(SweepReport {
+        scale: args.scale,
+        repeats: args.repeat,
+        matrix: args.matrix,
+        cache_configs: configs.iter().map(|c| c.to_string()).collect(),
+        cells,
+        aggregate_bank_refs_per_sec: refs_total as f64 / bank_total.max(1e-9),
+        aggregate_sweep_refs_per_sec: refs_total as f64 / sweep_total.max(1e-9),
+        aggregate_speedup: bank_total / sweep_total.max(1e-9),
+        min_cell_speedup: min_speedup,
+        identical_results: all_identical,
+    })
+}
+
+fn write_json<T: Serialize>(path: &PathBuf, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).expect("serialize report");
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("[wrote {}]", path.display());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let pipeline = pipeline_report(&args)?;
+    eprintln!(
+        "pipeline speedup: {:.2}x (identical results: {})",
+        pipeline.speedup, pipeline.identical_results
+    );
+    write_json(&args.out, &pipeline)?;
+
+    let sweep = sweep_report(&args)?;
+    eprintln!(
+        "sweep speedup: {:.2}x aggregate, {:.2}x min cell (identical results: {})",
+        sweep.aggregate_speedup, sweep.min_cell_speedup, sweep.identical_results
+    );
+    write_json(&args.sweep_out, &sweep)?;
+
+    if !pipeline.identical_results {
         return Err("sharded pipeline diverged from inline".into());
+    }
+    if !sweep.identical_results {
+        return Err("single-pass sweep diverged from the per-cache bank".into());
     }
     Ok(())
 }

@@ -10,8 +10,9 @@
 //!
 //! With no target, `all` is assumed. `--json DIR` additionally writes
 //! each result as machine-readable JSON for re-plotting and diffing.
-//! `--threads N` sizes the sweep's worker pool (default: one worker per
-//! hardware thread).
+//! `--threads N` sizes the sweep's worker pool; `--threads 0` (and the
+//! default when the flag is omitted) auto-detects one worker per
+//! hardware thread via `std::thread::available_parallelism`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -72,7 +73,8 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--threads needs a value")?;
                 threads = v.parse().map_err(|e| format!("bad thread count {v}: {e}"))?;
                 if threads == 0 {
-                    return Err("thread count must be at least 1".into());
+                    // 0 = auto-detect, same as omitting the flag.
+                    threads = alloc_locality::default_threads();
                 }
             }
             "--json" => {
@@ -80,7 +82,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--scale F] [--threads N] [--json DIR] [TARGET ...]\ntargets: {} all",
+                    "usage: repro [--scale F] [--threads N] [--json DIR] [TARGET ...]\n\
+                     --threads 0 (or omitted) auto-detects from available_parallelism\n\
+                     targets: {} all",
                     ALL_TARGETS.join(" ")
                 ));
             }

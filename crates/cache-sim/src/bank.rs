@@ -1,6 +1,6 @@
 //! Simulating many cache configurations in one pass.
 
-use sim_mem::{AccessSink, MemRef};
+use sim_mem::{AccessSink, MemRef, RefRun};
 
 use crate::{Cache, CacheConfig, CacheStats};
 
@@ -65,6 +65,14 @@ impl AccessSink for CacheBank {
             for &r in batch {
                 cache.access(r);
             }
+        }
+    }
+
+    /// Same loop-nest inversion for run-compressed batches; each member
+    /// applies its own run fast path.
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        for cache in &mut self.caches {
+            cache.record_runs(runs);
         }
     }
 }

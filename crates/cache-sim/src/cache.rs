@@ -1,7 +1,7 @@
 //! One simulated cache.
 
 use serde::{Deserialize, Serialize};
-use sim_mem::{AccessClass, AccessSink, MemRef};
+use sim_mem::{AccessClass, AccessSink, MemRef, RefRun};
 
 use crate::CacheConfig;
 
@@ -178,12 +178,18 @@ impl Cache {
                 }
             }
         }
-        let words = u64::from(r.size.div_ceil(4).max(1));
+        self.count_words(r, 1);
+        misses
+    }
+
+    /// Advances the word-granular access counters by `n` occurrences of
+    /// `r`, without touching tags or LRU state.
+    fn count_words(&mut self, r: MemRef, n: u64) {
+        let words = r.words() * n;
         match r.class {
             AccessClass::AppData => self.stats.app_accesses += words,
             AccessClass::AllocatorMeta => self.stats.meta_accesses += words,
         }
-        misses
     }
 
     /// Checks residency without touching LRU state or statistics.
@@ -231,6 +237,27 @@ impl Cache {
 impl AccessSink for Cache {
     fn record(&mut self, r: MemRef) {
         self.access(r);
+    }
+
+    /// Run fast path: repeats of a single-block reference are swallowed
+    /// by the last-block short-circuit in the raw stream — whatever the
+    /// associativity — so after the first occurrence only the word
+    /// counters move. Multi-block repeats re-walk their span in the raw
+    /// stream (the leading blocks are looked up again) and therefore
+    /// fall back to the full access.
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        for run in runs {
+            self.access(run.r);
+            if run.count > 1 {
+                if run.r.single_block(u64::from(self.config.block)) {
+                    self.count_words(run.r, u64::from(run.count - 1));
+                } else {
+                    for _ in 1..run.count {
+                        self.access(run.r);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -9,9 +9,15 @@
 //!   choice) or N-way set-associative with LRU replacement (the extension
 //!   Wilson's cited work considers), write-allocate, and cold- vs.
 //!   capacity/conflict-miss classification.
-//! * [`CacheBank`] — many configurations simulated in a single pass over
-//!   the reference stream, which is how the miss-rate-vs-cache-size
-//!   curves of Figures 6–8 are produced.
+//! * [`CacheBank`] — many arbitrary configurations fed by one replay of
+//!   the reference stream (each member still decomposes every reference
+//!   itself).
+//! * [`SweepCache`] — the paper's sweep shape (direct-mapped, common
+//!   block size) simulated in a genuine single pass: one block
+//!   decomposition, one last-block short-circuit, and one cold-miss
+//!   membership set shared by all members, bit-identical to a bank of
+//!   independent caches. This is how the miss-rate-vs-cache-size curves
+//!   of Figures 6–8 are produced.
 //!
 //! References of any byte size are decomposed into blocks; statistics are
 //! kept separately for application and allocator-metadata references so
@@ -37,6 +43,7 @@ pub mod bank;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod sweep;
 pub mod three_c;
 pub mod victim;
 
@@ -44,5 +51,6 @@ pub use bank::CacheBank;
 pub use cache::{Cache, CacheStats};
 pub use config::CacheConfig;
 pub use hierarchy::{TwoLevelCache, TwoLevelStats, L1_MISS_PENALTY, L2_MISS_PENALTY};
+pub use sweep::SweepCache;
 pub use three_c::{ThreeC, ThreeCAnalyzer};
 pub use victim::{VictimCache, VictimStats};

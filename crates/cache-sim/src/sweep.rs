@@ -1,0 +1,361 @@
+//! Single-pass simulation of the paper's whole cache sweep.
+//!
+//! [`crate::CacheBank`] simulates N configurations by replaying every
+//! reference N times — once per member [`Cache`], each with its own
+//! block decomposition, its own last-block short-circuit, and its own
+//! cold-miss membership set. The paper's sweep has more structure than
+//! that: every configuration is direct-mapped with the *same*
+//! power-of-two block size, and the line counts are powers of two, so
+//! the set index of a smaller cache is a bit-suffix of the largest
+//! cache's index:
+//!
+//! ```text
+//! index_i(block) = block mod lines_i = (block mod lines_max) mod lines_i
+//!                = index_max(block) & (lines_i - 1)
+//! ```
+//!
+//! [`SweepCache`] exploits that: one walk over the reference stream
+//! decomposes each reference into blocks *once* and updates every tag
+//! array from that shared decomposition. Three more pieces of per-member
+//! state collapse into shared state, each exactly, because every member
+//! consumes the identical stream:
+//!
+//! * the **last-block short-circuit** — the most recently touched block
+//!   is the same for every member;
+//! * the **cold-miss [`BlockSet`]** — a block's first-ever touch misses
+//!   in *every* member (it cannot be resident anywhere before it has
+//!   ever been referenced), so each member's "seen" set would grow
+//!   identically anyway; per touch, the freshness answer is computed
+//!   once and applied to every member that missed;
+//! * the **word-granular access counters** — accesses are counted per
+//!   reference, not per block fetched, so every member's totals are
+//!   equal and one shared pair (app/meta) suffices. Only misses differ
+//!   per member.
+//!
+//! The result is bit-identical to a bank of independent [`Cache`]s fed
+//! the same stream, at roughly one cache's cost instead of five.
+
+use sim_mem::{AccessClass, AccessSink, MemRef, RefRun};
+
+use crate::cache::BlockSet;
+use crate::{CacheConfig, CacheStats};
+
+/// Per-member miss counters — the only statistics that differ between
+/// members of a sweep (see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+struct MemberMisses {
+    app: u64,
+    meta: u64,
+    cold: u64,
+}
+
+/// Many direct-mapped, common-block-size caches simulated in one walk
+/// over the reference stream.
+///
+/// Construct with [`SweepCache::try_new`]; configurations that do not
+/// share the sweep structure (associative members, mixed block sizes)
+/// are rejected so callers can fall back to a [`crate::CacheBank`].
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::{CacheConfig, SweepCache};
+/// use sim_mem::{AccessSink, Address, MemRef};
+///
+/// let mut sweep = SweepCache::try_new(CacheConfig::paper_sweep()).unwrap();
+/// sweep.record(MemRef::app_read(Address::new(0), 4));
+/// assert_eq!(sweep.results().len(), 5);
+/// assert!(sweep.results().iter().all(|(_, s)| s.misses() == 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    /// `log2` of the shared block size, so block numbers come from a
+    /// shift on the per-reference fast path.
+    block_shift: u32,
+    /// Member configurations, in construction order.
+    configs: Vec<CacheConfig>,
+    /// Per member: line-index mask (`lines - 1`).
+    masks: Vec<u64>,
+    /// Per member: offset of its tag array within `tags`.
+    offsets: Vec<usize>,
+    /// All members' tag arrays, concatenated (`u64::MAX` = invalid).
+    tags: Vec<u64>,
+    /// Per member miss counters.
+    misses: Vec<MemberMisses>,
+    /// Shared word-granular access counters (identical for every
+    /// member; see the module docs).
+    app_words: u64,
+    meta_words: u64,
+    /// Every block number ever referenced — shared by all members.
+    seen: BlockSet,
+    /// The most recently touched block (`u64::MAX` before any access).
+    last_block: u64,
+}
+
+impl SweepCache {
+    /// Builds a single-pass sweep over `configs`, or `None` if they do
+    /// not share the sweep structure: at least one member, all
+    /// direct-mapped, all with the same block size. (Power-of-two sizes
+    /// are already guaranteed by [`CacheConfig`]'s constructors.)
+    pub fn try_new(configs: impl IntoIterator<Item = CacheConfig>) -> Option<Self> {
+        let configs: Vec<CacheConfig> = configs.into_iter().collect();
+        let block = configs.first()?.block;
+        if configs.iter().any(|c| c.assoc != 1 || c.block != block) {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(configs.len());
+        let mut masks = Vec::with_capacity(configs.len());
+        let mut total = 0usize;
+        for c in &configs {
+            offsets.push(total);
+            masks.push(u64::from(c.lines()) - 1);
+            total += c.lines() as usize;
+        }
+        Some(SweepCache {
+            block_shift: block.trailing_zeros(),
+            misses: vec![MemberMisses::default(); configs.len()],
+            configs,
+            masks,
+            offsets,
+            tags: vec![u64::MAX; total],
+            app_words: 0,
+            meta_words: 0,
+            seen: BlockSet::new(),
+            last_block: u64::MAX,
+        })
+    }
+
+    /// The member configurations, in construction order.
+    pub fn configs(&self) -> &[CacheConfig] {
+        &self.configs
+    }
+
+    /// Statistics for the member with exactly this configuration, if any.
+    pub fn stats_for(&self, config: CacheConfig) -> Option<CacheStats> {
+        self.configs.iter().position(|&c| c == config).map(|i| self.member_stats(i))
+    }
+
+    /// `(config, stats)` pairs for reporting, in construction order.
+    pub fn results(&self) -> Vec<(CacheConfig, CacheStats)> {
+        (0..self.configs.len()).map(|i| (self.configs[i], self.member_stats(i))).collect()
+    }
+
+    fn member_stats(&self, i: usize) -> CacheStats {
+        let m = self.misses[i];
+        CacheStats {
+            app_accesses: self.app_words,
+            app_misses: m.app,
+            meta_accesses: self.meta_words,
+            meta_misses: m.meta,
+            cold_misses: m.cold,
+        }
+    }
+
+    /// Simulates one reference against every member: the block
+    /// decomposition happens once, each spanned block updates all tag
+    /// arrays, and the shared access counters advance by the number of
+    /// words referenced.
+    pub fn access(&mut self, r: MemRef) {
+        let first = r.addr.raw() >> self.block_shift;
+        let last = (r.addr.raw() + u64::from(r.size.max(1)) - 1) >> self.block_shift;
+        if first == last {
+            // Nearly every reference is word-sized: one block, one
+            // shared short-circuit check.
+            if first != self.last_block {
+                self.last_block = first;
+                self.touch_block(first, r.class);
+            }
+        } else {
+            for block in first..=last {
+                if block == self.last_block {
+                    continue;
+                }
+                self.last_block = block;
+                self.touch_block(block, r.class);
+            }
+        }
+        self.count_words(r, 1);
+    }
+
+    /// Advances the shared word-granular access counters by `n`
+    /// occurrences of `r`, without touching tags.
+    #[inline]
+    fn count_words(&mut self, r: MemRef, n: u64) {
+        let words = r.words() * n;
+        match r.class {
+            AccessClass::AppData => self.app_words += words,
+            AccessClass::AllocatorMeta => self.meta_words += words,
+        }
+    }
+
+    /// Brings `block` into every member, counting misses per member and
+    /// classifying cold misses against the shared membership set.
+    fn touch_block(&mut self, block: u64, class: AccessClass) {
+        let SweepCache { offsets, masks, tags, misses, seen, .. } = self;
+        // Freshness is queried at most once per touch: the first member
+        // that misses inserts into the shared set, and the answer is
+        // reused for its siblings (their own sets would have given the
+        // same answer — see the module docs).
+        let mut fresh: Option<bool> = None;
+        for ((&offset, &mask), m) in offsets.iter().zip(masks.iter()).zip(misses.iter_mut()) {
+            let tag = &mut tags[offset + (block & mask) as usize];
+            if *tag != block {
+                *tag = block;
+                let was_fresh = *fresh.get_or_insert_with(|| seen.insert(block));
+                match class {
+                    AccessClass::AppData => m.app += 1,
+                    AccessClass::AllocatorMeta => m.meta += 1,
+                }
+                m.cold += u64::from(was_fresh);
+            }
+        }
+    }
+}
+
+impl AccessSink for SweepCache {
+    fn record(&mut self, r: MemRef) {
+        self.access(r);
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        for &r in batch {
+            self.access(r);
+        }
+    }
+
+    /// Run fast path: after the first occurrence of a single-block
+    /// reference, every repeat would be swallowed by the shared
+    /// last-block short-circuit — only the shared word counters move.
+    /// Repeats of multi-block references fall back to the full walk
+    /// (their leading blocks are re-looked-up in the raw stream too).
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        for run in runs {
+            self.access(run.r);
+            if run.count > 1 {
+                if run.r.single_block(1 << self.block_shift) {
+                    self.count_words(run.r, u64::from(run.count - 1));
+                } else {
+                    for _ in 1..run.count {
+                        self.access(run.r);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cache;
+    use sim_mem::Address;
+
+    fn paper() -> SweepCache {
+        SweepCache::try_new(CacheConfig::paper_sweep()).expect("paper sweep is sweepable")
+    }
+
+    /// Reference model: independent caches fed the same stream.
+    fn bank(configs: &[CacheConfig]) -> Vec<Cache> {
+        configs.iter().map(|&c| Cache::new(c)).collect()
+    }
+
+    #[test]
+    fn rejects_non_sweep_shapes() {
+        assert!(SweepCache::try_new([]).is_none(), "empty");
+        assert!(
+            SweepCache::try_new([CacheConfig::set_associative(16 * 1024, 32, 2)]).is_none(),
+            "associative"
+        );
+        assert!(
+            SweepCache::try_new([
+                CacheConfig::direct_mapped(16 * 1024, 32),
+                CacheConfig::direct_mapped(16 * 1024, 16),
+            ])
+            .is_none(),
+            "mixed block sizes"
+        );
+    }
+
+    #[test]
+    fn matches_independent_caches_on_a_mixed_stream() {
+        let configs = CacheConfig::paper_sweep();
+        let mut sweep = paper();
+        let mut caches = bank(&configs);
+        // A mix of classes, sizes, conflicts, and revisits.
+        let mut x = 7u64;
+        for i in 0..50_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = Address::new(x % (1 << 20));
+            let r = match i % 4 {
+                0 => MemRef::app_read(addr, 4),
+                1 => MemRef::app_write(addr, (x % 300) as u32 + 1),
+                2 => MemRef::meta_read(addr, 4),
+                _ => MemRef::meta_write(addr, 8),
+            };
+            sweep.access(r);
+            for c in &mut caches {
+                c.access(r);
+            }
+        }
+        for (i, c) in caches.iter().enumerate() {
+            assert_eq!(sweep.results()[i].1, *c.stats(), "member {i} diverged");
+        }
+    }
+
+    #[test]
+    fn run_fast_path_matches_expansion() {
+        let configs = CacheConfig::paper_sweep();
+        let mut fast = paper();
+        let mut slow = bank(&configs);
+        let runs = [
+            RefRun { r: MemRef::app_write(Address::new(100), 4), count: 1000 },
+            RefRun { r: MemRef::app_read(Address::new(100), 4), count: 3 },
+            // Multi-block: must take the fallback.
+            RefRun { r: MemRef::app_write(Address::new(90), 64), count: 7 },
+            RefRun { r: MemRef::meta_read(Address::new(4096), 4), count: 2 },
+        ];
+        fast.record_runs(&runs);
+        for run in &runs {
+            for _ in 0..run.count {
+                for c in &mut slow {
+                    c.access(run.r);
+                }
+            }
+        }
+        for (i, c) in slow.iter().enumerate() {
+            assert_eq!(fast.results()[i].1, *c.stats(), "member {i} diverged");
+        }
+    }
+
+    #[test]
+    fn stats_for_and_configs_report_members() {
+        let sweep = paper();
+        assert_eq!(sweep.configs().len(), 5);
+        let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
+        assert!(sweep.stats_for(k64).is_some());
+        assert!(sweep.stats_for(CacheConfig::direct_mapped(512 * 1024, 32)).is_none());
+    }
+
+    #[test]
+    fn shared_cold_classification_counts_once_per_member() {
+        let mut sweep = paper();
+        sweep.access(MemRef::app_read(Address::new(0), 4));
+        for (_, s) in sweep.results() {
+            assert_eq!(s.cold_misses, 1);
+            assert_eq!(s.misses(), 1);
+        }
+        // Conflict eviction in the smallest member only: 16K = 512
+        // lines, so block 512 conflicts with block 0 there and nowhere
+        // else. Re-touching block 0 then misses only in the 16K member,
+        // and that miss is *not* cold.
+        sweep.access(MemRef::app_read(Address::new(512 * 32), 4));
+        sweep.access(MemRef::app_read(Address::new(0), 4));
+        let results = sweep.results();
+        assert_eq!(results[0].1.misses(), 3, "16K: cold, cold, conflict");
+        assert_eq!(results[0].1.cold_misses, 2);
+        for (_, s) in &results[1..] {
+            assert_eq!(s.misses(), 2, "bigger members keep both blocks");
+            assert_eq!(s.cold_misses, 2);
+        }
+    }
+}

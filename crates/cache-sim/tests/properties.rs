@@ -2,11 +2,44 @@
 
 use proptest::prelude::*;
 
-use cache_sim::{Cache, CacheBank, CacheConfig};
-use sim_mem::{AccessSink, Address, MemRef};
+use cache_sim::{Cache, CacheBank, CacheConfig, SweepCache, ThreeCAnalyzer, VictimCache};
+use sim_mem::{AccessSink, Address, MemRef, RefRun};
 
 fn refs_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
     proptest::collection::vec((0u64..1_000_000, 1u32..256), 1..500)
+}
+
+/// Arbitrary run-compressed streams: mixed classes, multi-block spans,
+/// and repeat counts past the short-circuit fast path.
+fn runs_strategy() -> impl Strategy<Value = Vec<RefRun>> {
+    proptest::collection::vec((0u64..100_000, 1u32..300, 1u32..50, 0u8..4), 1..200).prop_map(
+        |entries| {
+            entries
+                .into_iter()
+                .map(|(addr, len, count, kind)| {
+                    let a = Address::new(addr);
+                    let r = match kind {
+                        0 => MemRef::app_read(a, len),
+                        1 => MemRef::app_write(a, len),
+                        2 => MemRef::meta_read(a, len),
+                        _ => MemRef::meta_write(a, len),
+                    };
+                    RefRun { r, count }
+                })
+                .collect()
+        },
+    )
+}
+
+/// Expands a run-compressed stream back into raw references.
+fn expand(runs: &[RefRun]) -> Vec<MemRef> {
+    let mut refs = Vec::new();
+    for run in runs {
+        for _ in 0..run.count {
+            refs.push(run.r);
+        }
+    }
+    refs
 }
 
 proptest! {
@@ -131,6 +164,94 @@ proptest! {
 
         prop_assert_eq!(per_record.stats_for(cfg_a), batched.stats_for(cfg_a));
         prop_assert_eq!(per_record.stats_for(cfg_b), batched.stats_for(cfg_b));
+    }
+
+    /// The single-pass sweep agrees with independent caches on any
+    /// stream of raw references over the paper's configurations.
+    #[test]
+    fn sweep_equals_independent_caches(runs in runs_strategy()) {
+        let configs = CacheConfig::paper_sweep();
+        let mut sweep = SweepCache::try_new(configs.clone()).expect("paper sweep is sweepable");
+        let mut solos: Vec<Cache> = configs.iter().map(|&c| Cache::new(c)).collect();
+        for r in expand(&runs) {
+            sweep.access(r);
+            for c in &mut solos {
+                c.access(r);
+            }
+        }
+        for (i, c) in solos.iter().enumerate() {
+            prop_assert_eq!(&sweep.results()[i].1, c.stats(), "member {} diverged", i);
+        }
+    }
+
+    /// Run-compressed delivery into the sweep — chopped into calls at
+    /// arbitrary boundaries, so runs straddle batch edges — agrees with
+    /// per-record delivery into independent caches, including repeats of
+    /// multi-block references.
+    #[test]
+    fn sweep_run_delivery_equals_expansion(
+        runs in runs_strategy(),
+        cuts in proptest::collection::vec(0usize..=200, 0..8),
+    ) {
+        let configs = CacheConfig::paper_sweep();
+        let mut sweep = SweepCache::try_new(configs.clone()).expect("paper sweep is sweepable");
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (runs.len() + 1)).collect();
+        bounds.sort_unstable();
+        let mut prev = 0;
+        for &b in &bounds {
+            sweep.record_runs(&runs[prev..b]);
+            prev = b;
+        }
+        sweep.record_runs(&runs[prev..]);
+
+        let mut solos: Vec<Cache> = configs.iter().map(|&c| Cache::new(c)).collect();
+        for r in expand(&runs) {
+            for c in &mut solos {
+                c.access(r);
+            }
+        }
+        for (i, c) in solos.iter().enumerate() {
+            prop_assert_eq!(&sweep.results()[i].1, c.stats(), "member {} diverged", i);
+        }
+    }
+
+    /// A single cache's run fast path agrees with expansion for any
+    /// associativity (the last-block short-circuit it leans on is not a
+    /// direct-mapped-only property).
+    #[test]
+    fn cache_run_delivery_equals_expansion(
+        runs in runs_strategy(),
+        assoc in prop_oneof![Just(1u32), Just(4)],
+    ) {
+        let cfg = CacheConfig::set_associative(16 * 1024, 32, assoc);
+        let mut fast = Cache::new(cfg);
+        fast.record_runs(&runs);
+        let mut slow = Cache::new(cfg);
+        for r in expand(&runs) {
+            slow.access(r);
+        }
+        prop_assert_eq!(fast.stats(), slow.stats());
+    }
+
+    /// The extension analyzers (victim cache, three-C classifier) see
+    /// through run-compressed delivery: their default expand-and-delegate
+    /// `record_runs` leaves statistics identical to the raw stream.
+    #[test]
+    fn analyzers_agree_on_run_delivery(runs in runs_strategy()) {
+        let cfg = CacheConfig::direct_mapped(16 * 1024, 32);
+
+        let mut victim_fast = VictimCache::new(cfg, 8);
+        victim_fast.record_runs(&runs);
+        let mut victim_slow = VictimCache::new(cfg, 8);
+        let mut three_c_fast = ThreeCAnalyzer::new(cfg);
+        three_c_fast.record_runs(&runs);
+        let mut three_c_slow = ThreeCAnalyzer::new(cfg);
+        for r in expand(&runs) {
+            victim_slow.record(r);
+            three_c_slow.record(r);
+        }
+        prop_assert_eq!(victim_fast.stats(), victim_slow.stats());
+        prop_assert_eq!(three_c_fast.classify(), three_c_slow.classify());
     }
 
     /// A bank's members behave identically to standalone caches fed the

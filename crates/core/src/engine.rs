@@ -12,15 +12,16 @@ use allocators::{
     GnuLocal, Predictive, SizeMap, SizeProfile,
 };
 use cache_sim::{
-    Cache, CacheConfig, CacheStats, ThreeC, ThreeCAnalyzer, TwoLevelCache, TwoLevelStats,
-    VictimCache, VictimStats,
+    Cache, CacheConfig, CacheStats, SweepCache, ThreeC, ThreeCAnalyzer, TwoLevelCache,
+    TwoLevelStats, VictimCache, VictimStats,
 };
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 use sim_mem::{
-    AccessSink, Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, TraceStats,
+    AccessSink, Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, RefRun,
+    TraceStats,
 };
 use vm_sim::{FaultCurve, StackSim};
 use workloads::{AppEvent, Program, Scale, WorkloadSpec};
@@ -56,11 +57,31 @@ pub enum PipelineMode {
     Sharded,
 }
 
+/// How the cache configurations of a run are simulated.
+///
+/// Both paths produce **bit-identical** [`RunResult::cache`] entries;
+/// the sweep is simply one walk over the stream instead of one per
+/// configuration (see [`cache_sim::SweepCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CacheEngine {
+    /// Single-pass [`SweepCache`] when the configurations share the
+    /// sweep structure (all direct-mapped, one block size — the paper's
+    /// setup); falls back to per-cache simulation otherwise.
+    #[default]
+    Sweep,
+    /// One independent [`Cache`] per configuration, unconditionally.
+    /// Kept as the reference implementation the sweep is benchmarked
+    /// and equivalence-tested against.
+    PerCache,
+}
+
 /// Simulation options for one run.
 #[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Cache configurations simulated in one pass (empty to skip).
     pub cache_configs: Vec<CacheConfig>,
+    /// How those configurations are simulated (see [`CacheEngine`]).
+    pub cache_engine: CacheEngine,
     /// Whether to run the LRU stack-distance pager.
     pub paging: bool,
     /// Workload scale.
@@ -91,6 +112,7 @@ impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             cache_configs: CacheConfig::paper_sweep(),
+            cache_engine: CacheEngine::default(),
             paging: true,
             scale: DEFAULT_SCALE,
             heap_limit: sim_mem::heap::DEFAULT_LIMIT,
@@ -380,6 +402,9 @@ const BATCH_CHANNEL_DEPTH: usize = 8;
 /// tracer, victim, three-C, two-level) so results can be reassembled
 /// identically however the shards were distributed.
 enum SinkShard {
+    /// All cache configurations in one single-pass sweep (one shard).
+    Sweep(SweepCache),
+    /// One cache configuration simulated independently.
     Cache(Cache),
     Pager(StackSim),
     Tracer(trace::TraceWriter<std::io::BufWriter<std::fs::File>>),
@@ -391,6 +416,7 @@ enum SinkShard {
 impl AccessSink for SinkShard {
     fn record(&mut self, r: MemRef) {
         match self {
+            SinkShard::Sweep(s) => s.record(r),
             SinkShard::Cache(s) => s.record(r),
             SinkShard::Pager(s) => s.record(r),
             SinkShard::Tracer(s) => s.record(r),
@@ -402,12 +428,25 @@ impl AccessSink for SinkShard {
 
     fn record_batch(&mut self, batch: &[MemRef]) {
         match self {
+            SinkShard::Sweep(s) => s.record_batch(batch),
             SinkShard::Cache(s) => s.record_batch(batch),
             SinkShard::Pager(s) => s.record_batch(batch),
             SinkShard::Tracer(s) => s.record_batch(batch),
             SinkShard::Victim(s) => s.record_batch(batch),
             SinkShard::ThreeC(s) => s.record_batch(batch),
             SinkShard::TwoLevel(s) => s.record_batch(batch),
+        }
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        match self {
+            SinkShard::Sweep(s) => s.record_runs(runs),
+            SinkShard::Cache(s) => s.record_runs(runs),
+            SinkShard::Pager(s) => s.record_runs(runs),
+            SinkShard::Tracer(s) => s.record_runs(runs),
+            SinkShard::Victim(s) => s.record_runs(runs),
+            SinkShard::ThreeC(s) => s.record_runs(runs),
+            SinkShard::TwoLevel(s) => s.record_runs(runs),
         }
     }
 }
@@ -433,31 +472,65 @@ impl AccessSink for InlineSink {
             shard.record_batch(batch);
         }
     }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        self.counting.record_runs(runs);
+        for shard in &mut self.shards {
+            shard.record_runs(runs);
+        }
+    }
 }
 
-/// [`PipelineMode::Sharded`]: batches are wrapped in an [`Arc`] and
-/// broadcast to one bounded channel per worker (SPMC by cloning the
-/// `Arc`, not the data). The cheap counting fold stays on the producer
+/// [`PipelineMode::Sharded`]: run-compressed batches are wrapped in an
+/// [`Arc`] and broadcast to one bounded channel per worker (SPMC by
+/// cloning the `Arc`, not the data) — the compression also shrinks what
+/// crosses the channels. The cheap counting fold stays on the producer
 /// thread. Dropping the sink closes every channel, which is how workers
 /// learn the stream ended — on both the success and the error path.
 struct BroadcastSink {
     counting: CountingSink,
-    senders: Vec<SyncSender<Arc<Vec<MemRef>>>>,
+    senders: Vec<SyncSender<Arc<Vec<RefRun>>>>,
 }
 
 impl AccessSink for BroadcastSink {
     fn record(&mut self, r: MemRef) {
-        self.record_batch(&[r]);
+        self.record_runs(&[RefRun::once(r)]);
     }
 
     fn record_batch(&mut self, batch: &[MemRef]) {
-        self.counting.record_batch(batch);
-        let batch = Arc::new(batch.to_vec());
+        let runs: Vec<RefRun> = batch.iter().map(|&r| RefRun::once(r)).collect();
+        self.record_runs(&runs);
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        self.counting.record_runs(runs);
+        let runs = Arc::new(runs.to_vec());
         for tx in &self.senders {
             // A send only fails if a worker panicked; the panic itself
             // resurfaces when the worker is joined.
-            let _ = tx.send(Arc::clone(&batch));
+            let _ = tx.send(Arc::clone(&runs));
         }
+    }
+}
+
+/// Collects the run-compressed reference stream exactly as a sink shard
+/// would see it: the concatenation of every flushed batch, preserving
+/// run boundaries (including splits at batch edges).
+struct RunCollector {
+    runs: Vec<RefRun>,
+}
+
+impl AccessSink for RunCollector {
+    fn record(&mut self, r: MemRef) {
+        self.runs.push(RefRun::once(r));
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        self.runs.extend(batch.iter().map(|&r| RefRun::once(r)));
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        self.runs.extend_from_slice(runs);
     }
 }
 
@@ -566,10 +639,28 @@ impl Experiment {
         self
     }
 
-    /// Builds the run's sinks in canonical order (see [`SinkShard`]).
+    /// Selects how the cache configurations are simulated.
+    pub fn cache_engine(mut self, engine: CacheEngine) -> Self {
+        self.opts.cache_engine = engine;
+        self
+    }
+
+    /// Builds the run's sinks in canonical order (see [`SinkShard`]):
+    /// caches first — one sweep shard, or per-cache shards in
+    /// configuration order — then pager, tracer, victim, three-C,
+    /// two-level.
     fn build_shards(&self) -> Vec<SinkShard> {
-        let mut shards: Vec<SinkShard> =
-            self.opts.cache_configs.iter().map(|&cfg| SinkShard::Cache(Cache::new(cfg))).collect();
+        let mut shards: Vec<SinkShard> = Vec::new();
+        let sweep = match self.opts.cache_engine {
+            CacheEngine::Sweep => SweepCache::try_new(self.opts.cache_configs.iter().copied()),
+            CacheEngine::PerCache => None,
+        };
+        match sweep {
+            Some(sweep) => shards.push(SinkShard::Sweep(sweep)),
+            None => shards.extend(
+                self.opts.cache_configs.iter().map(|&cfg| SinkShard::Cache(Cache::new(cfg))),
+            ),
+        }
         if self.opts.paging {
             shards.push(SinkShard::Pager(StackSim::paper()));
         }
@@ -692,12 +783,12 @@ impl Experiment {
             let mut handles = Vec::with_capacity(workers);
             for mut group in groups {
                 let (tx, rx) =
-                    std::sync::mpsc::sync_channel::<Arc<Vec<MemRef>>>(BATCH_CHANNEL_DEPTH);
+                    std::sync::mpsc::sync_channel::<Arc<Vec<RefRun>>>(BATCH_CHANNEL_DEPTH);
                 senders.push(tx);
                 handles.push(s.spawn(move || {
-                    while let Ok(batch) = rx.recv() {
+                    while let Ok(runs) = rx.recv() {
                         for (_, shard) in &mut group {
-                            shard.record_batch(&batch);
+                            shard.record_runs(&runs);
                         }
                     }
                     group
@@ -718,6 +809,24 @@ impl Experiment {
             let (frag_curve, alloc_stats) = driven?;
             Ok((frag_curve, alloc_stats, shards, counting))
         })
+    }
+
+    /// Drives the workload once and returns its run-compressed reference
+    /// stream — the exact sequence of [`RefRun`]s every sink shard of
+    /// this run would consume. Component benchmarks and equivalence
+    /// tests use this to replay a realistic stream into a sink directly,
+    /// without paying the workload driver on every repetition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    pub fn capture_runs(&self) -> Result<Vec<RefRun>, EngineError> {
+        let mut heap = HeapImage::with_limit(self.opts.heap_limit);
+        let mut instrs = InstrCounter::new();
+        let mut collector = RunCollector { runs: Vec::new() };
+        self.drive(&mut heap, &mut instrs, &mut collector)?;
+        Ok(collector.runs)
     }
 
     /// Runs the experiment to completion.
@@ -747,6 +856,7 @@ impl Experiment {
         let mut two_level = None;
         for shard in shards {
             match shard {
+                SinkShard::Sweep(s) => cache.extend(s.results()),
                 SinkShard::Cache(c) => cache.push((c.config(), *c.stats())),
                 SinkShard::Pager(p) => fault_curve = Some(p.curve()),
                 SinkShard::Tracer(t) => {

@@ -44,7 +44,7 @@ pub mod report;
 
 pub use engine::{
     default_threads, profile_from_events, run_parallel, run_parallel_with, sample_profile,
-    standard_matrix, standard_matrix_with, AllocChoice, EngineError, Experiment, FragSample,
-    Matrix, PipelineMode, RunResult, SimOptions, WorkloadSource,
+    standard_matrix, standard_matrix_with, AllocChoice, CacheEngine, EngineError, Experiment,
+    FragSample, Matrix, PipelineMode, RunResult, SimOptions, WorkloadSource,
 };
 pub use model::{estimated_cycles, estimated_seconds, CLOCK_HZ, MISS_PENALTY_CYCLES};

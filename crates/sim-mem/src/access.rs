@@ -85,6 +85,52 @@ impl MemRef {
         let last = (self.addr.raw() + u64::from(self.size) - 1) / block_size;
         first..=last
     }
+
+    /// Whether every byte of this reference lies in a single
+    /// `block_size`-byte aligned block.
+    ///
+    /// This is the gate for run fast paths: once a single-block
+    /// reference has been observed, an immediate repeat can touch no
+    /// block other than the one just touched, so a sink may account for
+    /// the repeat without re-walking its lookup structures.
+    #[inline]
+    pub fn single_block(&self, block_size: u64) -> bool {
+        debug_assert!(block_size.is_power_of_two());
+        let first = self.addr.raw() / block_size;
+        let last = (self.addr.raw() + u64::from(self.size.max(1)) - 1) / block_size;
+        first == last
+    }
+
+    /// Word-granular size of this reference (one per data word touched,
+    /// rounded up; at least one) — the unit access counters advance by.
+    #[inline]
+    pub fn words(&self) -> u64 {
+        u64::from(self.size.div_ceil(4).max(1))
+    }
+}
+
+/// `count` consecutive occurrences of the identical reference `r`.
+///
+/// The run-length compressed form of a reference stream: a batching
+/// [`crate::MemCtx`] collapses immediate repeats of one [`MemRef`] into a
+/// single run before fan-out, and [`crate::AccessSink::record_runs`]
+/// consumers turn the repeats into O(1) work. Expanding every run in
+/// order reproduces the raw stream exactly (the encoding is lossless),
+/// which is what keeps every consumer bit-identical to the uncompressed
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RefRun {
+    /// The repeated reference.
+    pub r: MemRef,
+    /// How many times it occurred consecutively (at least 1).
+    pub count: u32,
+}
+
+impl RefRun {
+    /// A run of one occurrence.
+    pub fn once(r: MemRef) -> Self {
+        RefRun { r, count: 1 }
+    }
 }
 
 /// Discards every reference. Useful for running an allocator purely for
@@ -176,33 +222,46 @@ impl CountingSink {
     pub fn stats(&self) -> TraceStats {
         self.stats
     }
-}
 
-impl AccessSink for CountingSink {
-    fn record(&mut self, r: MemRef) {
-        let bytes = u64::from(r.size);
-        let words = u64::from(r.size.div_ceil(4).max(1));
+    /// Counts `n` occurrences of `r` at once. Every counter is a plain
+    /// sum over the stream, so a multiplied single update is exactly `n`
+    /// repeated updates.
+    fn tally(&mut self, r: MemRef, n: u64) {
+        let bytes = u64::from(r.size) * n;
+        let words = r.words() * n;
         match (r.class, r.kind) {
             (AccessClass::AppData, AccessKind::Read) => {
-                self.stats.app_reads += 1;
+                self.stats.app_reads += n;
                 self.stats.app_bytes += bytes;
                 self.stats.app_words += words;
             }
             (AccessClass::AppData, AccessKind::Write) => {
-                self.stats.app_writes += 1;
+                self.stats.app_writes += n;
                 self.stats.app_bytes += bytes;
                 self.stats.app_words += words;
             }
             (AccessClass::AllocatorMeta, AccessKind::Read) => {
-                self.stats.meta_reads += 1;
+                self.stats.meta_reads += n;
                 self.stats.meta_bytes += bytes;
                 self.stats.meta_words += words;
             }
             (AccessClass::AllocatorMeta, AccessKind::Write) => {
-                self.stats.meta_writes += 1;
+                self.stats.meta_writes += n;
                 self.stats.meta_bytes += bytes;
                 self.stats.meta_words += words;
             }
+        }
+    }
+}
+
+impl AccessSink for CountingSink {
+    fn record(&mut self, r: MemRef) {
+        self.tally(r, 1);
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        for run in runs {
+            self.tally(run.r, u64::from(run.count));
         }
     }
 }
@@ -230,11 +289,29 @@ impl<A: AccessSink, B: AccessSink> AccessSink for FanoutSink<A, B> {
         self.first.record(r);
         self.second.record(r);
     }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        self.first.record_batch(batch);
+        self.second.record_batch(batch);
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        self.first.record_runs(runs);
+        self.second.record_runs(runs);
+    }
 }
 
 impl<S: AccessSink + ?Sized> AccessSink for &mut S {
     fn record(&mut self, r: MemRef) {
         (**self).record(r);
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        (**self).record_batch(batch);
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        (**self).record_runs(runs);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The memory context handed to allocator code.
 
-use crate::{AccessSink, Address, HeapImage, InstrCounter, MemRef, OomError, Phase, WORD};
+use crate::{AccessSink, Address, HeapImage, InstrCounter, MemRef, OomError, Phase, RefRun, WORD};
 
 /// Cost, in instructions, attributed to an `sbrk` call.
 ///
@@ -11,11 +11,14 @@ use crate::{AccessSink, Address, HeapImage, InstrCounter, MemRef, OomError, Phas
 pub const SBRK_COST: u64 = 40;
 
 /// References accumulated by a batched [`MemCtx`] before one
-/// [`AccessSink::record_batch`] call flushes them.
+/// [`AccessSink::record_runs`] call flushes them.
 ///
 /// Large enough to amortize the virtual dispatch (and, in the engine's
 /// sharded pipeline, the channel send) across thousands of references;
-/// small enough that a batch of `MemRef`s stays well inside an L2 cache.
+/// small enough that a batch stays well inside an L2 cache. The count is
+/// of *references*, not runs: a batch holds at most this many references
+/// however well they compress, so sink-visible flush boundaries are
+/// unchanged by compression.
 pub const BATCH_CAPACITY: usize = 4096;
 
 /// The accessor through which allocator code touches the simulated heap.
@@ -50,8 +53,14 @@ pub struct MemCtx<'a> {
     heap: &'a mut HeapImage,
     sink: &'a mut dyn AccessSink,
     instrs: &'a mut InstrCounter,
-    /// Batch buffer; empty and never filled for unbatched contexts.
-    buf: Vec<MemRef>,
+    /// Run-length compressed batch buffer; empty and never filled for
+    /// unbatched contexts. Consecutive identical references collapse
+    /// into one run on the way in, so a word-by-word revisit of one
+    /// address costs the sinks O(1) instead of O(n).
+    buf: Vec<RefRun>,
+    /// References (not runs) currently buffered; flush at
+    /// [`BATCH_CAPACITY`].
+    buffered: usize,
     batched: bool,
 }
 
@@ -75,14 +84,14 @@ impl<'a> MemCtx<'a> {
         sink: &'a mut dyn AccessSink,
         instrs: &'a mut InstrCounter,
     ) -> Self {
-        MemCtx { heap, sink, instrs, buf: Vec::new(), batched: false }
+        MemCtx { heap, sink, instrs, buf: Vec::new(), buffered: 0, batched: false }
     }
 
-    /// Creates a *batching* context: references accumulate in a
-    /// [`BATCH_CAPACITY`]-entry buffer and reach the sink in program
-    /// order through [`AccessSink::record_batch`], amortizing the
-    /// per-reference virtual call (and, for channel-backed sinks, the
-    /// send).
+    /// Creates a *batching* context: references accumulate — run-length
+    /// compressed — in a buffer of up to [`BATCH_CAPACITY`] references
+    /// and reach the sink in program order through
+    /// [`AccessSink::record_runs`], amortizing the per-reference virtual
+    /// call (and, for channel-backed sinks, the send).
     ///
     /// The caller **must** call [`MemCtx::flush`] before reading sink
     /// state or dropping the context, or trailing references are lost.
@@ -94,25 +103,38 @@ impl<'a> MemCtx<'a> {
         sink: &'a mut dyn AccessSink,
         instrs: &'a mut InstrCounter,
     ) -> Self {
-        MemCtx { heap, sink, instrs, buf: Vec::with_capacity(BATCH_CAPACITY), batched: true }
+        MemCtx {
+            heap,
+            sink,
+            instrs,
+            buf: Vec::with_capacity(BATCH_CAPACITY),
+            buffered: 0,
+            batched: true,
+        }
     }
 
     /// Delivers any buffered references to the sink. A no-op for
     /// unbatched contexts.
     pub fn flush(&mut self) {
         if !self.buf.is_empty() {
-            self.sink.record_batch(&self.buf);
+            self.sink.record_runs(&self.buf);
             self.buf.clear();
+            self.buffered = 0;
         }
     }
 
     /// Routes one reference: straight through for unbatched contexts,
-    /// into the batch buffer (flushing at capacity) otherwise.
+    /// into the run-compressed batch buffer (flushing once
+    /// [`BATCH_CAPACITY`] references are held) otherwise.
     #[inline]
     fn emit(&mut self, r: MemRef) {
         if self.batched {
-            self.buf.push(r);
-            if self.buf.len() >= BATCH_CAPACITY {
+            match self.buf.last_mut() {
+                Some(last) if last.r == r && last.count < u32::MAX => last.count += 1,
+                _ => self.buf.push(RefRun::once(r)),
+            }
+            self.buffered += 1;
+            if self.buffered >= BATCH_CAPACITY {
                 self.flush();
             }
         } else {

@@ -45,7 +45,8 @@ pub mod ctx;
 pub mod heap;
 
 pub use access::{
-    AccessClass, AccessKind, CountingSink, FanoutSink, MemRef, NullSink, TraceStats, VecSink,
+    AccessClass, AccessKind, CountingSink, FanoutSink, MemRef, NullSink, RefRun, TraceStats,
+    VecSink,
 };
 pub use addr::{Address, WORD};
 pub use cost::{InstrCounter, Phase};
@@ -74,5 +75,26 @@ pub trait AccessSink {
         for &r in batch {
             self.record(r);
         }
+    }
+
+    /// Observe a run-length compressed batch: each [`RefRun`] stands for
+    /// `count` consecutive occurrences of the identical reference.
+    ///
+    /// Runs are a *lossless* re-encoding of the stream — expanding every
+    /// run in order reproduces the raw reference sequence exactly — so
+    /// the default implementation does precisely that and delegates to
+    /// [`AccessSink::record_batch`], preserving any batch override.
+    /// Sinks for which a repeated reference is a guaranteed hit (a
+    /// direct-mapped cache, the LRU pager) override this to turn the
+    /// `count - 1` repeats into O(1) counter bumps; such overrides must
+    /// keep the sink state bit-identical to the expanded stream, for
+    /// any placement of run and batch boundaries.
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        let total: usize = runs.iter().map(|run| run.count as usize).sum();
+        let mut buf = Vec::with_capacity(total);
+        for run in runs {
+            buf.resize(buf.len() + run.count as usize, run.r);
+        }
+        self.record_batch(&buf);
     }
 }

@@ -3,7 +3,44 @@
 use proptest::prelude::*;
 
 use sim_mem::heap::round_up_word;
-use sim_mem::{Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, VecSink};
+use sim_mem::{
+    AccessSink, Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, RefRun,
+    VecSink,
+};
+
+/// Collects run-compressed batches exactly as delivered, counting flush
+/// boundaries.
+#[derive(Default)]
+struct RunSink {
+    runs: Vec<RefRun>,
+    flushes: usize,
+}
+
+impl AccessSink for RunSink {
+    fn record(&mut self, r: MemRef) {
+        self.runs.push(RefRun::once(r));
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        self.runs.extend(batch.iter().map(|&r| RefRun::once(r)));
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        self.runs.extend_from_slice(runs);
+        self.flushes += 1;
+    }
+}
+
+/// Expands a run-compressed stream back into raw references.
+fn expand(runs: &[RefRun]) -> Vec<MemRef> {
+    let mut refs = Vec::new();
+    for run in runs {
+        for _ in 0..run.count {
+            refs.push(run.r);
+        }
+    }
+    refs
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -140,6 +177,93 @@ proptest! {
         } else {
             prop_assert_eq!(sink.stats().app_reads, 1);
         }
+    }
+
+    /// Run-length compression is lossless: the run-compressed batches a
+    /// batching context flushes expand to exactly the reference stream
+    /// an unbatched context records — same records, same order — and
+    /// identical counting statistics. A fixed hot tail longer than
+    /// [`sim_mem::BATCH_CAPACITY`] guarantees every case includes a run
+    /// straddling a flush boundary.
+    #[test]
+    fn run_compression_is_lossless_across_batches(
+        ops in proptest::collection::vec(
+            (0u64..512, any::<u32>(), 0u8..3, 1u32..24),
+            1..150,
+        ),
+    ) {
+        let hot_tail = sim_mem::BATCH_CAPACITY as u32 + 100;
+        let drive = |ctx: &mut MemCtx<'_>| {
+            let p = ctx.sbrk(4096).expect("small");
+            ctx.set_phase(Phase::Malloc);
+            for &(slot, value, op, reps) in &ops {
+                for _ in 0..reps {
+                    match op {
+                        0 => ctx.store(p + (slot % 1024) * 4, value),
+                        1 => {
+                            ctx.load(p + (slot % 1024) * 4);
+                        }
+                        _ => ctx.app_touch(
+                            Address::new(slot * 4),
+                            value % 4096 + 1,
+                            value % 2 == 0,
+                        ),
+                    }
+                }
+            }
+            // Repeats of one identical reference across > one full batch.
+            for _ in 0..hot_tail {
+                ctx.store(p, 7);
+            }
+            ctx.flush();
+        };
+
+        let mut heap = HeapImage::new();
+        let mut raw = VecSink::new();
+        let mut instrs = InstrCounter::new();
+        drive(&mut MemCtx::new(&mut heap, &mut raw, &mut instrs));
+
+        let mut heap = HeapImage::new();
+        let mut compressed = RunSink::default();
+        let mut instrs_batched = InstrCounter::new();
+        drive(&mut MemCtx::batched(&mut heap, &mut compressed, &mut instrs_batched));
+
+        prop_assert!(compressed.flushes >= 2, "hot tail must straddle a flush");
+        prop_assert!(compressed.runs.len() < raw.refs.len(), "the tail must compress");
+        prop_assert_eq!(expand(&compressed.runs), raw.refs);
+        prop_assert_eq!(instrs_batched.total(), instrs.total());
+    }
+
+    /// Run delivery into a counting sink multiplies instead of
+    /// expanding, with identical statistics.
+    #[test]
+    fn counting_sink_run_delivery_multiplies(
+        runs in proptest::collection::vec(
+            (0u64..1 << 20, 1u32..300, 1u32..40, any::<bool>(), any::<bool>()),
+            1..100,
+        ),
+    ) {
+        let runs: Vec<RefRun> = runs
+            .iter()
+            .map(|&(addr, len, count, meta, write)| {
+                let a = Address::new(addr);
+                let r = match (meta, write) {
+                    (false, false) => MemRef::app_read(a, len),
+                    (false, true) => MemRef::app_write(a, len),
+                    (true, false) => MemRef::meta_read(a, len),
+                    (true, true) => MemRef::meta_write(a, len),
+                };
+                RefRun { r, count }
+            })
+            .collect();
+
+        let mut direct = CountingSink::new();
+        direct.record_runs(&runs);
+        let mut expanded = CountingSink::new();
+        for r in expand(&runs) {
+            expanded.record(r);
+        }
+        prop_assert_eq!(direct.stats(), expanded.stats());
     }
 
     /// Block decomposition covers the byte range exactly once.

@@ -28,7 +28,7 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
-use sim_mem::{AccessSink, Address, MemRef};
+use sim_mem::{AccessSink, Address, MemRef, RefRun};
 use std::collections::HashMap;
 
 /// The paper's page size: 4 kilobytes.
@@ -248,6 +248,28 @@ impl StackSim {
 impl AccessSink for StackSim {
     fn record(&mut self, r: MemRef) {
         self.access_addr(r.addr, r.size);
+    }
+
+    /// Run fast path: after the first occurrence of a single-page
+    /// reference, every repeat is a stack-distance-1 access to
+    /// `last_page` — the raw path would bump `accesses` and `hist[1]`
+    /// and return. Repeats of page-straddling references re-walk their
+    /// span in the raw stream too, so they fall back to the full access.
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        for run in runs {
+            self.access_addr(run.r.addr, run.r.size);
+            if run.count > 1 {
+                if run.r.single_block(self.page_size) {
+                    let extra = u64::from(run.count - 1);
+                    self.accesses += extra;
+                    self.hist[1] += extra;
+                } else {
+                    for _ in 1..run.count {
+                        self.access_addr(run.r.addr, run.r.size);
+                    }
+                }
+            }
+        }
     }
 }
 

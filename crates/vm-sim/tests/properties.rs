@@ -126,6 +126,40 @@ proptest! {
         prop_assert_eq!(per_record.distinct_pages(), batched.distinct_pages());
     }
 
+    /// Run-compressed delivery — repeats counted in O(1) for
+    /// single-page references — produces exactly the fault curve,
+    /// access count, and page population of per-record delivery.
+    #[test]
+    fn run_delivery_matches_per_record(
+        runs in proptest::collection::vec(
+            (0u64..1_000_000, 1u32..20_000, 1u32..60),
+            1..150,
+        ),
+        cut in 0usize..=150,
+    ) {
+        use sim_mem::RefRun;
+        let runs: Vec<RefRun> = runs
+            .iter()
+            .map(|&(a, l, count)| RefRun { r: MemRef::app_read(Address::new(a), l), count })
+            .collect();
+
+        let mut fast = StackSim::new(4096);
+        let split = cut % (runs.len() + 1);
+        fast.record_runs(&runs[..split]);
+        fast.record_runs(&runs[split..]);
+
+        let mut slow = StackSim::new(4096);
+        for run in &runs {
+            for _ in 0..run.count {
+                slow.record(run.r);
+            }
+        }
+
+        prop_assert_eq!(fast.curve().points, slow.curve().points);
+        prop_assert_eq!(fast.accesses(), slow.accesses());
+        prop_assert_eq!(fast.distinct_pages(), slow.distinct_pages());
+    }
+
     /// Compaction (forced by long streams over few pages) never changes
     /// results: two simulators fed the same stream with different
     /// interleavings of the same accesses agree.

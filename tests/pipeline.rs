@@ -164,6 +164,77 @@ fn sharded_pipeline_matches_inline_bit_for_bit() {
 }
 
 #[test]
+fn sweep_engine_matches_per_cache_bit_for_bit() {
+    // Acceptance criterion for the single-pass sweep: simulating the
+    // paper's five configurations in one walk (CacheEngine::Sweep) must
+    // leave every measurement bit-identical to the per-cache bank
+    // (CacheEngine::PerCache), in both pipeline modes, with every other
+    // shard kind attached and unaffected.
+    use alloc_locality_repro::engine::{CacheEngine, PipelineMode};
+
+    let run = |engine: CacheEngine, mode: PipelineMode| {
+        let opts = SimOptions {
+            cache_configs: CacheConfig::paper_sweep(),
+            cache_engine: engine,
+            victim_entries: Some(8),
+            three_c: true,
+            two_level: true,
+            frag_sample_every: 64,
+            ..quick_opts(0.003)
+        };
+        Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+            .options(opts)
+            .pipeline(mode)
+            .run()
+            .expect("runs")
+    };
+
+    let reference = run(CacheEngine::PerCache, PipelineMode::Inline);
+    assert_eq!(reference.cache.len(), 5);
+    for mode in [PipelineMode::Inline, PipelineMode::Sharded] {
+        let sweep = run(CacheEngine::Sweep, mode);
+        assert_eq!(sweep.instrs, reference.instrs);
+        assert_eq!(sweep.trace, reference.trace);
+        assert_eq!(sweep.cache, reference.cache, "cache stats diverged under {mode:?}");
+        assert_eq!(sweep.fault_curve, reference.fault_curve);
+        assert_eq!(sweep.victim, reference.victim);
+        assert_eq!(sweep.three_c, reference.three_c);
+        assert_eq!(sweep.two_level, reference.two_level);
+        assert_eq!(sweep.frag_curve, reference.frag_curve);
+        assert_eq!(sweep.heap_high_water, reference.heap_high_water);
+        assert_eq!(sweep.alloc_stats, reference.alloc_stats);
+    }
+}
+
+#[test]
+fn captured_stream_replays_into_components_identically() {
+    // What the perf harness leans on: a stream captured once with
+    // capture_runs, replayed directly into the cache components and the
+    // pager, reproduces the stats of a normal engine run bit for bit.
+    use cache_sim::{CacheBank, SweepCache};
+    use sim_mem::AccessSink;
+    use vm_sim::StackSim;
+
+    let exp = Experiment::new(Program::Gawk, AllocChoice::Paper(AllocatorKind::Bsd))
+        .options(quick_opts(0.003));
+    let engine_result = exp.run().expect("engine run");
+    let runs = exp.capture_runs().expect("capture");
+
+    let configs: Vec<CacheConfig> = engine_result.cache.iter().map(|&(c, _)| c).collect();
+    let mut bank = CacheBank::new(configs.iter().copied());
+    bank.record_runs(&runs);
+    assert_eq!(bank.results(), engine_result.cache);
+
+    let mut sweep = SweepCache::try_new(configs).expect("sweepable");
+    sweep.record_runs(&runs);
+    assert_eq!(sweep.results(), engine_result.cache);
+
+    let mut pager = StackSim::paper();
+    pager.record_runs(&runs);
+    assert_eq!(Some(pager.curve()), engine_result.fault_curve);
+}
+
+#[test]
 fn custom_and_tagged_variants_run_end_to_end() {
     for choice in
         [AllocChoice::Custom, AllocChoice::CustomBounded(0.25), AllocChoice::GnuLocalTagged]
