@@ -115,6 +115,10 @@ impl Allocator for Bsd {
         let next = ctx.load(block);
         ctx.store(self.head_addr(k), next);
         ctx.store(block, k | 0x4d50_0000); // "MP" magic | bucket, as 4.2 BSD
+                                           // Segregated storage never searches: the explicit zero keeps the
+                                           // per-malloc search-length histogram comparable across
+                                           // allocators (paper finding 1).
+        ctx.obs_observe("alloc.search_len", 0);
         self.stats.note_malloc(size, Self::bucket_size(k));
         Ok(block + HDR)
     }
@@ -137,6 +141,9 @@ impl Allocator for Bsd {
         let old = ctx.load(self.head_addr(k));
         ctx.store(block, old);
         ctx.store(self.head_addr(k), block.raw() as u32);
+        // BSD never coalesces; record the zero so the histogram covers
+        // every free.
+        ctx.obs_observe("alloc.coalesce_per_free", 0);
         self.stats.note_free(Self::bucket_size(k));
         Ok(())
     }

@@ -150,6 +150,7 @@ impl FirstFit {
             write_tags(ctx, tail, remainder, 0);
             write_tags(ctx, b, need, F_ALLOC);
             self.rover = tail;
+            self.stats.splits += 1;
             (b + TAG, need)
         } else {
             let succ = list::next(ctx, b);
@@ -231,11 +232,13 @@ impl Allocator for FirstFit {
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         let need = Self::block_size(size);
         ctx.ops(4);
+        let visits_before = self.stats.search_visits;
         let (block, bsize) = match self.search(need, ctx) {
             Some(found) => found,
             None => self.extend(need, ctx)?,
         };
         let (payload, granted) = self.allocate_from(block, bsize, need, ctx);
+        ctx.obs_observe("alloc.search_len", self.stats.search_visits - visits_before);
         self.stats.note_malloc(size, granted);
         Ok(payload)
     }
@@ -258,9 +261,11 @@ impl Allocator for FirstFit {
         // Insert at the rover position, as the Moraes implementation does:
         // freshly freed storage is encountered quickly by the next search.
         list::insert_after(ctx, self.rover, b);
+        let merges_before = self.stats.coalesces;
         if self.config.coalesce {
             self.coalesce(b, size, ctx);
         }
+        ctx.obs_observe("alloc.coalesce_per_free", self.stats.coalesces - merges_before);
         self.stats.note_free(size);
         Ok(())
     }

@@ -183,6 +183,7 @@ impl GnuGxx {
             write_tags(ctx, tail, remainder, 0);
             self.bin_insert(tail, remainder, ctx);
             write_tags(ctx, b, need, F_ALLOC);
+            self.stats.splits += 1;
             (b + TAG, need)
         } else {
             write_tags(ctx, b, bsize, F_ALLOC);
@@ -199,11 +200,13 @@ impl Allocator for GnuGxx {
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         let need = round_payload(size) + TAG_OVERHEAD;
         ctx.ops(4);
+        let visits_before = self.stats.search_visits;
         let (block, bsize) = match self.take_fit(need, ctx) {
             Some(found) => found,
             None => self.extend(need, ctx)?,
         };
         let (payload, granted) = self.place(block, bsize, need, ctx);
+        ctx.obs_observe("alloc.search_len", self.stats.search_visits - visits_before);
         self.stats.note_malloc(size, granted);
         Ok(payload)
     }
@@ -223,6 +226,7 @@ impl Allocator for GnuGxx {
             return Err(AllocError::InvalidFree(ptr));
         }
         let mut size = granted;
+        let merges_before = self.stats.coalesces;
         if self.config.coalesce {
             // Forward merge.
             let next_tag = read_header(ctx, b + u64::from(size));
@@ -245,6 +249,7 @@ impl Allocator for GnuGxx {
         }
         write_tags(ctx, b, size, 0);
         self.bin_insert(b, size, ctx);
+        ctx.obs_observe("alloc.coalesce_per_free", self.stats.coalesces - merges_before);
         self.stats.note_free(granted);
         Ok(())
     }

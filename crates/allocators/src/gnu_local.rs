@@ -105,10 +105,16 @@ impl Allocator for GnuLocal {
         ctx.ops(88 + u64::from(internal.next_power_of_two().trailing_zeros()));
         let (addr, granted) = match Self::class_for(internal) {
             Some(class) => {
+                // Fragment allocations never walk a freelist of heap
+                // blocks (the descriptor table is the index); the zero
+                // keeps the search-length histogram comparable.
+                ctx.obs_add("alloc.frag_allocs", 1);
+                ctx.obs_observe("alloc.search_len", 0);
                 let a = self.heap.alloc_frag(class, ctx)?;
                 (a, self.heap.class_sizes()[class])
             }
             None => {
+                ctx.obs_add("alloc.chunk_allocs", 1);
                 let a = self.heap.alloc_large(internal, ctx)?;
                 (a, internal.div_ceil(crate::chunked::CHUNK) * crate::chunked::CHUNK)
             }
@@ -128,6 +134,9 @@ impl Allocator for GnuLocal {
         ctx.ops(78);
         let addr = if self.config.emulate_boundary_tags { ptr - 4 } else { ptr };
         let granted = self.heap.free_at(addr, ctx)?;
+        // Chunk reclamation is not boundary-tag coalescing; the zero
+        // keeps the histogram covering every free.
+        ctx.obs_observe("alloc.coalesce_per_free", 0);
         self.stats.note_free(granted);
         Ok(())
     }

@@ -80,19 +80,28 @@ pub fn tag_fast(tag: u32) -> bool {
 }
 
 /// Writes both boundary tags of the block at `b`.
+///
+/// Counted under `alloc.tag_writes`: boundary-tag traffic is the
+/// cache-pollution mechanism Table 6 of the paper quantifies, so the
+/// recorder sees every tag word the allocators touch.
 pub fn write_tags(ctx: &mut MemCtx<'_>, b: Address, size: u32, flags: u32) {
     let tag = encode(size, flags);
+    ctx.obs_add("alloc.tag_writes", 2);
     ctx.store(b, tag);
     ctx.store(b + u64::from(size) - TAG, tag);
 }
 
-/// Reads the header tag of the block at `b`.
+/// Reads the header tag of the block at `b` (counted under
+/// `alloc.tag_reads`).
 pub fn read_header(ctx: &mut MemCtx<'_>, b: Address) -> u32 {
+    ctx.obs_add("alloc.tag_reads", 1);
     ctx.load(b)
 }
 
-/// Reads the footer tag of the block *preceding* address `b`.
+/// Reads the footer tag of the block *preceding* address `b` (counted
+/// under `alloc.tag_reads`).
 pub fn read_prev_footer(ctx: &mut MemCtx<'_>, b: Address) -> u32 {
+    ctx.obs_add("alloc.tag_reads", 1);
     ctx.load(b - TAG)
 }
 

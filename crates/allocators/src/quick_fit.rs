@@ -102,11 +102,12 @@ impl QuickFit {
         Ok(block)
     }
 
-    /// Folds the embedded general allocator's search/coalesce counters
-    /// into our own so `stats()` reflects the whole hybrid.
+    /// Folds the embedded general allocator's search/coalesce/split
+    /// counters into our own so `stats()` reflects the whole hybrid.
     fn absorb_general_counters(&mut self) {
         self.stats.search_visits = self.general.stats().search_visits;
         self.stats.coalesces = self.general.stats().coalesces;
+        self.stats.splits = self.general.stats().splits;
     }
 }
 
@@ -130,10 +131,19 @@ impl Allocator for QuickFit {
             } else {
                 self.carve(total, ctx)?
             };
+            // Quicklist hit: no freelist search at all. Observing an
+            // explicit zero keeps the per-malloc search-length
+            // histogram comparable across allocators (paper finding 1).
+            self.stats.quick_hits += 1;
+            ctx.obs_add("alloc.quicklist_hits", 1);
+            ctx.obs_observe("alloc.search_len", 0);
             self.stats.note_malloc(size, total);
             Ok(block + TAG)
         } else {
+            self.stats.misc_hits += 1;
+            ctx.obs_add("alloc.misclist_hits", 1);
             let before = self.general.stats().live_granted;
+            // The embedded GNU G++ observes its own search length.
             let p = self.general.malloc(size, ctx)?;
             let granted = self.general.stats().live_granted - before;
             self.absorb_general_counters();
@@ -165,6 +175,9 @@ impl Allocator for QuickFit {
             }
             ctx.store(block + TAG, old);
             ctx.store(head, block.raw() as u32);
+            // Fast blocks never coalesce; record the zero so the
+            // histogram covers every free.
+            ctx.obs_observe("alloc.coalesce_per_free", 0);
             self.stats.note_free(total);
             Ok(())
         } else {

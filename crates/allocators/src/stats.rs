@@ -26,6 +26,20 @@ pub struct AllocStats {
     pub search_visits: u64,
     /// Number of block coalesce operations performed.
     pub coalesces: u64,
+    /// Number of oversized blocks split during allocation.
+    ///
+    /// `#[serde(default)]` so results serialized before this counter
+    /// existed still deserialize (schema-stable extension).
+    #[serde(default)]
+    pub splits: u64,
+    /// Requests satisfied from a segregated fast list (QuickFit's
+    /// quicklists); zero for allocators without one.
+    #[serde(default)]
+    pub quick_hits: u64,
+    /// Requests routed to the general ("misc") allocator by a
+    /// fast-list-capable allocator; zero for the rest.
+    #[serde(default)]
+    pub misc_hits: u64,
 }
 
 impl AllocStats {

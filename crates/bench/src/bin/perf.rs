@@ -2,9 +2,18 @@
 //!
 //! ```text
 //! perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]
+//! perf --obs [--scale F] [--repeat N] [--max-overhead F] [--obs-out FILE]
 //! ```
 //!
-//! Two measurements, two reports:
+//! With `--obs`, the harness instead measures the observability
+//! subsystem itself (`BENCH_obs.json`): the same heavy configuration
+//! run three ways — recorder absent, [`obs::NullRecorder`] attached,
+//! and [`obs::MemoryRecorder`] attached — best of `--repeat` each. The
+//! no-op recorder must cost at most `--max-overhead` (fraction, default
+//! 0.02) over the recorder-free run, and all three runs must produce
+//! bit-identical [`RunResult`]s; either failure exits non-zero.
+//!
+//! Otherwise, two measurements, two reports:
 //!
 //! 1. **Pipeline** (`BENCH_pipeline.json`): the fixed heavy
 //!    configuration — full paper cache sweep plus the stack-distance
@@ -34,6 +43,7 @@ use alloc_locality::{
 };
 use allocators::AllocatorKind;
 use cache_sim::{CacheBank, CacheConfig, SweepCache};
+use obs::NullRecorder;
 use serde::Serialize;
 use sim_mem::{AccessSink, CountingSink, RefRun};
 use workloads::{Program, Scale};
@@ -116,16 +126,22 @@ struct Args {
     scale: f64,
     repeat: u32,
     matrix: bool,
+    obs: bool,
+    max_overhead: f64,
     out: PathBuf,
     sweep_out: PathBuf,
+    obs_out: PathBuf,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = 0.02;
     let mut repeat = 3;
     let mut matrix = false;
+    let mut obs = false;
+    let mut max_overhead = 0.02;
     let mut out = PathBuf::from("BENCH_pipeline.json");
     let mut sweep_out = PathBuf::from("BENCH_sweep.json");
+    let mut obs_out = PathBuf::from("BENCH_obs.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -144,24 +160,38 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--matrix" => matrix = true,
+            "--obs" => obs = true,
+            "--max-overhead" => {
+                let v = args.next().ok_or("--max-overhead needs a value")?;
+                max_overhead = v.parse().map_err(|e| format!("bad overhead bound {v}: {e}"))?;
+                if max_overhead < 0.0 {
+                    return Err("overhead bound must be non-negative".into());
+                }
+            }
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a path")?);
             }
             "--sweep-out" => {
                 sweep_out = PathBuf::from(args.next().ok_or("--sweep-out needs a path")?);
             }
+            "--obs-out" => {
+                obs_out = PathBuf::from(args.next().ok_or("--obs-out needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]\n\
+                     \x20      perf --obs [--scale F] [--repeat N] [--max-overhead F] [--obs-out FILE]\n\
                      --matrix measures all five paper programs x (FirstFit, BSD, QuickFit)\n\
-                     in the bank-vs-sweep comparison instead of espresso/FirstFit alone"
+                     in the bank-vs-sweep comparison instead of espresso/FirstFit alone\n\
+                     --obs measures recorder overhead (none vs null vs in-memory) and fails\n\
+                     if the null recorder costs more than --max-overhead (default 0.02)"
                         .into(),
                 );
             }
             other => return Err(format!("unknown argument {other:?}; try --help")),
         }
     }
-    Ok(Args { scale, repeat, matrix, out, sweep_out })
+    Ok(Args { scale, repeat, matrix, obs, max_overhead, out, sweep_out, obs_out })
 }
 
 /// The fixed heavy workload of the pipeline report: espresso under
@@ -183,11 +213,20 @@ fn cell_experiment(
 /// Best-of-`repeat` wall-clock run; returns the last result and the
 /// fastest time.
 fn time_run(exp: &Experiment, repeat: u32) -> Result<(RunResult, f64), String> {
+    time_closure(repeat, || exp.run().map_err(|e| e.to_string()))
+}
+
+/// Best-of-`repeat` timing of any fallible body; returns the last value
+/// and the fastest time.
+fn time_closure<R>(
+    repeat: u32,
+    mut body: impl FnMut() -> Result<R, String>,
+) -> Result<(R, f64), String> {
     let mut best = f64::INFINITY;
     let mut result = None;
     for _ in 0..repeat {
         let start = Instant::now();
-        let r = exp.run().map_err(|e| e.to_string())?;
+        let r = body()?;
         best = best.min(start.elapsed().as_secs_f64());
         result = Some(r);
     }
@@ -400,6 +439,86 @@ fn sweep_report(args: &Args) -> Result<SweepReport, String> {
     })
 }
 
+/// The observability overhead report (`BENCH_obs.json`).
+#[derive(Debug, Clone, Serialize)]
+struct ObsReport {
+    program: String,
+    allocator: String,
+    scale: f64,
+    repeats: u32,
+    /// The gate the no-op overhead was checked against.
+    max_overhead: f64,
+    /// Recorder absent: the instrumented binary's plain `run()`.
+    baseline: Timing,
+    /// [`obs::NullRecorder`] attached — what "metrics compiled in but
+    /// disabled" costs.
+    null_recorder: Timing,
+    /// [`obs::MemoryRecorder`] attached — what full collection costs.
+    memory_recorder: Timing,
+    /// `null_recorder.secs / baseline.secs - 1`.
+    noop_overhead: f64,
+    /// `memory_recorder.secs / baseline.secs - 1`.
+    recording_overhead: f64,
+    /// Whether all three runs produced bit-identical [`RunResult`]s.
+    identical_results: bool,
+    /// Distinct metric names the in-memory recorder captured.
+    counters: usize,
+    histograms: usize,
+    spans: usize,
+}
+
+/// The observability harness: the heavy configuration run recorder-free,
+/// with a no-op recorder, and with a collecting recorder.
+fn obs_report(args: &Args) -> Result<ObsReport, String> {
+    let opts = SimOptions {
+        cache_configs: CacheConfig::paper_sweep(),
+        paging: true,
+        ..SimOptions::default()
+    };
+    let exp = experiment(args.scale, opts);
+    eprintln!(
+        "# obs perf: espresso/FirstFit, scale {}, best of {}, no-op gate {:.1}%",
+        args.scale,
+        args.repeat,
+        args.max_overhead * 100.0
+    );
+
+    let (base_result, base_secs) = time_run(&exp, args.repeat)?;
+    let refs = base_result.data_refs();
+    eprintln!("no recorder:     {base_secs:.3}s");
+
+    let (null_result, null_secs) = time_closure(args.repeat, || {
+        let mut rec = NullRecorder;
+        exp.run_with_recorder(&mut rec).map_err(|e| e.to_string())
+    })?;
+    eprintln!("null recorder:   {null_secs:.3}s");
+
+    let ((mem_result, metrics), mem_secs) =
+        time_closure(args.repeat, || exp.run_instrumented().map_err(|e| e.to_string()))?;
+    eprintln!("memory recorder: {mem_secs:.3}s");
+
+    let same = identical(&base_result, &null_result) && identical(&base_result, &mem_result);
+    if !same {
+        eprintln!("WARNING: recording changed the simulation result");
+    }
+    Ok(ObsReport {
+        program: base_result.program.clone(),
+        allocator: base_result.allocator.clone(),
+        scale: args.scale,
+        repeats: args.repeat,
+        max_overhead: args.max_overhead,
+        baseline: timing("no-recorder", base_secs, refs),
+        null_recorder: timing("null-recorder", null_secs, refs),
+        memory_recorder: timing("memory-recorder", mem_secs, refs),
+        noop_overhead: null_secs / base_secs.max(1e-9) - 1.0,
+        recording_overhead: mem_secs / base_secs.max(1e-9) - 1.0,
+        identical_results: same,
+        counters: metrics.counters.len(),
+        histograms: metrics.histograms.len(),
+        spans: metrics.spans.len(),
+    })
+}
+
 fn write_json<T: Serialize>(path: &PathBuf, value: &T) -> Result<(), String> {
     let json = serde_json::to_string_pretty(value).expect("serialize report");
     std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
@@ -409,6 +528,28 @@ fn write_json<T: Serialize>(path: &PathBuf, value: &T) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+
+    if args.obs {
+        let report = obs_report(&args)?;
+        eprintln!(
+            "no-op overhead: {:+.2}%  full recording: {:+.2}%  (identical results: {})",
+            report.noop_overhead * 100.0,
+            report.recording_overhead * 100.0,
+            report.identical_results
+        );
+        write_json(&args.obs_out, &report)?;
+        if !report.identical_results {
+            return Err("recording changed the simulation result".into());
+        }
+        if report.noop_overhead > args.max_overhead {
+            return Err(format!(
+                "disabled-recorder overhead {:.2}% exceeds the {:.2}% gate",
+                report.noop_overhead * 100.0,
+                args.max_overhead * 100.0
+            ));
+        }
+        return Ok(());
+    }
 
     let pipeline = pipeline_report(&args)?;
     eprintln!(

@@ -1,0 +1,86 @@
+//! `report_check`: validates a JSONL metrics file from `repro --metrics`.
+//!
+//! ```text
+//! report_check FILE [--expect N]
+//! ```
+//!
+//! Every line must parse as an [`alloc_locality::RunReport`] and pass
+//! its schema validation; `--expect N` additionally requires exactly
+//! `N` reports. On success the tool prints a one-line summary per
+//! report; any failure names the offending line and exits non-zero,
+//! which is what CI's observability job keys on.
+
+use std::process::ExitCode;
+
+use alloc_locality::RunReport;
+
+struct Args {
+    path: std::path::PathBuf,
+    expect: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut path = None;
+    let mut expect = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--expect" => {
+                let v = args.next().ok_or("--expect needs a count")?;
+                expect = Some(v.parse().map_err(|e| format!("bad count {v}: {e}"))?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: report_check FILE [--expect N]".into());
+            }
+            other if path.is_none() => path = Some(std::path::PathBuf::from(other)),
+            other => return Err(format!("unexpected argument {other:?}; try --help")),
+        }
+    }
+    Ok(Args { path: path.ok_or("usage: report_check FILE [--expect N]")?, expect })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("read {}: {e}", args.path.display()))?;
+    let mut count = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let report = RunReport::parse(line)
+            .map_err(|e| format!("{}:{}: parse: {e}", args.path.display(), lineno + 1))?;
+        report
+            .validate()
+            .map_err(|e| format!("{}:{}: invalid: {e}", args.path.display(), lineno + 1))?;
+        let search = report.metrics.histogram("alloc.search_len").expect("validated");
+        // Absent for free-less programs (ptc): validation only demands
+        // it when the run actually freed.
+        let coalesce = report.metrics.histogram("alloc.coalesce_per_free").map_or(0.0, |h| h.mean);
+        println!(
+            "{:<10} {:<10} mallocs {:<8} mean search {:<6.2} mean coalesce {:.3}",
+            report.program, report.allocator, search.count, search.mean, coalesce
+        );
+        count += 1;
+    }
+    if let Some(expect) = args.expect {
+        if count != expect {
+            return Err(format!("expected {expect} reports, found {count}"));
+        }
+    }
+    if count == 0 {
+        return Err(format!("{}: no reports found", args.path.display()));
+    }
+    eprintln!("{count} report(s) valid");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! Locality of Memory Allocation* (PLDI 1993).
 //!
 //! ```text
-//! repro [--scale F] [--threads N] [--json DIR] [TARGET ...]
+//! repro [--scale F] [--threads N] [--json DIR] [--metrics FILE]
+//!       [--verbose] [TARGET ...]
 //!
 //! TARGETS: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          table1 table2 table3 table4 table5 table6 all
@@ -13,6 +14,13 @@
 //! `--threads N` sizes the sweep's worker pool; `--threads 0` (and the
 //! default when the flag is omitted) auto-detects one worker per
 //! hardware thread via `std::thread::available_parallelism`.
+//!
+//! `--metrics FILE` runs the paper's 5×5 matrix with the observability
+//! recorder attached and writes one schema-versioned
+//! [`alloc_locality::RunReport`] per cell as a line of `FILE` (JSONL);
+//! when no explicit target accompanies it, only the instrumented sweep
+//! runs. `--verbose` narrates every sweep to stderr, one line per
+//! completed cell with elapsed wall time.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,10 +29,11 @@ use alloc_locality::experiments::{
     conflict_analysis, exec_time_figure, fig1, future_work_table, miss_curves, paging_figure,
     table1, table2, table6, time_table, two_level_study, victim_study,
 };
+use alloc_locality::{run_parallel_instrumented, AllocChoice, Experiment, RunReport, SimOptions};
 use bench::MatrixCache;
 use cache_sim::CacheConfig;
 use serde::Serialize;
-use workloads::Program;
+use workloads::{Program, Scale};
 
 const ALL_TARGETS: [&str; 18] = [
     "table1",
@@ -51,6 +60,8 @@ struct Args {
     scale: f64,
     threads: usize,
     json_dir: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    verbose: bool,
     targets: Vec<String>,
 }
 
@@ -58,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 0.02;
     let mut threads = alloc_locality::default_threads();
     let mut json_dir = None;
+    let mut metrics = None;
+    let mut verbose = false;
     let mut targets = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -80,10 +93,17 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 json_dir = Some(PathBuf::from(args.next().ok_or("--json needs a directory")?));
             }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(args.next().ok_or("--metrics needs a file path")?));
+            }
+            "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--scale F] [--threads N] [--json DIR] [TARGET ...]\n\
+                    "usage: repro [--scale F] [--threads N] [--json DIR] [--metrics FILE] \
+                     [--verbose] [TARGET ...]\n\
                      --threads 0 (or omitted) auto-detects from available_parallelism\n\
+                     --metrics FILE writes one instrumented RunReport per 5x5 cell as JSONL\n\
+                     --verbose narrates sweep progress per completed cell\n\
                      targets: {} all",
                     ALL_TARGETS.join(" ")
                 ));
@@ -93,11 +113,55 @@ fn parse_args() -> Result<Args, String> {
             t => return Err(format!("unknown target {t:?}; try --help")),
         }
     }
-    if targets.is_empty() {
+    // `repro --metrics out.jsonl` alone means "just the instrumented
+    // sweep"; naming a target alongside it still runs that target.
+    if targets.is_empty() && metrics.is_none() {
         targets.extend(ALL_TARGETS.iter().map(|s| s.to_string()));
     }
     targets.dedup();
-    Ok(Args { scale, threads, json_dir, targets })
+    Ok(Args { scale, threads, json_dir, metrics, verbose, targets })
+}
+
+/// Runs the paper's 5×5 matrix with the recorder attached and writes one
+/// validated [`RunReport`] per cell as a JSONL line of `path`.
+fn emit_metrics(args: &Args, path: &std::path::Path) -> Result<(), String> {
+    let opts = SimOptions { scale: Scale(args.scale), ..SimOptions::default() };
+    let jobs: Vec<Experiment> = Program::FIVE
+        .iter()
+        .flat_map(|&p| {
+            let opts = &opts;
+            AllocChoice::paper_five()
+                .into_iter()
+                .map(move |c| Experiment::new(p, c).options(opts.clone()))
+        })
+        .collect();
+    let total = jobs.len();
+    let start = std::time::Instant::now();
+    let verbose = args.verbose;
+    eprintln!("# instrumented {total}-cell sweep at scale {}", args.scale);
+    let pairs = run_parallel_instrumented(jobs, args.threads, move |done, r| {
+        if verbose {
+            eprintln!(
+                "[{done}/{total}] {}/{} done ({:.1}s elapsed)",
+                r.program,
+                r.allocator,
+                start.elapsed().as_secs_f64()
+            );
+        }
+    })
+    .map_err(|e| format!("instrumented sweep: {e}"))?;
+    let mut lines = String::new();
+    for (result, metrics) in pairs {
+        let report = RunReport::new(result, metrics);
+        report
+            .validate()
+            .map_err(|e| format!("{}/{}: invalid report: {e}", report.program, report.allocator))?;
+        lines.push_str(&report.to_jsonl_line());
+        lines.push('\n');
+    }
+    std::fs::write(path, lines).map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("[wrote {} ({total} reports)]", path.display());
+    Ok(())
 }
 
 fn emit<T: Serialize>(args: &Args, name: &str, text: &str, value: &T) {
@@ -113,7 +177,13 @@ fn emit<T: Serialize>(args: &Args, name: &str, text: &str, value: &T) {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let mut cache = MatrixCache::with_threads(args.scale, args.threads);
+    if let Some(path) = args.metrics.clone() {
+        emit_metrics(&args, &path)?;
+        if args.targets.is_empty() {
+            return Ok(());
+        }
+    }
+    let mut cache = MatrixCache::with_threads(args.scale, args.threads).verbose(args.verbose);
     let k16 = CacheConfig::direct_mapped(16 * 1024, 32);
     let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
     eprintln!(

@@ -5,8 +5,8 @@
 //! can serve several tables and figures.
 
 use alloc_locality::{
-    default_threads, run_parallel_with, standard_matrix_with, AllocChoice, EngineError, Experiment,
-    Matrix, SimOptions,
+    default_threads, run_parallel_progress, run_parallel_with, AllocChoice, EngineError,
+    Experiment, Matrix, SimOptions,
 };
 use cache_sim::CacheConfig;
 use workloads::{Program, Scale};
@@ -21,6 +21,7 @@ pub struct MatrixCache {
     ext: Option<Matrix>,
     scale: f64,
     threads: usize,
+    verbose: bool,
 }
 
 impl MatrixCache {
@@ -35,8 +36,43 @@ impl MatrixCache {
         MatrixCache { scale, threads: threads.max(1), ..Default::default() }
     }
 
+    /// Prints a progress line to stderr as each sweep cell completes
+    /// (`repro --verbose`).
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
     fn opts(&self) -> SimOptions {
         SimOptions { scale: Scale(self.scale), ..SimOptions::default() }
+    }
+
+    /// Runs `jobs` on this cache's worker pool, narrating completions
+    /// when verbose.
+    fn run_jobs(&self, jobs: Vec<Experiment>) -> Result<Matrix, EngineError> {
+        if !self.verbose {
+            return run_parallel_with(jobs, self.threads);
+        }
+        let total = jobs.len();
+        let start = std::time::Instant::now();
+        run_parallel_progress(jobs, self.threads, move |done, r| {
+            eprintln!(
+                "[{done}/{total}] {}/{} done ({:.1}s elapsed)",
+                r.program,
+                r.allocator,
+                start.elapsed().as_secs_f64()
+            );
+        })
+    }
+
+    /// The programs × choices cross product as a job list.
+    fn jobs(programs: &[Program], choices: &[AllocChoice], opts: &SimOptions) -> Vec<Experiment> {
+        programs
+            .iter()
+            .flat_map(|&p| {
+                choices.iter().map(move |c| Experiment::new(p, c.clone()).options(opts.clone()))
+            })
+            .collect()
     }
 
     /// The 5 programs × 5 allocators sweep with the full cache bank and
@@ -47,12 +83,11 @@ impl MatrixCache {
     /// Propagates the first failing run.
     pub fn main(&mut self) -> Result<&Matrix, EngineError> {
         if self.main.is_none() {
-            self.main = Some(standard_matrix_with(
+            self.main = Some(self.run_jobs(Self::jobs(
                 &Program::FIVE,
                 &AllocChoice::paper_five(),
                 &self.opts(),
-                self.threads,
-            )?);
+            ))?);
         }
         Ok(self.main.as_ref().expect("just set"))
     }
@@ -66,12 +101,11 @@ impl MatrixCache {
     pub fn gs(&mut self) -> Result<&Matrix, EngineError> {
         if self.gs.is_none() {
             let opts = SimOptions { paging: false, ..self.opts() };
-            self.gs = Some(standard_matrix_with(
+            self.gs = Some(self.run_jobs(Self::jobs(
                 &[Program::GsSmall, Program::GsMedium],
                 &AllocChoice::paper_five(),
                 &opts,
-                self.threads,
-            )?);
+            ))?);
         }
         Ok(self.gs.as_ref().expect("just set"))
     }
@@ -89,12 +123,11 @@ impl MatrixCache {
                 paging: false,
                 ..self.opts()
             };
-            self.tags = Some(standard_matrix_with(
+            self.tags = Some(self.run_jobs(Self::jobs(
                 &Program::FIVE,
                 &[AllocChoice::GnuLocalTagged],
                 &opts,
-                self.threads,
-            )?);
+            ))?);
         }
         Ok(self.tags.as_ref().expect("just set"))
     }
@@ -134,14 +167,8 @@ impl MatrixCache {
             choices.push(AllocChoice::Buddy);
             choices.push(AllocChoice::Custom);
             choices.push(AllocChoice::Predictive);
-            let jobs = [Program::Espresso, Program::GsLarge]
-                .iter()
-                .flat_map(|&p| {
-                    let opts = &opts;
-                    choices.iter().map(move |c| Experiment::new(p, c.clone()).options(opts.clone()))
-                })
-                .collect();
-            self.ext = Some(run_parallel_with(jobs, self.threads)?);
+            let jobs = Self::jobs(&[Program::Espresso, Program::GsLarge], &choices, &opts);
+            self.ext = Some(self.run_jobs(jobs)?);
         }
         Ok(self.ext.as_ref().expect("just set"))
     }

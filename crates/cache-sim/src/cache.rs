@@ -122,6 +122,11 @@ pub struct Cache {
     /// consecutive references to one block — the common case for
     /// word-by-word walks of an object — skip the lookup entirely.
     last_block: u64,
+    /// References absorbed by the run fast path in `record_runs` (repeat
+    /// occurrences that advanced only the word counters). Kept outside
+    /// [`CacheStats`] so statistics stay independent of how the stream
+    /// was delivered.
+    fastpath_refs: u64,
     stats: CacheStats,
 }
 
@@ -139,6 +144,7 @@ impl Cache {
             },
             seen: BlockSet::new(),
             last_block: u64::MAX,
+            fastpath_refs: 0,
             stats: CacheStats::default(),
         }
     }
@@ -151,6 +157,13 @@ impl Cache {
     /// Accumulated statistics.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// References absorbed by the `record_runs` fast path (counted, not
+    /// re-simulated). An observability counter — not part of
+    /// [`CacheStats`].
+    pub fn fastpath_refs(&self) -> u64 {
+        self.fastpath_refs
     }
 
     /// Simulates one reference: every block it spans is touched, and the
@@ -250,6 +263,7 @@ impl AccessSink for Cache {
             self.access(run.r);
             if run.count > 1 {
                 if run.r.single_block(u64::from(self.config.block)) {
+                    self.fastpath_refs += u64::from(run.count - 1);
                     self.count_words(run.r, u64::from(run.count - 1));
                 } else {
                     for _ in 1..run.count {

@@ -90,6 +90,11 @@ pub struct SweepCache {
     seen: BlockSet,
     /// The most recently touched block (`u64::MAX` before any access).
     last_block: u64,
+    /// References absorbed by the run fast path in `record_runs` (repeat
+    /// occurrences that advanced only the shared word counters). An
+    /// observability counter, deliberately outside the per-member
+    /// [`CacheStats`].
+    fastpath_refs: u64,
 }
 
 impl SweepCache {
@@ -122,6 +127,7 @@ impl SweepCache {
             meta_words: 0,
             seen: BlockSet::new(),
             last_block: u64::MAX,
+            fastpath_refs: 0,
         })
     }
 
@@ -138,6 +144,13 @@ impl SweepCache {
     /// `(config, stats)` pairs for reporting, in construction order.
     pub fn results(&self) -> Vec<(CacheConfig, CacheStats)> {
         (0..self.configs.len()).map(|i| (self.configs[i], self.member_stats(i))).collect()
+    }
+
+    /// References absorbed by the `record_runs` fast path (counted, not
+    /// re-simulated). An observability counter — not part of any
+    /// member's [`CacheStats`].
+    pub fn fastpath_refs(&self) -> u64 {
+        self.fastpath_refs
     }
 
     fn member_stats(&self, i: usize) -> CacheStats {
@@ -233,6 +246,7 @@ impl AccessSink for SweepCache {
             self.access(run.r);
             if run.count > 1 {
                 if run.r.single_block(1 << self.block_shift) {
+                    self.fastpath_refs += u64::from(run.count - 1);
                     self.count_words(run.r, u64::from(run.count - 1));
                 } else {
                     for _ in 1..run.count {

@@ -15,7 +15,8 @@ use cache_sim::{
     Cache, CacheConfig, CacheStats, SweepCache, ThreeC, ThreeCAnalyzer, TwoLevelCache,
     TwoLevelStats, VictimCache, VictimStats,
 };
-use std::sync::mpsc::SyncSender;
+use obs::{MemoryRecorder, Recorder, Stopwatch};
+use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
@@ -244,7 +245,11 @@ pub fn profile_from_events(
 pub type FragSample = (u64, u64, u64);
 
 /// Everything measured by one (program, allocator) run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` is part of the contract: the engine's delivery paths
+/// (pipeline modes, cache engines, metrics on/off) are equivalence-
+/// tested by comparing whole results for bit-identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Program label ("espresso", "GS", ...).
     pub program: String,
@@ -413,6 +418,35 @@ enum SinkShard {
     TwoLevel(TwoLevelCache),
 }
 
+impl SinkShard {
+    /// Stable metric label for this shard kind; per-shard consume time
+    /// is accumulated under `span:<label>` (so the sweep engine and the
+    /// per-cache engine are directly comparable per run).
+    fn label(&self) -> &'static str {
+        match self {
+            SinkShard::Sweep(_) => "sink.sweep",
+            SinkShard::Cache(_) => "sink.cache",
+            SinkShard::Pager(_) => "sink.pager",
+            SinkShard::Tracer(_) => "sink.tracer",
+            SinkShard::Victim(_) => "sink.victim",
+            SinkShard::ThreeC(_) => "sink.three_c",
+            SinkShard::TwoLevel(_) => "sink.two_level",
+        }
+    }
+
+    /// References this shard swallowed via its O(1) run-repeat fast
+    /// path, when the shard kind tracks it (the PR 2 optimization the
+    /// recorder makes visible).
+    fn fastpath_refs(&self) -> Option<(&'static str, u64)> {
+        match self {
+            SinkShard::Sweep(s) => Some(("sink.sweep.fastpath_refs", s.fastpath_refs())),
+            SinkShard::Cache(c) => Some(("sink.cache.fastpath_refs", c.fastpath_refs())),
+            SinkShard::Pager(p) => Some(("sink.pager.fastpath_refs", p.fastpath_refs())),
+            _ => None,
+        }
+    }
+}
+
 impl AccessSink for SinkShard {
     fn record(&mut self, r: MemRef) {
         match self {
@@ -456,6 +490,17 @@ impl AccessSink for SinkShard {
 struct InlineSink {
     counting: CountingSink,
     shards: Vec<SinkShard>,
+    /// Per-shard consume time in nanoseconds, aligned with `shards`.
+    /// `None` (the uninstrumented path) skips the clock reads entirely,
+    /// so metrics-off runs pay nothing.
+    timings: Option<Vec<u64>>,
+}
+
+impl InlineSink {
+    fn new(counting: CountingSink, shards: Vec<SinkShard>, timed: bool) -> Self {
+        let timings = timed.then(|| vec![0u64; shards.len()]);
+        InlineSink { counting, shards, timings }
+    }
 }
 
 impl AccessSink for InlineSink {
@@ -475,8 +520,19 @@ impl AccessSink for InlineSink {
 
     fn record_runs(&mut self, runs: &[RefRun]) {
         self.counting.record_runs(runs);
-        for shard in &mut self.shards {
-            shard.record_runs(runs);
+        match &mut self.timings {
+            None => {
+                for shard in &mut self.shards {
+                    shard.record_runs(runs);
+                }
+            }
+            Some(times) => {
+                for (shard, spent) in self.shards.iter_mut().zip(times.iter_mut()) {
+                    let sw = Stopwatch::start();
+                    shard.record_runs(runs);
+                    *spent += sw.elapsed_ns();
+                }
+            }
         }
     }
 }
@@ -490,6 +546,11 @@ impl AccessSink for InlineSink {
 struct BroadcastSink {
     counting: CountingSink,
     senders: Vec<SyncSender<Arc<Vec<RefRun>>>>,
+    /// Sends that found a worker's channel full and had to block —
+    /// the pipeline's backpressure signal (`pipeline.send_stalls`).
+    /// Counted on the producer thread; delivery order and blocking
+    /// behaviour are identical to a plain `send`.
+    send_stalls: u64,
 }
 
 impl AccessSink for BroadcastSink {
@@ -508,7 +569,14 @@ impl AccessSink for BroadcastSink {
         for tx in &self.senders {
             // A send only fails if a worker panicked; the panic itself
             // resurfaces when the worker is joined.
-            let _ = tx.send(Arc::clone(&runs));
+            match tx.try_send(Arc::clone(&runs)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(batch)) => {
+                    self.send_stalls += 1;
+                    let _ = tx.send(batch);
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
         }
     }
 }
@@ -686,6 +754,20 @@ impl Experiment {
         shards
     }
 
+    /// Reborrows an optional recorder for a shorter-lived callee.
+    ///
+    /// `Option<&mut dyn Recorder>` is invariant in the trait object's
+    /// lifetime (no coercion reaches inside `Option`), so passing
+    /// `recorder.as_deref_mut()` straight to a callee pins the original
+    /// borrow for the callee's whole signature lifetime. Rewrapping the
+    /// `Some` arm gives the compiler a per-element coercion site.
+    fn reborrow<'s>(recorder: &'s mut Option<&mut dyn Recorder>) -> Option<&'s mut dyn Recorder> {
+        match recorder.as_deref_mut() {
+            Some(rec) => Some(rec),
+            None => None,
+        }
+    }
+
     /// The workload loop: builds the allocator, replays every event
     /// through a batching [`MemCtx`] over `sink`, and flushes. Both
     /// pipeline modes share this — the mode only decides what `sink`
@@ -695,8 +777,12 @@ impl Experiment {
         heap: &mut HeapImage,
         instrs: &mut InstrCounter,
         sink: &mut dyn AccessSink,
+        recorder: Option<&mut dyn Recorder>,
     ) -> Result<(Vec<FragSample>, AllocStats), EngineError> {
         let mut ctx = MemCtx::batched(heap, sink, instrs);
+        if let Some(rec) = recorder {
+            ctx = ctx.with_recorder(rec);
+        }
         ctx.set_phase(Phase::Malloc);
         let mut allocator = self
             .choice
@@ -766,13 +852,18 @@ impl Experiment {
         instrs: &mut InstrCounter,
         counting: CountingSink,
         shards: Vec<SinkShard>,
+        mut recorder: Option<&mut dyn Recorder>,
     ) -> Result<(Vec<FragSample>, AllocStats, Vec<SinkShard>, CountingSink), EngineError> {
         if shards.is_empty() {
             // Only the counting fold is active: nothing to fan out.
-            let mut sink = InlineSink { counting, shards };
-            let (frag_curve, alloc_stats) = self.drive(heap, instrs, &mut sink)?;
+            let mut sink = InlineSink::new(counting, shards, false);
+            let (frag_curve, alloc_stats) =
+                self.drive(heap, instrs, &mut sink, Self::reborrow(&mut recorder))?;
             return Ok((frag_curve, alloc_stats, sink.shards, sink.counting));
         }
+        // Workers only read the clock when a recorder will consume the
+        // busy times, so the uninstrumented pipeline is unchanged.
+        let timed = recorder.is_some();
         let workers = shards.len().min(default_threads().max(1));
         let mut groups: Vec<Vec<(usize, SinkShard)>> = (0..workers).map(|_| Vec::new()).collect();
         for (position, shard) in shards.into_iter().enumerate() {
@@ -786,23 +877,42 @@ impl Experiment {
                     std::sync::mpsc::sync_channel::<Arc<Vec<RefRun>>>(BATCH_CHANNEL_DEPTH);
                 senders.push(tx);
                 handles.push(s.spawn(move || {
+                    let mut busy_ns = 0u64;
                     while let Ok(runs) = rx.recv() {
-                        for (_, shard) in &mut group {
-                            shard.record_runs(&runs);
+                        if timed {
+                            let sw = Stopwatch::start();
+                            for (_, shard) in &mut group {
+                                shard.record_runs(&runs);
+                            }
+                            busy_ns += sw.elapsed_ns();
+                        } else {
+                            for (_, shard) in &mut group {
+                                shard.record_runs(&runs);
+                            }
                         }
                     }
-                    group
+                    (group, busy_ns)
                 }));
             }
-            let mut sink = BroadcastSink { counting, senders };
-            let driven = self.drive(heap, instrs, &mut sink);
+            let mut sink = BroadcastSink { counting, senders, send_stalls: 0 };
+            let driven = self.drive(heap, instrs, &mut sink, Self::reborrow(&mut recorder));
             // Drop the senders: each channel closes, each worker drains
             // its queue and returns its shards — on error paths too.
-            let BroadcastSink { counting, senders } = sink;
+            let BroadcastSink { counting, senders, send_stalls } = sink;
             drop(senders);
             let mut tagged: Vec<(usize, SinkShard)> = Vec::new();
+            let mut busy_times = Vec::with_capacity(workers);
             for handle in handles {
-                tagged.extend(handle.join().expect("pipeline worker panicked"));
+                let (group, busy_ns) = handle.join().expect("pipeline worker panicked");
+                tagged.extend(group);
+                busy_times.push(busy_ns);
+            }
+            if let Some(rec) = recorder {
+                rec.add("pipeline.send_stalls", send_stalls);
+                rec.add("pipeline.workers", busy_times.len() as u64);
+                for busy_ns in busy_times {
+                    rec.span_ns("pipeline.worker_busy", busy_ns);
+                }
             }
             tagged.sort_by_key(|&(position, _)| position);
             let shards = tagged.into_iter().map(|(_, shard)| shard).collect();
@@ -825,7 +935,7 @@ impl Experiment {
         let mut heap = HeapImage::with_limit(self.opts.heap_limit);
         let mut instrs = InstrCounter::new();
         let mut collector = RunCollector { runs: Vec::new() };
-        self.drive(&mut heap, &mut instrs, &mut collector)?;
+        self.drive(&mut heap, &mut instrs, &mut collector, None)?;
         Ok(collector.runs)
     }
 
@@ -836,19 +946,83 @@ impl Experiment {
     /// Returns [`EngineError::Alloc`] if the allocator reports an error
     /// (out of simulated memory, invalid free).
     pub fn run(&self) -> Result<RunResult, EngineError> {
+        self.run_inner(None)
+    }
+
+    /// Runs the experiment with every metric delivered to `recorder`.
+    ///
+    /// The result is **bit-identical** to [`Experiment::run`]: recording
+    /// observes the run, it never participates in it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    pub fn run_with_recorder(&self, recorder: &mut dyn Recorder) -> Result<RunResult, EngineError> {
+        self.run_inner(Some(recorder))
+    }
+
+    /// Runs the experiment with an in-memory recorder attached and
+    /// returns the result together with the frozen metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    pub fn run_instrumented(&self) -> Result<(RunResult, obs::MetricsSnapshot), EngineError> {
+        let mut rec = MemoryRecorder::new();
+        let result = self.run_inner(Some(&mut rec))?;
+        Ok((result, rec.snapshot()))
+    }
+
+    /// Runs the experiment instrumented and wraps the outcome in the
+    /// stable JSONL schema of [`crate::run_report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    pub fn report(&self) -> Result<crate::run_report::RunReport, EngineError> {
+        let (result, metrics) = self.run_instrumented()?;
+        Ok(crate::run_report::RunReport::new(result, metrics))
+    }
+
+    fn run_inner(&self, mut recorder: Option<&mut dyn Recorder>) -> Result<RunResult, EngineError> {
         let mut heap = HeapImage::with_limit(self.opts.heap_limit);
         let mut instrs = InstrCounter::new();
         let counting = CountingSink::new();
         let shards = self.build_shards();
+        let drive_sw = Stopwatch::start();
         let (frag_curve, alloc_stats, shards, counting) = match self.opts.pipeline {
             PipelineMode::Inline => {
-                let mut sink = InlineSink { counting, shards };
-                let (frag_curve, alloc_stats) = self.drive(&mut heap, &mut instrs, &mut sink)?;
+                let mut sink = InlineSink::new(counting, shards, recorder.is_some());
+                let (frag_curve, alloc_stats) =
+                    self.drive(&mut heap, &mut instrs, &mut sink, Self::reborrow(&mut recorder))?;
+                if let (Some(rec), Some(times)) = (recorder.as_deref_mut(), &sink.timings) {
+                    for (shard, &spent) in sink.shards.iter().zip(times.iter()) {
+                        rec.span_ns(shard.label(), spent);
+                    }
+                }
                 (frag_curve, alloc_stats, sink.shards, sink.counting)
             }
-            PipelineMode::Sharded => self.run_sharded(&mut heap, &mut instrs, counting, shards)?,
+            PipelineMode::Sharded => self.run_sharded(
+                &mut heap,
+                &mut instrs,
+                counting,
+                shards,
+                Self::reborrow(&mut recorder),
+            )?,
         };
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.span_ns("engine.drive", drive_sw.elapsed_ns());
+            for shard in &shards {
+                if let Some((name, refs)) = shard.fastpath_refs() {
+                    rec.add(name, refs);
+                }
+            }
+        }
 
+        let finalize_sw = Stopwatch::start();
         let mut cache = Vec::new();
         let mut fault_curve = None;
         let mut victim = None;
@@ -866,6 +1040,9 @@ impl Experiment {
                 SinkShard::ThreeC(a) => three_c = Some(a.classify()),
                 SinkShard::TwoLevel(t) => two_level = Some(t.stats()),
             }
+        }
+        if let Some(rec) = recorder {
+            rec.span_ns("engine.finalize", finalize_sw.elapsed_ns());
         }
 
         Ok(RunResult {
@@ -983,10 +1160,61 @@ pub fn default_threads() -> usize {
 ///
 /// Returns the first [`EngineError`] any run produced.
 pub fn run_parallel_with(jobs: Vec<Experiment>, threads: usize) -> Result<Matrix, EngineError> {
+    let runs = pool_map(jobs, threads, |exp| exp.run(), |_, _| {})?;
+    Ok(Matrix { runs })
+}
+
+/// [`run_parallel_with`], invoking `progress(completed_so_far, run)`
+/// after each experiment finishes (from whichever worker finished it —
+/// the callback must be `Sync`). Drives `repro --verbose`.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] any run produced.
+pub fn run_parallel_progress(
+    jobs: Vec<Experiment>,
+    threads: usize,
+    progress: impl Fn(usize, &RunResult) + Sync,
+) -> Result<Matrix, EngineError> {
+    let runs = pool_map(jobs, threads, |exp| exp.run(), |done, r: &RunResult| progress(done, r))?;
+    Ok(Matrix { runs })
+}
+
+/// Runs every experiment instrumented (an in-memory recorder each) on a
+/// worker pool, returning `(result, metrics)` pairs in job order and
+/// invoking `progress(completed_so_far, result)` per finished cell.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] any run produced.
+#[allow(clippy::type_complexity)]
+pub fn run_parallel_instrumented(
+    jobs: Vec<Experiment>,
+    threads: usize,
+    progress: impl Fn(usize, &RunResult) + Sync,
+) -> Result<Vec<(RunResult, obs::MetricsSnapshot)>, EngineError> {
+    pool_map(
+        jobs,
+        threads,
+        |exp| exp.run_instrumented(),
+        |done, pair: &(RunResult, obs::MetricsSnapshot)| progress(done, &pair.0),
+    )
+}
+
+/// The shared worker pool: a `Mutex`-guarded job queue drained by scoped
+/// threads, results reassembled in job order. `done` is called with the
+/// number of completed jobs (1-based) after each one.
+fn pool_map<T: Send>(
+    jobs: Vec<Experiment>,
+    threads: usize,
+    work: impl Fn(&Experiment) -> Result<T, EngineError> + Sync,
+    done: impl Fn(usize, &T) + Sync,
+) -> Result<Vec<T>, EngineError> {
     let n = jobs.len();
-    let results: Mutex<Vec<Option<Result<RunResult, EngineError>>>> =
+    let results: Mutex<Vec<Option<Result<T, EngineError>>>> =
         Mutex::new((0..n).map(|_| None).collect());
     let queue: Mutex<Vec<(usize, Experiment)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let completed = std::sync::atomic::AtomicUsize::new(0);
     let workers = threads.max(1).min(n.max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -994,7 +1222,12 @@ pub fn run_parallel_with(jobs: Vec<Experiment>, threads: usize) -> Result<Matrix
                 let job = queue.lock().expect("queue lock").pop();
                 match job {
                     Some((idx, exp)) => {
-                        let result = exp.run();
+                        let result = work(&exp);
+                        if let Ok(value) = &result {
+                            let so_far =
+                                completed.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                            done(so_far, value);
+                        }
                         results.lock().expect("results lock")[idx] = Some(result);
                     }
                     None => break,
@@ -1002,11 +1235,11 @@ pub fn run_parallel_with(jobs: Vec<Experiment>, threads: usize) -> Result<Matrix
             });
         }
     });
-    let mut runs = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
     for slot in results.into_inner().expect("results lock") {
-        runs.push(slot.expect("every job ran")?);
+        out.push(slot.expect("every job ran")?);
     }
-    Ok(Matrix { runs })
+    Ok(out)
 }
 
 #[cfg(test)]

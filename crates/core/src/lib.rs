@@ -41,10 +41,13 @@ pub mod engine;
 pub mod experiments;
 pub mod model;
 pub mod report;
+pub mod run_report;
 
 pub use engine::{
-    default_threads, profile_from_events, run_parallel, run_parallel_with, sample_profile,
-    standard_matrix, standard_matrix_with, AllocChoice, CacheEngine, EngineError, Experiment,
-    FragSample, Matrix, PipelineMode, RunResult, SimOptions, WorkloadSource,
+    default_threads, profile_from_events, run_parallel, run_parallel_instrumented,
+    run_parallel_progress, run_parallel_with, sample_profile, standard_matrix,
+    standard_matrix_with, AllocChoice, CacheEngine, EngineError, Experiment, FragSample, Matrix,
+    PipelineMode, RunResult, SimOptions, WorkloadSource,
 };
 pub use model::{estimated_cycles, estimated_seconds, CLOCK_HZ, MISS_PENALTY_CYCLES};
+pub use run_report::{RunReport, RUN_REPORT_SCHEMA, RUN_REPORT_VERSION};

@@ -1,0 +1,214 @@
+//! The stable JSONL report emitted by `repro --metrics`.
+//!
+//! Each experiment cell produces one [`RunReport`] — one line of JSON —
+//! carrying the run's identity, its full [`RunResult`], and the frozen
+//! [`MetricsSnapshot`] the recorder collected while the run executed.
+//! The schema is versioned so downstream tooling (CI's `report_check`,
+//! dashboards, regression diffs) can consume reports across repository
+//! revisions: additions bump [`RUN_REPORT_VERSION`]; renames or removals
+//! are not allowed without a new schema name.
+
+use obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::RunResult;
+
+/// The schema identifier every report carries.
+pub const RUN_REPORT_SCHEMA: &str = "alloc-locality.run-report";
+
+/// Current schema version. Bump on additive changes; consumers accept
+/// any version `<=` the one they were built against.
+pub const RUN_REPORT_VERSION: u32 = 1;
+
+/// Histogram metrics every well-formed report must carry: the paper's
+/// finding-1 search lengths per malloc, and — whenever the program
+/// freed anything — the finding-2 coalesce counts per free. They are
+/// the whole point of instrumenting the allocators, so a report without
+/// them is a wiring bug, not a quiet run.
+pub const REQUIRED_HISTOGRAMS: [&str; 2] = ["alloc.search_len", "alloc.coalesce_per_free"];
+
+/// One experiment cell's metrics + result, as serialized to a JSONL line.
+///
+/// # Example
+///
+/// ```
+/// use alloc_locality::{AllocChoice, Experiment};
+/// use alloc_locality::run_report::RunReport;
+/// use allocators::AllocatorKind;
+/// use workloads::{Program, Scale};
+///
+/// # fn main() -> Result<(), alloc_locality::EngineError> {
+/// let report = Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::Bsd))
+///     .scale(Scale(0.005))
+///     .report()?;
+/// let line = report.to_jsonl_line();
+/// let back = RunReport::parse(&line).unwrap();
+/// back.validate().unwrap();
+/// assert_eq!(back, report);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Always [`RUN_REPORT_SCHEMA`].
+    pub schema: String,
+    /// Always [`RUN_REPORT_VERSION`] at emission time.
+    pub version: u32,
+    /// Program label, duplicated from `result` so consumers can route a
+    /// line without deserializing the full result payload.
+    pub program: String,
+    /// Allocator label, duplicated like `program`.
+    pub allocator: String,
+    /// Workload scale, duplicated like `program`.
+    pub scale: f64,
+    /// Everything the recorder saw during the run.
+    pub metrics: MetricsSnapshot,
+    /// The run's full simulation result (bit-identical to the same
+    /// experiment run without a recorder).
+    pub result: RunResult,
+}
+
+impl RunReport {
+    /// Wraps a finished run and its metrics in the current schema.
+    pub fn new(result: RunResult, metrics: MetricsSnapshot) -> Self {
+        RunReport {
+            schema: RUN_REPORT_SCHEMA.to_string(),
+            version: RUN_REPORT_VERSION,
+            program: result.program.clone(),
+            allocator: result.allocator.clone(),
+            scale: result.scale,
+            metrics,
+            result,
+        }
+    }
+
+    /// Serializes to one line of JSON (no trailing newline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which for this in-memory tree
+    /// would be a serializer bug.
+    pub fn to_jsonl_line(&self) -> String {
+        serde_json::to_string(self).expect("serialize run report")
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's message for malformed JSON or a
+    /// mismatched shape.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+
+    /// Checks the schema invariants every emitted report must satisfy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: wrong
+    /// schema name, a version newer than this binary, an identity field
+    /// disagreeing with the embedded result, a missing required
+    /// histogram, or a run that recorded no batch flushes at all.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != RUN_REPORT_SCHEMA {
+            return Err(format!("schema is {:?}, expected {RUN_REPORT_SCHEMA:?}", self.schema));
+        }
+        if self.version == 0 || self.version > RUN_REPORT_VERSION {
+            return Err(format!(
+                "version {} outside supported range 1..={RUN_REPORT_VERSION}",
+                self.version
+            ));
+        }
+        if self.program != self.result.program {
+            return Err(format!(
+                "program {:?} disagrees with result.program {:?}",
+                self.program, self.result.program
+            ));
+        }
+        if self.allocator != self.result.allocator {
+            return Err(format!(
+                "allocator {:?} disagrees with result.allocator {:?}",
+                self.allocator, self.result.allocator
+            ));
+        }
+        // `ptc` never frees, so the coalesce histogram is only owed by
+        // runs that actually freed something.
+        let owed: &[(&str, u64)] = &[
+            ("alloc.search_len", self.result.alloc_stats.mallocs),
+            ("alloc.coalesce_per_free", self.result.alloc_stats.frees),
+        ];
+        for &(name, ops) in owed {
+            if ops == 0 {
+                continue;
+            }
+            let hist = self
+                .metrics
+                .histogram(name)
+                .ok_or_else(|| format!("required histogram {name:?} missing"))?;
+            if hist.count == 0 {
+                return Err(format!("required histogram {name:?} is empty"));
+            }
+        }
+        if self.metrics.counter("ctx.flush.batches") == 0 {
+            return Err("no batch flushes recorded: the recorder was not wired in".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AllocChoice, Experiment};
+    use allocators::AllocatorKind;
+    use workloads::{Program, Scale};
+
+    fn sample() -> RunReport {
+        Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+            .scale(Scale(0.005))
+            .report()
+            .expect("sample run")
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let report = sample();
+        report.validate().expect("fresh report is valid");
+        let line = report.to_jsonl_line();
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        let back = RunReport::parse(&line).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let good = sample();
+
+        let mut bad = good.clone();
+        bad.schema = "something.else".to_string();
+        assert!(bad.validate().unwrap_err().contains("schema"));
+
+        let mut bad = good.clone();
+        bad.version = RUN_REPORT_VERSION + 1;
+        assert!(bad.validate().unwrap_err().contains("version"));
+
+        let mut bad = good.clone();
+        bad.program = "mislabeled".to_string();
+        assert!(bad.validate().unwrap_err().contains("program"));
+
+        let mut bad = good.clone();
+        bad.metrics.histograms.remove("alloc.search_len");
+        assert!(bad.validate().unwrap_err().contains("alloc.search_len"));
+
+        let mut bad = good;
+        bad.metrics.counters.remove("ctx.flush.batches");
+        assert!(bad.validate().unwrap_err().contains("flush"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RunReport::parse("not json").is_err());
+        assert!(RunReport::parse("{}").is_err());
+    }
+}

@@ -1,5 +1,7 @@
 //! The memory context handed to allocator code.
 
+use obs::Recorder;
+
 use crate::{AccessSink, Address, HeapImage, InstrCounter, MemRef, OomError, Phase, RefRun, WORD};
 
 /// Cost, in instructions, attributed to an `sbrk` call.
@@ -62,6 +64,11 @@ pub struct MemCtx<'a> {
     /// [`BATCH_CAPACITY`].
     buffered: usize,
     batched: bool,
+    /// Metrics sink; `None` is the uninstrumented fast path (one
+    /// predictable branch per instrumentation site). Recording never
+    /// reads or writes simulated state, so results are bit-identical
+    /// with or without it.
+    recorder: Option<&'a mut dyn Recorder>,
 }
 
 impl std::fmt::Debug for MemCtx<'_> {
@@ -84,7 +91,7 @@ impl<'a> MemCtx<'a> {
         sink: &'a mut dyn AccessSink,
         instrs: &'a mut InstrCounter,
     ) -> Self {
-        MemCtx { heap, sink, instrs, buf: Vec::new(), buffered: 0, batched: false }
+        MemCtx { heap, sink, instrs, buf: Vec::new(), buffered: 0, batched: false, recorder: None }
     }
 
     /// Creates a *batching* context: references accumulate — run-length
@@ -110,6 +117,43 @@ impl<'a> MemCtx<'a> {
             buf: Vec::with_capacity(BATCH_CAPACITY),
             buffered: 0,
             batched: true,
+            recorder: None,
+        }
+    }
+
+    /// Attaches a metrics recorder, consuming and returning the context
+    /// (builder style, so the uninstrumented constructors keep their
+    /// signatures). The recorder observes flush behaviour and whatever
+    /// the allocator reports through [`MemCtx::obs_add`] /
+    /// [`MemCtx::obs_observe`]; it never alters the reference stream.
+    pub fn with_recorder(mut self, recorder: &'a mut dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Whether an enabled recorder is attached. Instrumented code may
+    /// use this to skip *computing* an expensive metric value, never to
+    /// change simulated behaviour.
+    #[inline]
+    pub fn obs_enabled(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Adds `delta` to the counter `name` on the attached recorder, if
+    /// any. One branch when none is attached.
+    #[inline]
+    pub fn obs_add(&mut self, name: &'static str, delta: u64) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.add(name, delta);
+        }
+    }
+
+    /// Records `value` in the histogram `name` on the attached
+    /// recorder, if any. One branch when none is attached.
+    #[inline]
+    pub fn obs_observe(&mut self, name: &'static str, value: u64) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.observe(name, value);
         }
     }
 
@@ -117,6 +161,14 @@ impl<'a> MemCtx<'a> {
     /// unbatched contexts.
     pub fn flush(&mut self) {
         if !self.buf.is_empty() {
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                // Batch flushes and the RLE compression ratio: `refs`
+                // over `runs` is how much the run compression saved the
+                // sinks (and the sharded pipeline's channels).
+                rec.add("ctx.flush.batches", 1);
+                rec.add("ctx.flush.runs", self.buf.len() as u64);
+                rec.add("ctx.flush.refs", self.buffered as u64);
+            }
             self.sink.record_runs(&self.buf);
             self.buf.clear();
             self.buffered = 0;
@@ -303,6 +355,42 @@ mod tests {
             ctx.flush();
         }
         assert_eq!(sink.stats().meta_writes, BATCH_CAPACITY as u64 + 1);
+    }
+
+    #[test]
+    fn recorder_sees_flush_counters_and_custom_metrics() {
+        let (mut heap, mut sink, mut instrs) = fixture();
+        let mut rec = obs::MemoryRecorder::new();
+        {
+            let mut ctx =
+                MemCtx::batched(&mut heap, &mut sink, &mut instrs).with_recorder(&mut rec);
+            assert!(ctx.obs_enabled());
+            let p = ctx.sbrk(8).unwrap();
+            for _ in 0..10 {
+                ctx.store(p, 7);
+            }
+            ctx.obs_add("alloc.splits", 2);
+            ctx.obs_observe("alloc.search_len", 5);
+            ctx.flush();
+        }
+        // Ten identical stores compress into one run in one batch.
+        assert_eq!(rec.counter("ctx.flush.batches"), 1);
+        assert_eq!(rec.counter("ctx.flush.refs"), 10);
+        assert_eq!(rec.counter("ctx.flush.runs"), 1);
+        assert_eq!(rec.counter("alloc.splits"), 2);
+        let h = rec.histogram("alloc.search_len").unwrap();
+        assert_eq!((h.count(), h.sum()), (1, 5));
+        // Sink behaviour is untouched by the recorder.
+        assert_eq!(sink.stats().meta_writes, 10);
+    }
+
+    #[test]
+    fn unrecorded_ctx_reports_obs_disabled() {
+        let (mut heap, mut sink, mut instrs) = fixture();
+        let mut ctx = MemCtx::batched(&mut heap, &mut sink, &mut instrs);
+        assert!(!ctx.obs_enabled());
+        ctx.obs_add("ignored", 1);
+        ctx.obs_observe("ignored_h", 1);
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct StackSim {
     cold: u64,
     /// Total page-granular accesses.
     accesses: u64,
+    /// References absorbed by the run fast path in `record_runs`
+    /// (repeats counted straight into `hist[1]`). An observability
+    /// counter — it never feeds the fault curve.
+    fastpath_refs: u64,
     /// Fast path: the page of the previous access.
     last_page: Option<u64>,
     /// Lazily-built suffix sums of `hist` (`suffix[d] = Σ_{i≥d} hist[i]`),
@@ -126,6 +130,7 @@ impl StackSim {
             hist: vec![0; 2],
             cold: 0,
             accesses: 0,
+            fastpath_refs: 0,
             last_page: None,
             suffix: std::cell::RefCell::new((0, Vec::new())),
         }
@@ -134,6 +139,13 @@ impl StackSim {
     /// Creates a simulator with the paper's 4 KB pages.
     pub fn paper() -> Self {
         Self::new(PAGE_SIZE)
+    }
+
+    /// References absorbed by the `record_runs` fast path (counted as
+    /// stack-distance-1 repeats without tree work). An observability
+    /// counter — not part of the fault curve.
+    pub fn fastpath_refs(&self) -> u64 {
+        self.fastpath_refs
     }
 
     /// Records an access of `size` bytes at `addr`, touching every page
@@ -261,6 +273,7 @@ impl AccessSink for StackSim {
             if run.count > 1 {
                 if run.r.single_block(self.page_size) {
                     let extra = u64::from(run.count - 1);
+                    self.fastpath_refs += extra;
                     self.accesses += extra;
                     self.hist[1] += extra;
                 } else {

@@ -1,0 +1,99 @@
+//! The observability subsystem's two contracts, checked end to end:
+//!
+//! 1. **Recording observes, it never participates.** Attaching any
+//!    recorder must leave the [`RunResult`] bit-identical to a
+//!    recorder-free run, in both pipeline modes and under both cache
+//!    engines.
+//! 2. **The JSONL report schema is stable.** A [`RunReport`] emitted by
+//!    an instrumented run round-trips through its JSONL encoding and
+//!    passes its own validation.
+
+use alloc_locality::RunReport;
+use alloc_locality_repro::engine::{
+    AllocChoice, CacheEngine, Experiment, PipelineMode, SimOptions,
+};
+use allocators::AllocatorKind;
+use cache_sim::CacheConfig;
+use obs::NullRecorder;
+use workloads::{Program, Scale};
+
+/// The heavy configuration: full paper sweep, pager, victim buffer,
+/// three-C analyzer, two-level hierarchy, fragmentation sampling — every
+/// shard kind the engine can instrument.
+fn full_opts(engine: CacheEngine) -> SimOptions {
+    SimOptions {
+        cache_configs: CacheConfig::paper_sweep(),
+        cache_engine: engine,
+        paging: true,
+        victim_entries: Some(8),
+        three_c: true,
+        two_level: true,
+        frag_sample_every: 64,
+        scale: Scale(0.003),
+        ..SimOptions::default()
+    }
+}
+
+fn experiment(engine: CacheEngine, mode: PipelineMode) -> Experiment {
+    Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+        .options(full_opts(engine))
+        .pipeline(mode)
+}
+
+#[test]
+fn recording_is_invisible_in_every_engine_and_pipeline_mode() {
+    for engine in [CacheEngine::PerCache, CacheEngine::Sweep] {
+        for mode in [PipelineMode::Inline, PipelineMode::Sharded] {
+            let exp = experiment(engine, mode);
+            let plain = exp.run().expect("plain run");
+
+            let mut null = NullRecorder;
+            let with_null = exp.run_with_recorder(&mut null).expect("null-recorder run");
+            assert_eq!(
+                with_null, plain,
+                "NullRecorder perturbed the result under {engine:?}/{mode:?}"
+            );
+
+            let (with_memory, metrics) = exp.run_instrumented().expect("instrumented run");
+            assert_eq!(
+                with_memory, plain,
+                "MemoryRecorder perturbed the result under {engine:?}/{mode:?}"
+            );
+
+            // The run it did not perturb, it did observe.
+            let search = metrics.histogram("alloc.search_len").expect("search lengths");
+            assert_eq!(
+                search.count, plain.alloc_stats.mallocs,
+                "one search-length sample per malloc under {engine:?}/{mode:?}"
+            );
+            let coalesce = metrics.histogram("alloc.coalesce_per_free").expect("coalesce counts");
+            assert_eq!(coalesce.count, plain.alloc_stats.frees);
+            assert!(metrics.counter("ctx.flush.batches") > 0);
+            assert!(metrics.counter("alloc.tag_writes") > 0, "FirstFit writes boundary tags");
+            assert!(metrics.span("engine.drive").is_some(), "drive phase was timed");
+            if mode == PipelineMode::Sharded {
+                assert!(metrics.counter("pipeline.workers") > 0);
+                assert!(metrics.span("pipeline.worker_busy").is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn run_report_round_trips_through_jsonl() {
+    let report =
+        experiment(CacheEngine::Sweep, PipelineMode::Inline).report().expect("instrumented run");
+    report.validate().expect("fresh report validates");
+
+    let line = report.to_jsonl_line();
+    assert!(!line.contains('\n'), "a JSONL record must be one line");
+    let back = RunReport::parse(&line).expect("parse emitted line");
+    back.validate().expect("parsed report validates");
+    assert_eq!(back, report, "JSONL round trip must be lossless");
+
+    // The schema fields consumers route on are populated and consistent.
+    assert_eq!(back.schema, alloc_locality::RUN_REPORT_SCHEMA);
+    assert_eq!(back.version, alloc_locality::RUN_REPORT_VERSION);
+    assert_eq!(back.program, back.result.program);
+    assert_eq!(back.allocator, back.result.allocator);
+}
