@@ -142,11 +142,13 @@ impl Allocator for BestFit {
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         let need = round_payload(size) + TAG_OVERHEAD;
         ctx.ops(4);
+        let visits_before = self.stats.search_visits;
         let (block, bsize) = match self.take_best(need, ctx) {
             Some(found) => found,
             None => self.extend(need, ctx)?,
         };
         let (payload, granted) = self.place(block, bsize, need, ctx);
+        ctx.obs_observe("alloc.search_len", self.stats.search_visits - visits_before);
         self.stats.note_malloc(size, granted);
         Ok(payload)
     }
@@ -166,6 +168,7 @@ impl Allocator for BestFit {
             return Err(AllocError::InvalidFree(ptr));
         }
         let mut size = granted;
+        let merges_before = self.stats.coalesces;
         // Forward merge.
         let next_tag = read_header(ctx, b + u64::from(size));
         ctx.ops(2);
@@ -186,6 +189,7 @@ impl Allocator for BestFit {
         }
         write_tags(ctx, b, size, 0);
         list::insert_after(ctx, self.head, b);
+        ctx.obs_observe("alloc.coalesce_per_free", self.stats.coalesces - merges_before);
         self.stats.note_free(granted);
         Ok(())
     }

@@ -135,9 +135,13 @@ impl Buddy {
     /// Finds a block of at least `order`, splitting larger blocks down.
     fn acquire(&mut self, order: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         // Find the smallest non-empty order at or above the request.
+        // Each order probed counts as one search visit: the buddy
+        // "search" is a bounded walk up the order lists, not a freelist
+        // scan, and the histogram records exactly that.
         let mut found = None;
         for o in order..=MAX_ORDER {
             ctx.ops(1);
+            self.stats.search_visits += 1;
             if let Some(b) = self.pop(o, ctx) {
                 found = Some((b, o));
                 break;
@@ -166,8 +170,10 @@ impl Allocator for Buddy {
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         let order = Self::order_for(size).ok_or(AllocError::Unsupported(size))?;
         ctx.ops(4);
+        let visits_before = self.stats.search_visits;
         let block = self.acquire(order, ctx)?;
         ctx.store(block, order << 1 | F_ALLOC);
+        ctx.obs_observe("alloc.search_len", self.stats.search_visits - visits_before);
         self.stats.note_malloc(size, 1 << order);
         Ok(block + HDR)
     }
@@ -187,6 +193,7 @@ impl Allocator for Buddy {
             return Err(AllocError::InvalidFree(ptr));
         }
         let granted = 1u32 << order;
+        let merges_before = self.stats.coalesces;
         // Merge with free buddies as far as possible.
         while order < MAX_ORDER {
             let buddy = Address::new(block.raw() ^ (1u64 << order));
@@ -205,6 +212,7 @@ impl Allocator for Buddy {
             self.stats.coalesces += 1;
         }
         self.push(block, order, ctx);
+        ctx.obs_observe("alloc.coalesce_per_free", self.stats.coalesces - merges_before);
         self.stats.note_free(granted);
         Ok(())
     }

@@ -81,6 +81,10 @@ impl Allocator for Custom {
 
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         ctx.ops(2);
+        // Class-indexed allocation never searches; the zero keeps the
+        // per-malloc search-length histogram comparable across
+        // allocators (paper finding 1).
+        ctx.obs_observe("alloc.search_len", 0);
         if size <= self.map.max_mapped() {
             // Figure 9: one array load maps the request to its class.
             let class = SizeMap::lookup(self.map_base, size, ctx);
@@ -96,6 +100,9 @@ impl Allocator for Custom {
 
     fn free(&mut self, ptr: Address, ctx: &mut MemCtx<'_>) -> Result<(), AllocError> {
         let granted = self.heap.free_at(ptr, ctx)?;
+        // Segregated storage never coalesces; record the zero so the
+        // histogram covers every free.
+        ctx.obs_observe("alloc.coalesce_per_free", 0);
         self.stats.note_free(granted);
         Ok(())
     }

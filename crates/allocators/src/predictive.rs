@@ -156,6 +156,9 @@ impl Allocator for Predictive {
         ctx.store(block, site);
         ctx.store(block + 4, self.clock);
         self.clock = self.clock.wrapping_add(1);
+        // Prediction plus class lookup is constant-time — no freelist is
+        // searched; the zero keeps the histogram comparable.
+        ctx.obs_observe("alloc.search_len", 0);
         self.stats.note_malloc(size, granted);
         Ok(block + u64::from(HEADER))
     }
@@ -171,6 +174,9 @@ impl Allocator for Predictive {
         let granted = self.free_from_pools(block, ctx)?;
         let age = self.clock.wrapping_sub(birth);
         self.learn(site, age, ctx);
+        // Pooled segregated storage never coalesces; record the zero so
+        // the histogram covers every free.
+        ctx.obs_observe("alloc.coalesce_per_free", 0);
         self.stats.note_free(granted);
         Ok(())
     }

@@ -1,0 +1,389 @@
+//! `loadgen`: a concurrent load harness for the `serve` daemon.
+//!
+//! Drives a program × allocator matrix through the server twice — once
+//! fresh (every spec is a new job the workers must execute) and once as
+//! duplicates (every spec is already in the content-addressed cache) —
+//! from N concurrent clients, then reports throughput, latency
+//! percentiles, and the cache's latency reduction. The fetched report
+//! lines can be written out as JSONL for `report_check`, so a CI job can
+//! assert that server-produced reports are exactly the stable schema.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--programs a,b] [--allocators x,y]
+//!         [--scale F] [--cache-kb 16,64] [--no-paging] [--clients N]
+//!         [--dup-rounds N] [--wait-secs N] [--fetch reports.jsonl]
+//!         [--out BENCH_serve.json] [--min-hit-reduction F] [--shutdown]
+//! ```
+//!
+//! Exits non-zero when the duplicate phase fails to undercut fresh mean
+//! latency by at least `--min-hit-reduction` (default 0.90).
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use alloc_locality::JobSpec;
+use serde::Serialize;
+use serve::client::Client;
+
+struct Args {
+    addr: String,
+    programs: Vec<String>,
+    allocators: Vec<String>,
+    scale: f64,
+    cache_kb: Vec<u32>,
+    paging: bool,
+    clients: usize,
+    dup_rounds: usize,
+    wait_secs: u64,
+    fetch: Option<String>,
+    out: String,
+    min_hit_reduction: f64,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7077".into(),
+            programs: vec!["espresso".into(), "make".into()],
+            allocators: vec!["BSD".into()],
+            scale: 0.002,
+            cache_kb: vec![16],
+            paging: false,
+            clients: 4,
+            dup_rounds: 4,
+            wait_secs: 120,
+            fetch: None,
+            out: "BENCH_serve.json".into(),
+            min_hit_reduction: 0.90,
+            shutdown: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--programs a,b] [--allocators x,y] [--scale F]\n\
+         \x20              [--cache-kb 16,64] [--no-paging] [--clients N] [--dup-rounds N]\n\
+         \x20              [--wait-secs N] [--fetch PATH] [--out PATH] [--min-hit-reduction F]\n\
+         \x20              [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut std::env::Args, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage();
+    })
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {raw:?}");
+        usage();
+    })
+}
+
+fn csv(raw: &str) -> Vec<String> {
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect()
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = flag_value(&mut args, "--addr"),
+            "--programs" => out.programs = csv(&flag_value(&mut args, "--programs")),
+            "--allocators" => out.allocators = csv(&flag_value(&mut args, "--allocators")),
+            "--scale" => out.scale = parse(&flag_value(&mut args, "--scale"), "--scale"),
+            "--cache-kb" => {
+                out.cache_kb = csv(&flag_value(&mut args, "--cache-kb"))
+                    .iter()
+                    .map(|s| parse(s, "--cache-kb"))
+                    .collect();
+            }
+            "--no-paging" => out.paging = false,
+            "--paging" => out.paging = true,
+            "--clients" => out.clients = parse(&flag_value(&mut args, "--clients"), "--clients"),
+            "--dup-rounds" => {
+                out.dup_rounds = parse(&flag_value(&mut args, "--dup-rounds"), "--dup-rounds");
+            }
+            "--wait-secs" => {
+                out.wait_secs = parse(&flag_value(&mut args, "--wait-secs"), "--wait-secs");
+            }
+            "--fetch" => out.fetch = Some(flag_value(&mut args, "--fetch")),
+            "--out" => out.out = flag_value(&mut args, "--out"),
+            "--min-hit-reduction" => {
+                out.min_hit_reduction =
+                    parse(&flag_value(&mut args, "--min-hit-reduction"), "--min-hit-reduction");
+            }
+            "--shutdown" => out.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if out.clients == 0 || out.programs.is_empty() || out.allocators.is_empty() {
+        eprintln!("need at least one client, program and allocator");
+        usage();
+    }
+    out
+}
+
+/// Latency distribution of one phase, milliseconds.
+#[derive(Debug, Clone, Serialize)]
+struct PhaseStats {
+    requests: u64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+fn phase_stats(latencies: &[Duration]) -> PhaseStats {
+    let mut ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if ms.is_empty() {
+            return 0.0;
+        }
+        let idx = (p * (ms.len() - 1) as f64).round() as usize;
+        ms[idx.min(ms.len() - 1)]
+    };
+    PhaseStats {
+        requests: ms.len() as u64,
+        mean_ms: if ms.is_empty() { 0.0 } else { ms.iter().sum::<f64>() / ms.len() as f64 },
+        p50_ms: pct(0.50),
+        p90_ms: pct(0.90),
+        p99_ms: pct(0.99),
+        max_ms: ms.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// The committed benchmark artifact (`BENCH_serve.json`).
+#[derive(Debug, Serialize)]
+struct LoadgenReport {
+    addr: String,
+    programs: Vec<String>,
+    allocators: Vec<String>,
+    scale: f64,
+    cache_kb: Vec<u32>,
+    paging: bool,
+    clients: u64,
+    dup_rounds: u64,
+    unique_specs: u64,
+    fresh: PhaseStats,
+    duplicate: PhaseStats,
+    jobs_completed: u64,
+    cache_hits: u64,
+    cache_hit_rate: f64,
+    hit_latency_reduction: f64,
+}
+
+/// One unit of work: submit the spec, wait until done, fetch the line.
+fn run_job(
+    client: &Client,
+    spec: &JobSpec,
+    wait: Duration,
+) -> Result<(Duration, String, bool), String> {
+    let start = Instant::now();
+    let submitted = client.submit(spec).map_err(|e| e.to_string())?;
+    // A cache hit on a finished job answers "done" in the submit itself;
+    // polling again would only measure round trips.
+    if submitted.status != "done" {
+        client.wait_done(&submitted.id, wait).map_err(|e| e.to_string())?;
+    }
+    let line = client.fetch_report(&submitted.id).map_err(|e| e.to_string())?;
+    Ok((start.elapsed(), line, submitted.cached))
+}
+
+/// Fans `work` (indices into `specs`) out over `clients` threads.
+/// Returns per-item `(spec index, latency, report line, cached)`.
+fn run_phase(
+    addr: SocketAddr,
+    specs: &[JobSpec],
+    work: &[usize],
+    clients: usize,
+    wait: Duration,
+) -> Result<Vec<(usize, Duration, String, bool)>, String> {
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = Client::new(addr);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, &spec_idx) in work.iter().enumerate() {
+                        if i % clients != c {
+                            continue;
+                        }
+                        let run = run_job(&client, &specs[spec_idx], wait)?;
+                        out.push((spec_idx, run.0, run.1, run.2));
+                    }
+                    Ok::<_, String>(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    Ok(results.into_iter().flatten().collect())
+}
+
+fn main() {
+    let args = parse_args();
+    let addr: SocketAddr = args.addr.parse().unwrap_or_else(|_| {
+        eprintln!("--addr: cannot parse {:?}", args.addr);
+        usage();
+    });
+    let client = Client::new(addr);
+
+    // The daemon may still be binding (CI starts it in the background):
+    // poll /healthz before generating load.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.healthz() {
+            Ok(h) => {
+                eprintln!("loadgen: server healthy ({} workers)", h.workers);
+                break;
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => {
+                eprintln!("loadgen: server at {addr} never became healthy: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let specs: Vec<JobSpec> = args
+        .programs
+        .iter()
+        .flat_map(|p| args.allocators.iter().map(move |a| (p, a)))
+        .map(|(p, a)| JobSpec {
+            cache_kb: args.cache_kb.clone(),
+            paging: Some(args.paging),
+            ..JobSpec::cell(p, a, args.scale)
+        })
+        .collect();
+    for spec in &specs {
+        if let Err(e) = spec.validate() {
+            eprintln!("loadgen: bad spec: {e}");
+            std::process::exit(1);
+        }
+    }
+    let wait = Duration::from_secs(args.wait_secs);
+
+    // Fresh phase: every spec is new; latency includes queueing and the
+    // full simulation run.
+    let fresh_work: Vec<usize> = (0..specs.len()).collect();
+    let fresh = run_phase(addr, &specs, &fresh_work, args.clients, wait).unwrap_or_else(|e| {
+        eprintln!("loadgen: fresh phase failed: {e}");
+        std::process::exit(1);
+    });
+
+    // Duplicate phase: the same specs again, several rounds from every
+    // client; each must be answered from the cache.
+    let dup_work: Vec<usize> = (0..args.dup_rounds).flat_map(|_| 0..specs.len()).collect();
+    let dup = run_phase(addr, &specs, &dup_work, args.clients, wait).unwrap_or_else(|e| {
+        eprintln!("loadgen: duplicate phase failed: {e}");
+        std::process::exit(1);
+    });
+    let uncached = dup.iter().filter(|(_, _, _, cached)| !cached).count();
+    if uncached > 0 {
+        eprintln!("loadgen: {uncached} duplicate submissions missed the cache");
+        std::process::exit(1);
+    }
+
+    // Duplicate fetches must serve bit-identical bytes.
+    for (spec_idx, _, line, _) in &dup {
+        let original = fresh.iter().find(|(i, ..)| i == spec_idx).map(|(_, _, l, _)| l);
+        if original != Some(line) {
+            eprintln!("loadgen: cached report for spec {spec_idx} differs from the original");
+            std::process::exit(1);
+        }
+    }
+
+    let metrics = client.metrics().unwrap_or_else(|e| {
+        eprintln!("loadgen: /metrics failed: {e}");
+        std::process::exit(1);
+    });
+    let hits_expected = dup.len() as u64;
+    let fresh_stats = phase_stats(&fresh.iter().map(|(_, d, ..)| *d).collect::<Vec<_>>());
+    let dup_stats = phase_stats(&dup.iter().map(|(_, d, ..)| *d).collect::<Vec<_>>());
+    let reduction =
+        if fresh_stats.mean_ms > 0.0 { 1.0 - dup_stats.mean_ms / fresh_stats.mean_ms } else { 0.0 };
+    let report = LoadgenReport {
+        addr: args.addr.clone(),
+        programs: args.programs.clone(),
+        allocators: args.allocators.clone(),
+        scale: args.scale,
+        cache_kb: args.cache_kb.clone(),
+        paging: args.paging,
+        clients: args.clients as u64,
+        dup_rounds: args.dup_rounds as u64,
+        unique_specs: specs.len() as u64,
+        fresh: fresh_stats,
+        duplicate: dup_stats,
+        jobs_completed: metrics.jobs_completed,
+        cache_hits: metrics.cache_hits,
+        cache_hit_rate: metrics.cache_hits as f64
+            / (metrics.jobs_submitted + metrics.cache_hits).max(1) as f64,
+        hit_latency_reduction: reduction,
+    };
+
+    if let Some(path) = &args.fetch {
+        let mut lines: Vec<(usize, &str)> =
+            fresh.iter().map(|(i, _, l, _)| (*i, l.as_str())).collect();
+        lines.sort_by_key(|(i, _)| *i);
+        let body: String = lines.iter().map(|(_, l)| format!("{l}\n")).collect();
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: wrote {} report lines to {path}", lines.len());
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize loadgen report");
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!(
+        "loadgen: {} fresh jobs (mean {:.1} ms), {} duplicates (mean {:.3} ms), \
+         cache hit rate {:.1}%, latency reduction {:.1}%",
+        report.fresh.requests,
+        report.fresh.mean_ms,
+        report.duplicate.requests,
+        report.duplicate.mean_ms,
+        100.0 * report.cache_hit_rate,
+        100.0 * report.hit_latency_reduction,
+    );
+    assert_eq!(metrics.cache_hits, hits_expected, "server counted every duplicate as a hit");
+
+    if args.shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("loadgen: shutdown request failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: shutdown requested");
+    }
+
+    if reduction < args.min_hit_reduction {
+        eprintln!(
+            "loadgen: FAIL cache-hit latency reduction {:.1}% is under the {:.1}% floor",
+            100.0 * reduction,
+            100.0 * args.min_hit_reduction
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]
-//! perf --obs [--scale F] [--repeat N] [--max-overhead F] [--obs-out FILE]
+//! perf --obs [--scale F] [--repeat N] [--max-overhead F] [--gate-retries N]
+//!      [--obs-out FILE]
 //! ```
 //!
 //! With `--obs`, the harness instead measures the observability
@@ -11,7 +12,10 @@
 //! and [`obs::MemoryRecorder`] attached — best of `--repeat` each. The
 //! no-op recorder must cost at most `--max-overhead` (fraction, default
 //! 0.02) over the recorder-free run, and all three runs must produce
-//! bit-identical [`RunResult`]s; either failure exits non-zero.
+//! bit-identical [`RunResult`]s; either failure exits non-zero. An
+//! overhead-gate trip (but never a result divergence) is re-measured up
+//! to `--gate-retries` extra times first, which CI uses to absorb
+//! scheduler noise on shared runners.
 //!
 //! Otherwise, two measurements, two reports:
 //!
@@ -128,6 +132,7 @@ struct Args {
     matrix: bool,
     obs: bool,
     max_overhead: f64,
+    gate_retries: u32,
     out: PathBuf,
     sweep_out: PathBuf,
     obs_out: PathBuf,
@@ -139,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
     let mut matrix = false;
     let mut obs = false;
     let mut max_overhead = 0.02;
+    let mut gate_retries = 0;
     let mut out = PathBuf::from("BENCH_pipeline.json");
     let mut sweep_out = PathBuf::from("BENCH_sweep.json");
     let mut obs_out = PathBuf::from("BENCH_obs.json");
@@ -168,6 +174,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("overhead bound must be non-negative".into());
                 }
             }
+            "--gate-retries" => {
+                let v = args.next().ok_or("--gate-retries needs a value")?;
+                gate_retries = v.parse().map_err(|e| format!("bad retry count {v}: {e}"))?;
+            }
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a path")?);
             }
@@ -180,18 +190,21 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]\n\
-                     \x20      perf --obs [--scale F] [--repeat N] [--max-overhead F] [--obs-out FILE]\n\
+                     \x20      perf --obs [--scale F] [--repeat N] [--max-overhead F]\n\
+                     \x20           [--gate-retries N] [--obs-out FILE]\n\
                      --matrix measures all five paper programs x (FirstFit, BSD, QuickFit)\n\
                      in the bank-vs-sweep comparison instead of espresso/FirstFit alone\n\
                      --obs measures recorder overhead (none vs null vs in-memory) and fails\n\
-                     if the null recorder costs more than --max-overhead (default 0.02)"
+                     if the null recorder costs more than --max-overhead (default 0.02);\n\
+                     --gate-retries re-measures up to N extra times before declaring a\n\
+                     gate failure (absorbs scheduler noise on loaded CI machines)"
                         .into(),
                 );
             }
             other => return Err(format!("unknown argument {other:?}; try --help")),
         }
     }
-    Ok(Args { scale, repeat, matrix, obs, max_overhead, out, sweep_out, obs_out })
+    Ok(Args { scale, repeat, matrix, obs, max_overhead, gate_retries, out, sweep_out, obs_out })
 }
 
 /// The fixed heavy workload of the pipeline report: espresso under
@@ -448,6 +461,10 @@ struct ObsReport {
     repeats: u32,
     /// The gate the no-op overhead was checked against.
     max_overhead: f64,
+    /// Which measurement attempt this report records (1-based; above 1
+    /// only when earlier attempts tripped the gate and `--gate-retries`
+    /// allowed a re-measurement).
+    gate_attempt: u32,
     /// Recorder absent: the instrumented binary's plain `run()`.
     baseline: Timing,
     /// [`obs::NullRecorder`] attached — what "metrics compiled in but
@@ -469,7 +486,7 @@ struct ObsReport {
 
 /// The observability harness: the heavy configuration run recorder-free,
 /// with a no-op recorder, and with a collecting recorder.
-fn obs_report(args: &Args) -> Result<ObsReport, String> {
+fn obs_report(args: &Args, gate_attempt: u32) -> Result<ObsReport, String> {
     let opts = SimOptions {
         cache_configs: CacheConfig::paper_sweep(),
         paging: true,
@@ -507,6 +524,7 @@ fn obs_report(args: &Args) -> Result<ObsReport, String> {
         scale: args.scale,
         repeats: args.repeat,
         max_overhead: args.max_overhead,
+        gate_attempt,
         baseline: timing("no-recorder", base_secs, refs),
         null_recorder: timing("null-recorder", null_secs, refs),
         memory_recorder: timing("memory-recorder", mem_secs, refs),
@@ -530,25 +548,45 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
 
     if args.obs {
-        let report = obs_report(&args)?;
-        eprintln!(
-            "no-op overhead: {:+.2}%  full recording: {:+.2}%  (identical results: {})",
-            report.noop_overhead * 100.0,
-            report.recording_overhead * 100.0,
-            report.identical_results
-        );
-        write_json(&args.obs_out, &report)?;
-        if !report.identical_results {
-            return Err("recording changed the simulation result".into());
-        }
-        if report.noop_overhead > args.max_overhead {
-            return Err(format!(
-                "disabled-recorder overhead {:.2}% exceeds the {:.2}% gate",
+        // The overhead gate compares two sub-second wall-clock timings,
+        // so one preempted run on a loaded CI machine can push a genuine
+        // ~0% overhead past the bound. `--gate-retries` re-measures the
+        // whole comparison before declaring a failure; result identity
+        // is never retried — a divergence is a bug, not noise.
+        for attempt in 1..=args.gate_retries + 1 {
+            let report = obs_report(&args, attempt)?;
+            eprintln!(
+                "no-op overhead: {:+.2}%  full recording: {:+.2}%  (identical results: {})",
                 report.noop_overhead * 100.0,
-                args.max_overhead * 100.0
+                report.recording_overhead * 100.0,
+                report.identical_results
+            );
+            write_json(&args.obs_out, &report)?;
+            if !report.identical_results {
+                return Err("recording changed the simulation result".into());
+            }
+            if report.noop_overhead <= args.max_overhead {
+                return Ok(());
+            }
+            if attempt <= args.gate_retries {
+                eprintln!(
+                    "overhead {:.2}% over the {:.2}% gate; re-measuring (attempt {} of {})",
+                    report.noop_overhead * 100.0,
+                    args.max_overhead * 100.0,
+                    attempt + 1,
+                    args.gate_retries + 1
+                );
+                continue;
+            }
+            return Err(format!(
+                "disabled-recorder overhead {:.2}% exceeds the {:.2}% gate \
+                 after {} attempt(s)",
+                report.noop_overhead * 100.0,
+                args.max_overhead * 100.0,
+                attempt
             ));
         }
-        return Ok(());
+        unreachable!("the attempt loop always returns");
     }
 
     let pipeline = pipeline_report(&args)?;

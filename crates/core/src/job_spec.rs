@@ -1,0 +1,335 @@
+//! Wire-format job specifications for the serving layer.
+//!
+//! A [`JobSpec`] is the JSON body a client POSTs to the simulation
+//! daemon: one (program, allocator, cache geometry, scale) cell,
+//! expressed with the same labels the paper's tables print. The spec is
+//! *normalized* (defaults filled in) before anything else happens, so
+//! two requests that mean the same run hash to the same
+//! [`JobSpec::job_id`] — that content address is what makes the server's
+//! result cache deduplicate identical re-submissions.
+//!
+//! Validation happens against the same vocabulary [`Experiment`] accepts:
+//! a spec that passes [`JobSpec::validate`] always builds via
+//! [`JobSpec::to_experiment`], and the run it describes is bit-identical
+//! to the same experiment constructed by hand (the server adds nothing
+//! to the simulation).
+
+use cache_sim::CacheConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use workloads::{Program, Scale};
+
+use crate::engine::{AllocChoice, Experiment, SimOptions, DEFAULT_SCALE};
+
+/// Upper bound on the number of cache configurations one job may sweep.
+pub const MAX_CACHE_CONFIGS: usize = 8;
+
+/// Largest per-configuration cache size accepted, in kilobytes.
+pub const MAX_CACHE_KB: u32 = 1024;
+
+/// Largest workload scale accepted (1.0 = the paper's full counts).
+pub const MAX_SCALE: f64 = 1.0;
+
+/// One simulation job as submitted to the daemon.
+///
+/// Optional fields default to the paper's setup: `scale` 0 means
+/// [`DEFAULT_SCALE`], an empty `cache_kb` means the 16K–256K sweep,
+/// `block` 0 means 32-byte lines, and `paging` omitted means on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Program label as the paper prints it ("espresso", "GS", "ptc",
+    /// "gawk", "make", "GS-Small", "GS-Medium").
+    pub program: String,
+    /// Allocator label ("FirstFit", "QuickFit", "GNU G++", "BSD",
+    /// "GNU local") or one of the extension allocators ("BestFit",
+    /// "Buddy", "Custom", "Predictive").
+    pub allocator: String,
+    /// Workload scale in (0, 1]; 0/omitted selects [`DEFAULT_SCALE`].
+    #[serde(default)]
+    pub scale: f64,
+    /// Direct-mapped cache sizes to sweep, in KB; empty/omitted selects
+    /// the paper's 16K–256K sweep.
+    #[serde(default)]
+    pub cache_kb: Vec<u32>,
+    /// Cache block size in bytes; 0/omitted selects the paper's 32.
+    #[serde(default)]
+    pub block: u32,
+    /// Whether to run the LRU stack-distance pager; omitted means true.
+    #[serde(default)]
+    pub paging: Option<bool>,
+}
+
+/// Why a [`JobSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> Self {
+        SpecError(msg.into())
+    }
+}
+
+/// Programs the serving layer accepts, by paper label.
+pub const SERVABLE_PROGRAMS: [Program; 7] = [
+    Program::Espresso,
+    Program::GsLarge,
+    Program::Ptc,
+    Program::Gawk,
+    Program::Make,
+    Program::GsSmall,
+    Program::GsMedium,
+];
+
+/// Allocator labels the serving layer accepts: the paper five plus the
+/// extension allocators that also emit full run reports.
+pub const SERVABLE_ALLOCATORS: [&str; 9] = [
+    "FirstFit",
+    "QuickFit",
+    "GNU G++",
+    "BSD",
+    "GNU local",
+    "BestFit",
+    "Buddy",
+    "Custom",
+    "Predictive",
+];
+
+/// Resolves a paper label to its [`Program`].
+pub fn program_by_label(label: &str) -> Option<Program> {
+    SERVABLE_PROGRAMS.into_iter().find(|p| p.label() == label)
+}
+
+/// Resolves an allocator label to its [`AllocChoice`].
+pub fn allocator_by_label(label: &str) -> Option<AllocChoice> {
+    use allocators::AllocatorKind;
+    match label {
+        "BestFit" => Some(AllocChoice::BestFit),
+        "Buddy" => Some(AllocChoice::Buddy),
+        "Custom" => Some(AllocChoice::Custom),
+        "Predictive" => Some(AllocChoice::Predictive),
+        _ => AllocatorKind::ALL.into_iter().find(|k| k.label() == label).map(AllocChoice::Paper),
+    }
+}
+
+impl JobSpec {
+    /// A spec for one cell with every option defaulted.
+    pub fn cell(program: &str, allocator: &str, scale: f64) -> Self {
+        JobSpec {
+            program: program.to_string(),
+            allocator: allocator.to_string(),
+            scale,
+            cache_kb: Vec::new(),
+            block: 0,
+            paging: None,
+        }
+    }
+
+    /// The spec with every omitted field replaced by its default, so
+    /// equivalent requests serialize (and therefore hash) identically.
+    pub fn normalized(&self) -> JobSpec {
+        JobSpec {
+            program: self.program.clone(),
+            allocator: self.allocator.clone(),
+            scale: if self.scale <= 0.0 { DEFAULT_SCALE.0 } else { self.scale },
+            cache_kb: if self.cache_kb.is_empty() {
+                vec![16, 32, 64, 128, 256]
+            } else {
+                self.cache_kb.clone()
+            },
+            block: if self.block == 0 { CacheConfig::PAPER_BLOCK } else { self.block },
+            paging: Some(self.paging.unwrap_or(true)),
+        }
+    }
+
+    /// Checks the spec against the engine's vocabulary and limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first rejected field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let n = self.normalized();
+        if program_by_label(&n.program).is_none() {
+            return Err(SpecError::new(format!(
+                "unknown program {:?}; expected one of {}",
+                n.program,
+                SERVABLE_PROGRAMS.map(Program::label).join(", ")
+            )));
+        }
+        if allocator_by_label(&n.allocator).is_none() {
+            return Err(SpecError::new(format!(
+                "unknown allocator {:?}; expected one of {}",
+                n.allocator,
+                SERVABLE_ALLOCATORS.join(", ")
+            )));
+        }
+        if !(n.scale > 0.0 && n.scale <= MAX_SCALE && n.scale.is_finite()) {
+            return Err(SpecError::new(format!("scale {} outside (0, {MAX_SCALE}]", n.scale)));
+        }
+        if n.cache_kb.len() > MAX_CACHE_CONFIGS {
+            return Err(SpecError::new(format!(
+                "{} cache configurations exceed the limit of {MAX_CACHE_CONFIGS}",
+                n.cache_kb.len()
+            )));
+        }
+        if !n.block.is_power_of_two() || !(8..=256).contains(&n.block) {
+            return Err(SpecError::new(format!(
+                "block size {} is not a power of two in 8..=256",
+                n.block
+            )));
+        }
+        for &kb in &n.cache_kb {
+            if kb == 0 || kb > MAX_CACHE_KB || !kb.is_power_of_two() {
+                return Err(SpecError::new(format!(
+                    "cache size {kb}K is not a power of two in 1..={MAX_CACHE_KB}"
+                )));
+            }
+            if kb * 1024 < n.block {
+                return Err(SpecError::new(format!(
+                    "cache size {kb}K is smaller than one {}-byte block",
+                    n.block
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical single-line JSON of the normalized spec — the bytes
+    /// the content hash covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which for this in-memory struct
+    /// would be a serializer bug.
+    pub fn canonical_line(&self) -> String {
+        serde_json::to_string(&self.normalized()).expect("serialize job spec")
+    }
+
+    /// Content-addressed job id: FNV-1a over [`JobSpec::canonical_line`],
+    /// printed as 16 hex digits. Identical runs — however their optional
+    /// fields were spelled — share an id.
+    pub fn job_id(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.canonical_line().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Builds the experiment this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`SpecError`] as [`JobSpec::validate`].
+    pub fn to_experiment(&self) -> Result<Experiment, SpecError> {
+        self.validate()?;
+        let n = self.normalized();
+        let program = program_by_label(&n.program).expect("validated");
+        let choice = allocator_by_label(&n.allocator).expect("validated");
+        let opts = SimOptions {
+            cache_configs: n
+                .cache_kb
+                .iter()
+                .map(|&kb| CacheConfig::direct_mapped(kb * 1024, n.block))
+                .collect(),
+            paging: n.paging.unwrap_or(true),
+            scale: Scale(n.scale),
+            ..SimOptions::default()
+        };
+        Ok(Experiment::new(program, choice).options(opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_normalize_to_the_paper_setup() {
+        let spec = JobSpec::cell("espresso", "FirstFit", 0.0);
+        let n = spec.normalized();
+        assert_eq!(n.scale, DEFAULT_SCALE.0);
+        assert_eq!(n.cache_kb, vec![16, 32, 64, 128, 256]);
+        assert_eq!(n.block, 32);
+        assert_eq!(n.paging, Some(true));
+        spec.validate().expect("defaulted spec is valid");
+    }
+
+    #[test]
+    fn equivalent_spellings_share_a_job_id() {
+        let implicit = JobSpec::cell("gawk", "BSD", 0.0);
+        let explicit = JobSpec {
+            program: "gawk".into(),
+            allocator: "BSD".into(),
+            scale: DEFAULT_SCALE.0,
+            cache_kb: vec![16, 32, 64, 128, 256],
+            block: 32,
+            paging: Some(true),
+        };
+        assert_eq!(implicit.job_id(), explicit.job_id());
+        assert_ne!(implicit.job_id(), JobSpec::cell("make", "BSD", 0.0).job_id());
+        assert_ne!(implicit.job_id(), JobSpec::cell("gawk", "FirstFit", 0.0).job_id());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_reasons() {
+        let bad = |f: fn(&mut JobSpec)| {
+            let mut s = JobSpec::cell("espresso", "BSD", 0.005);
+            f(&mut s);
+            s.validate().unwrap_err().to_string()
+        };
+        assert!(bad(|s| s.program = "tetris".into()).contains("unknown program"));
+        assert!(bad(|s| s.allocator = "jemalloc".into()).contains("unknown allocator"));
+        assert!(bad(|s| s.scale = 2.0).contains("scale"));
+        assert!(bad(|s| s.scale = f64::NAN).contains("scale"));
+        assert!(bad(|s| s.cache_kb = vec![48]).contains("power of two"));
+        assert!(bad(|s| s.cache_kb = vec![4096]).contains("power of two"));
+        assert!(bad(|s| s.cache_kb = vec![16; 9]).contains("limit"));
+        assert!(bad(|s| s.block = 48).contains("block"));
+    }
+
+    #[test]
+    fn every_servable_label_resolves() {
+        for p in SERVABLE_PROGRAMS {
+            assert!(program_by_label(p.label()).is_some(), "{}", p.label());
+        }
+        for a in SERVABLE_ALLOCATORS {
+            assert!(allocator_by_label(a).is_some(), "{a}");
+        }
+    }
+
+    #[test]
+    fn spec_builds_the_experiment_it_describes() {
+        let spec = JobSpec {
+            cache_kb: vec![16],
+            paging: Some(false),
+            ..JobSpec::cell("make", "QuickFit", 0.002)
+        };
+        let r = spec.to_experiment().unwrap().run().unwrap();
+        assert_eq!(r.program, "make");
+        assert_eq!(r.allocator, "QuickFit");
+        assert_eq!(r.scale, 0.002);
+        assert_eq!(r.cache.len(), 1);
+        assert!(r.fault_curve.is_none());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json_with_unknown_fields_ignored() {
+        let line = r#"{"program":"ptc","allocator":"GNU local","scale":0.01,"future":true}"#;
+        let spec: JobSpec = serde_json::from_str(line).expect("parse");
+        assert_eq!(spec.program, "ptc");
+        assert_eq!(spec.allocator, "GNU local");
+        assert_eq!(spec.scale, 0.01);
+        spec.validate().expect("valid");
+    }
+}

@@ -211,4 +211,33 @@ mod tests {
         assert!(RunReport::parse("not json").is_err());
         assert!(RunReport::parse("{}").is_err());
     }
+
+    #[test]
+    fn unknown_fields_from_future_emitters_are_ignored() {
+        // Forward compatibility: a v1 consumer must parse and validate a
+        // line from a later additive revision — extra fields at the top
+        // level and inside nested objects are skipped, not errors.
+        let report = sample();
+        let mut tree: serde::Value =
+            serde_json::from_str(&report.to_jsonl_line()).expect("line parses as a tree");
+        let serde::Value::Object(fields) = &mut tree else {
+            panic!("report line is not an object")
+        };
+        fields.push(("future_field".into(), serde::Value::Bool(true)));
+        fields.push((
+            "future_block".into(),
+            serde::Value::Object(vec![("nested".into(), serde::Value::UInt(7))]),
+        ));
+        for (name, value) in fields.iter_mut() {
+            if name == "metrics" {
+                let serde::Value::Object(inner) = value else { panic!("metrics is not an object") };
+                inner.push(("future_gauges".into(), serde::Value::Object(Vec::new())));
+            }
+        }
+        let line = serde_json::to_string(&tree).expect("re-serialize widened tree");
+
+        let back = RunReport::parse(&line).expect("widened line still parses");
+        back.validate().expect("widened line still validates");
+        assert_eq!(back, report, "unknown fields must not change what was parsed");
+    }
 }

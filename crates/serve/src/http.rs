@@ -1,0 +1,191 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! The build is offline and vendored-only, so the daemon hand-rolls
+//! exactly the protocol subset it needs: one request per connection
+//! (`Connection: close`), a request line, headers, an optional
+//! `Content-Length` body, and a fixed-length response. Requests are read
+//! under the socket's read timeout and two size caps (header block and
+//! body), so a slow or hostile client costs one handler thread for at
+//! most the timeout, never unbounded memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers, bytes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method ("GET", "POST", ...).
+    pub method: String,
+    /// Request path, query string included verbatim.
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed before a full request arrived.
+    Closed,
+    /// The socket's read timeout expired.
+    Timeout,
+    /// The declared body exceeds the server's cap (HTTP 413).
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The server's cap.
+        limit: usize,
+    },
+    /// The bytes are not a well-formed HTTP/1.1 request (HTTP 400).
+    Malformed(String),
+    /// Any other socket error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed mid-request"),
+            RecvError::Timeout => write!(f, "read timed out"),
+            RecvError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            RecvError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            RecvError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+fn classify_io(e: std::io::Error) -> RecvError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RecvError::Timeout,
+        std::io::ErrorKind::UnexpectedEof => RecvError::Closed,
+        _ => RecvError::Io(e),
+    }
+}
+
+/// Reads one request from the stream, honouring the stream's read
+/// timeout and the given body cap.
+///
+/// # Errors
+///
+/// See [`RecvError`]; the caller maps each variant to a response (or a
+/// silent close for `Closed`/`Timeout`).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RecvError> {
+    // Accumulate until the blank line; one byte at a time is fine for a
+    // header block capped at 8K on a localhost control plane.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEADER_BYTES {
+            return Err(RecvError::Malformed(format!(
+                "header block exceeds {MAX_HEADER_BYTES} bytes"
+            )));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Malformed("connection closed inside the header block".into()))
+                };
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(classify_io(e)),
+        }
+    }
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| RecvError::Malformed("header block is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(RecvError::Malformed(format!("bad request line {request_line:?}")));
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RecvError::Malformed(format!("unsupported version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RecvError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let declared = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RecvError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    if declared > max_body {
+        return Err(RecvError::BodyTooLarge { declared, limit: max_body });
+    }
+    let mut body = vec![0u8; declared];
+    stream.read_exact(&mut body).map_err(classify_io)?;
+    Ok(Request { body, ..request })
+}
+
+/// Writes a fixed-length `Connection: close` response.
+///
+/// # Errors
+///
+/// Returns the socket error, which the caller logs and drops (the
+/// connection is closing either way).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The phrase printed after the status code.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}

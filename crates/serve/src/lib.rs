@@ -1,0 +1,601 @@
+//! `alloc-locality-serve`: a std-only simulation service.
+//!
+//! The daemon turns the experiment engine into a long-lived service:
+//! clients POST a [`JobSpec`] (one program × allocator × cache-geometry
+//! cell), the server queues it into a bounded channel, a pool of worker
+//! threads executes it through [`Experiment::report`], and the finished
+//! [`RunReport`] JSONL line is stored in a content-addressed cache keyed
+//! by the spec's canonical hash. Re-submitting an equivalent spec —
+//! however its optional fields were spelled — returns the cached result
+//! instantly, and every byte the server hands out is the same stable
+//! `alloc-locality.run-report` v1 line the `repro` binary would emit, so
+//! `report_check` validates server output unchanged.
+//!
+//! Everything is built on `std`: `TcpListener` for transport,
+//! `Mutex`/`Condvar` for the queue, `AtomicBool` for shutdown. The HTTP
+//! subset lives in [`http`]; a blocking client for tests and the load
+//! harness lives in [`client`].
+//!
+//! Routes:
+//!
+//! | Route                  | Meaning                                       |
+//! |------------------------|-----------------------------------------------|
+//! | `POST /jobs`           | submit a [`JobSpec`]; 202 queued / 200 cached |
+//! | `GET /jobs/{id}`       | job status                                    |
+//! | `GET /jobs/{id}/report`| the finished run-report JSONL line            |
+//! | `GET /healthz`         | liveness + queue gauges                       |
+//! | `GET /metrics`         | server counters + merged simulation metrics   |
+//! | `POST /shutdown`       | stop accepting, drain the queue, exit         |
+
+pub mod client;
+pub mod http;
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use alloc_locality::JobSpec;
+use obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+use http::{read_request, write_response, RecvError, Request};
+
+/// How the daemon is shaped. `Default` suits tests: an OS-assigned port,
+/// two workers, and small-but-real limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 asks the OS for a free port.
+    pub addr: String,
+    /// Worker threads executing jobs. Zero is allowed — jobs queue but
+    /// never run, which tests use to exercise backpressure.
+    pub workers: usize,
+    /// Bound on queued-but-unstarted jobs; beyond it `POST /jobs`
+    /// answers 429.
+    pub queue_depth: usize,
+    /// Largest request body accepted; beyond it the server answers 413.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 64,
+            max_body_bytes: 64 * 1024,
+            read_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// Where one job is in its lifecycle.
+#[derive(Debug, Clone)]
+enum JobStatus {
+    Queued,
+    Running,
+    /// The finished report line, shared so duplicate fetches hand out
+    /// literally the same bytes.
+    Done {
+        line: Arc<String>,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+impl JobStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done { .. } => "done",
+            JobStatus::Failed { .. } => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    status: JobStatus,
+}
+
+/// Everything behind the mutex.
+#[derive(Default)]
+struct State {
+    /// Ids of submitted-but-unstarted jobs, FIFO.
+    queue: VecDeque<String>,
+    /// Every job ever submitted, keyed by content address.
+    jobs: HashMap<String, Job>,
+    /// Simulation metrics merged across completed jobs.
+    sim_metrics: MetricsSnapshot,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cache_hits: u64,
+    rejected_backpressure: u64,
+    rejected_invalid: u64,
+    running: u64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<State>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Body of a successful `POST /jobs`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// Content-addressed job id.
+    pub id: String,
+    /// Lifecycle label: `queued`, `running`, `done`, `failed`.
+    pub status: String,
+    /// True when the id already existed — the result (or the in-flight
+    /// run) is shared with the earlier submission.
+    pub cached: bool,
+}
+
+/// Body of `GET /jobs/{id}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// Content-addressed job id.
+    pub id: String,
+    /// Lifecycle label: `queued`, `running`, `done`, `failed`.
+    pub status: String,
+    /// The failure message when `status` is `failed`.
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `ok` while the listener answers.
+    pub status: String,
+    /// Configured worker-thread count.
+    pub workers: u64,
+    /// Jobs waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished successfully since start.
+    pub done: u64,
+    /// Jobs that failed since start.
+    pub failed: u64,
+    /// True once shutdown was requested (draining).
+    pub draining: bool,
+}
+
+/// Body of `GET /metrics`: server-level counters plus the simulation
+/// metrics of every completed job, merged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Jobs accepted (cache hits not included).
+    pub jobs_submitted: u64,
+    /// Jobs finished successfully.
+    pub jobs_completed: u64,
+    /// Jobs that failed in the engine.
+    pub jobs_failed: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Submissions refused with 429 (queue full).
+    pub rejected_backpressure: u64,
+    /// Submissions refused with 4xx (bad spec or body).
+    pub rejected_invalid: u64,
+    /// Merged [`MetricsSnapshot`] across completed jobs.
+    pub simulation: MetricsSnapshot,
+}
+
+/// Body of every error response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Machine-readable kind: `malformed`, `invalid_spec`, `too_large`,
+    /// `queue_full`, `not_found`, `not_done`, `shutting_down`,
+    /// `method_not_allowed`.
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ErrorResponse {
+    fn new(error: &str, detail: impl Into<String>) -> Self {
+        ErrorResponse { error: error.into(), detail: detail.into() }
+    }
+}
+
+/// What the drain saw when the server stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShutdownSummary {
+    /// Jobs finished successfully over the server's lifetime.
+    pub completed: u64,
+    /// Jobs that failed over the server's lifetime.
+    pub failed: u64,
+    /// Jobs still queued when the listener stopped — all of them were
+    /// executed during the drain, so this is informational.
+    pub drained: u64,
+}
+
+/// A running daemon: the listener thread, the worker pool, and the
+/// shared state they communicate through.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, starts the worker pool, and returns once the
+    /// server is accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State::default()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept loop");
+        Ok(Server { addr, shared, accept_handle: Some(accept_handle), workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flips the shutdown flag: the listener stops accepting and workers
+    /// exit once the queue is drained. Returns immediately.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Requests shutdown and blocks until the queue is drained and every
+    /// thread has exited.
+    pub fn shutdown(mut self) -> ShutdownSummary {
+        self.request_shutdown();
+        self.join_all()
+    }
+
+    /// Blocks until the server stops (something else must request the
+    /// shutdown — e.g. a `POST /shutdown` from a client).
+    pub fn wait(mut self) -> ShutdownSummary {
+        self.join_all()
+    }
+
+    fn join_all(&mut self) -> ShutdownSummary {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let state = self.shared.state.lock().expect("state lock");
+        ShutdownSummary {
+            completed: state.completed,
+            failed: state.failed,
+            drained: state.queue.len() as u64,
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        self.join_all();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || handle_connection(stream, &shared))
+                        .expect("spawn connection handler"),
+                );
+            }
+            // Poll finely: this sleep bounds connection-setup latency,
+            // and cached submissions are answered in ~one poll interval.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(Duration::from_micros(500)),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut state = shared.state.lock().expect("state lock");
+            loop {
+                if let Some(id) = state.queue.pop_front() {
+                    state.running += 1;
+                    if let Some(job) = state.jobs.get_mut(&id) {
+                        job.status = JobStatus::Running;
+                    }
+                    break Some(id);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // Timed wait so a shutdown raced against the wait is
+                // still seen promptly.
+                let (s, _) = shared
+                    .queue_cv
+                    .wait_timeout(state, Duration::from_millis(50))
+                    .expect("queue wait");
+                state = s;
+            }
+        };
+        let Some(id) = id else { return };
+        let spec = {
+            let state = shared.state.lock().expect("state lock");
+            state.jobs.get(&id).map(|j| j.spec.clone())
+        };
+        let outcome =
+            spec.ok_or_else(|| "job vanished from the table".to_string()).and_then(|spec| {
+                spec.to_experiment()
+                    .map_err(|e| e.to_string())
+                    .and_then(|exp| exp.report().map_err(|e| e.to_string()))
+            });
+        let mut state = shared.state.lock().expect("state lock");
+        state.running -= 1;
+        match outcome {
+            Ok(report) => {
+                state.sim_metrics.merge(&report.metrics);
+                state.completed += 1;
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    job.status = JobStatus::Done { line: Arc::new(report.to_jsonl_line()) };
+                }
+            }
+            Err(error) => {
+                state.failed += 1;
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    job.status = JobStatus::Failed { error };
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let timeout = Duration::from_millis(shared.cfg.read_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let (status, body) = match read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(request) => route(&request, shared),
+        // The peer went away or sat silent: nothing useful to answer.
+        Err(RecvError::Closed) | Err(RecvError::Timeout) | Err(RecvError::Io(_)) => return,
+        Err(e @ RecvError::BodyTooLarge { declared, .. }) => {
+            // Swallow (a bounded amount of) the refused body so closing
+            // the socket does not reset it under the client before the
+            // 413 is read.
+            drain(&mut stream, declared);
+            (413, json_body(&ErrorResponse::new("too_large", e.to_string())))
+        }
+        Err(e @ RecvError::Malformed(_)) => {
+            (400, json_body(&ErrorResponse::new("malformed", e.to_string())))
+        }
+    };
+    let _ = write_response(&mut stream, status, "application/json", body.as_bytes());
+}
+
+/// Reads and discards up to `n` bytes (capped at 1 MiB), best-effort.
+fn drain(stream: &mut TcpStream, n: usize) {
+    use std::io::Read;
+    let mut left = n.min(1 << 20);
+    let mut buf = [0u8; 8192];
+    while left > 0 {
+        match stream.read(&mut buf[..left.min(8192)]) {
+            Ok(0) | Err(_) => return,
+            Ok(read) => left -= read,
+        }
+    }
+}
+
+fn json_body<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serialize response body")
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => submit(request, shared),
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            (
+                200,
+                json_body(&StatusResponse {
+                    id: String::new(),
+                    status: "shutting_down".into(),
+                    error: None,
+                }),
+            )
+        }
+        ("GET", _) if path.starts_with("/jobs/") => {
+            let rest = &path["/jobs/".len()..];
+            match rest.strip_suffix("/report") {
+                Some(id) => job_report(id, shared),
+                None if rest.contains('/') => not_found(path),
+                None => job_status(rest, shared),
+            }
+        }
+        (_, "/jobs" | "/healthz" | "/metrics" | "/shutdown") => (
+            405,
+            json_body(&ErrorResponse::new(
+                "method_not_allowed",
+                format!("{} {} is not supported", request.method, path),
+            )),
+        ),
+        _ => not_found(path),
+    }
+}
+
+fn not_found(path: &str) -> (u16, String) {
+    (404, json_body(&ErrorResponse::new("not_found", format!("no route for {path}"))))
+}
+
+fn submit(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
+    let reject = |state: &mut State, status: u16, err: ErrorResponse| {
+        state.rejected_invalid += 1;
+        (status, json_body(&err))
+    };
+    let parsed: Result<JobSpec, String> = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()));
+    let spec = match parsed {
+        Ok(spec) => spec,
+        Err(detail) => {
+            let mut state = shared.state.lock().expect("state lock");
+            return reject(
+                &mut state,
+                400,
+                ErrorResponse::new("malformed", format!("body is not a job spec: {detail}")),
+            );
+        }
+    };
+    if let Err(e) = spec.validate() {
+        let mut state = shared.state.lock().expect("state lock");
+        return reject(&mut state, 400, ErrorResponse::new("invalid_spec", e.to_string()));
+    }
+    let id = spec.job_id();
+    let mut state = shared.state.lock().expect("state lock");
+    if let Some(job) = state.jobs.get(&id) {
+        let status = job.status.label().to_string();
+        state.cache_hits += 1;
+        return (200, json_body(&SubmitResponse { id, status, cached: true }));
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (
+            503,
+            json_body(&ErrorResponse::new("shutting_down", "server is draining; try again later")),
+        );
+    }
+    if state.queue.len() >= shared.cfg.queue_depth {
+        state.rejected_backpressure += 1;
+        return (
+            429,
+            json_body(&ErrorResponse::new(
+                "queue_full",
+                format!("queue holds {} jobs; retry later", state.queue.len()),
+            )),
+        );
+    }
+    state.submitted += 1;
+    state.jobs.insert(id.clone(), Job { spec: spec.normalized(), status: JobStatus::Queued });
+    state.queue.push_back(id.clone());
+    shared.queue_cv.notify_one();
+    (202, json_body(&SubmitResponse { id, status: "queued".into(), cached: false }))
+}
+
+fn job_status(id: &str, shared: &Arc<Shared>) -> (u16, String) {
+    let state = shared.state.lock().expect("state lock");
+    match state.jobs.get(id) {
+        None => (404, json_body(&ErrorResponse::new("not_found", format!("no job {id}")))),
+        Some(job) => {
+            let error = match &job.status {
+                JobStatus::Failed { error } => Some(error.clone()),
+                _ => None,
+            };
+            (
+                200,
+                json_body(&StatusResponse {
+                    id: id.to_string(),
+                    status: job.status.label().to_string(),
+                    error,
+                }),
+            )
+        }
+    }
+}
+
+fn job_report(id: &str, shared: &Arc<Shared>) -> (u16, String) {
+    let state = shared.state.lock().expect("state lock");
+    match state.jobs.get(id) {
+        None => (404, json_body(&ErrorResponse::new("not_found", format!("no job {id}")))),
+        Some(job) => match &job.status {
+            JobStatus::Done { line } => (200, line.as_ref().clone()),
+            JobStatus::Failed { error } => {
+                (409, json_body(&ErrorResponse::new("failed", error.clone())))
+            }
+            _ => (
+                409,
+                json_body(&ErrorResponse::new(
+                    "not_done",
+                    format!("job {id} is {}", job.status.label()),
+                )),
+            ),
+        },
+    }
+}
+
+fn healthz(shared: &Arc<Shared>) -> (u16, String) {
+    let state = shared.state.lock().expect("state lock");
+    (
+        200,
+        json_body(&HealthResponse {
+            status: "ok".into(),
+            workers: shared.cfg.workers as u64,
+            queued: state.queue.len() as u64,
+            running: state.running,
+            done: state.completed,
+            failed: state.failed,
+            draining: shared.shutdown.load(Ordering::SeqCst),
+        }),
+    )
+}
+
+fn metrics(shared: &Arc<Shared>) -> (u16, String) {
+    let state = shared.state.lock().expect("state lock");
+    (
+        200,
+        json_body(&MetricsResponse {
+            jobs_submitted: state.submitted,
+            jobs_completed: state.completed,
+            jobs_failed: state.failed,
+            cache_hits: state.cache_hits,
+            rejected_backpressure: state.rejected_backpressure,
+            rejected_invalid: state.rejected_invalid,
+            simulation: state.sim_metrics.clone(),
+        }),
+    )
+}

@@ -80,6 +80,38 @@ fn recording_is_invisible_in_every_engine_and_pipeline_mode() {
 }
 
 #[test]
+fn extension_allocators_emit_full_reports() {
+    // The recorder hooks must reach beyond the paper five: every
+    // extension allocator's report carries the per-malloc search-length
+    // and per-free coalesce histograms the schema demands, so served
+    // jobs validate no matter which allocator they name.
+    for choice in
+        [AllocChoice::BestFit, AllocChoice::Buddy, AllocChoice::Custom, AllocChoice::Predictive]
+    {
+        let label = choice.label();
+        let exp = Experiment::new(Program::Espresso, choice).options(SimOptions {
+            cache_configs: vec![CacheConfig::direct_mapped(16 * 1024, 32)],
+            paging: false,
+            scale: Scale(0.002),
+            ..SimOptions::default()
+        });
+        let report = exp.report().unwrap_or_else(|e| panic!("{label}: {e}"));
+        report.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+        let search = report.metrics.histograms.get("alloc.search_len").expect("search histogram");
+        assert_eq!(
+            search.count, report.result.alloc_stats.mallocs,
+            "{label}: one search-length sample per malloc"
+        );
+        let coalesce =
+            report.metrics.histograms.get("alloc.coalesce_per_free").expect("coalesce histogram");
+        assert_eq!(
+            coalesce.count, report.result.alloc_stats.frees,
+            "{label}: one coalesce sample per free"
+        );
+    }
+}
+
+#[test]
 fn run_report_round_trips_through_jsonl() {
     let report =
         experiment(CacheEngine::Sweep, PipelineMode::Inline).report().expect("instrumented run");
