@@ -4,7 +4,17 @@
 //! perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]
 //! perf --obs [--scale F] [--repeat N] [--max-overhead F] [--gate-retries N]
 //!      [--obs-out FILE]
+//! perf --replay [--scale F] [--repeat N] [--replay-out FILE]
+//!      [--replay-cache DIR]
 //! ```
+//!
+//! With `--replay`, the harness measures the persistent stream cache
+//! (`BENCH_replay.json`): every cell of the paper's 5×5 matrix runs once
+//! against an empty cache directory (cold — generating the workload,
+//! simulating the allocator, and storing the captured stream) and then
+//! warm, best of `--repeat`, replaying the decoded stream straight into
+//! the sinks. Each cell's warm [`RunResult`] must be bit-identical to
+//! its cold one; any divergence exits non-zero.
 //!
 //! With `--obs`, the harness instead measures the observability
 //! subsystem itself (`BENCH_obs.json`): the same heavy configuration
@@ -126,16 +136,59 @@ struct SweepReport {
     identical_results: bool,
 }
 
+/// One (program, allocator) cell of the cold-vs-warm replay comparison.
+#[derive(Debug, Clone, Serialize)]
+struct ReplayCell {
+    program: String,
+    allocator: String,
+    /// Word-granular data references the cell's workload produced.
+    data_refs: u64,
+    /// The populating run: workload generation + allocator simulation +
+    /// sinks, with the captured stream stored on the way out.
+    cold: Timing,
+    /// The replaying run: sinks driven straight from the decoded stream.
+    warm: Timing,
+    /// `cold.secs / warm.secs`.
+    speedup: f64,
+    /// Whether the warm run reproduced the cold [`RunResult`] bit for
+    /// bit.
+    identical_results: bool,
+}
+
+/// The replay harness's JSON report (`BENCH_replay.json`).
+#[derive(Debug, Clone, Serialize)]
+struct ReplayReport {
+    scale: f64,
+    /// Warm repeats per cell (the cold populating run is timed once —
+    /// repeating it would hit the cache it just filled).
+    repeats: u32,
+    /// The cache configurations every cell simulated.
+    cache_configs: Vec<String>,
+    cells: Vec<ReplayCell>,
+    aggregate_cold_secs: f64,
+    aggregate_warm_secs: f64,
+    /// Aggregate cold seconds over aggregate warm seconds.
+    aggregate_speedup: f64,
+    /// Smallest per-cell speedup (the conservative headline).
+    min_cell_speedup: f64,
+    /// True iff every cell replayed bit-identically.
+    identical_results: bool,
+}
+
 struct Args {
     scale: f64,
     repeat: u32,
     matrix: bool,
     obs: bool,
+    replay: bool,
     max_overhead: f64,
     gate_retries: u32,
     out: PathBuf,
     sweep_out: PathBuf,
     obs_out: PathBuf,
+    replay_out: PathBuf,
+    replay_cache: PathBuf,
+    min_speedup: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -143,11 +196,15 @@ fn parse_args() -> Result<Args, String> {
     let mut repeat = 3;
     let mut matrix = false;
     let mut obs = false;
+    let mut replay = false;
     let mut max_overhead = 0.02;
     let mut gate_retries = 0;
     let mut out = PathBuf::from("BENCH_pipeline.json");
     let mut sweep_out = PathBuf::from("BENCH_sweep.json");
     let mut obs_out = PathBuf::from("BENCH_obs.json");
+    let mut replay_out = PathBuf::from("BENCH_replay.json");
+    let mut replay_cache = PathBuf::from("artifacts/stream-cache/perf-replay");
+    let mut min_speedup = 0.0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -167,6 +224,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--matrix" => matrix = true,
             "--obs" => obs = true,
+            "--replay" => replay = true,
+            "--replay-out" => {
+                replay_out = PathBuf::from(args.next().ok_or("--replay-out needs a path")?);
+            }
+            "--replay-cache" => {
+                replay_cache = PathBuf::from(args.next().ok_or("--replay-cache needs a path")?);
+            }
+            "--min-speedup" => {
+                let v = args.next().ok_or("--min-speedup needs a value")?;
+                min_speedup = v.parse().map_err(|e| format!("bad speedup bound {v}: {e}"))?;
+                if min_speedup < 0.0 {
+                    return Err("speedup bound must be non-negative".into());
+                }
+            }
             "--max-overhead" => {
                 let v = args.next().ok_or("--max-overhead needs a value")?;
                 max_overhead = v.parse().map_err(|e| format!("bad overhead bound {v}: {e}"))?;
@@ -192,19 +263,39 @@ fn parse_args() -> Result<Args, String> {
                     "usage: perf [--scale F] [--repeat N] [--matrix] [--out FILE] [--sweep-out FILE]\n\
                      \x20      perf --obs [--scale F] [--repeat N] [--max-overhead F]\n\
                      \x20           [--gate-retries N] [--obs-out FILE]\n\
+                     \x20      perf --replay [--scale F] [--repeat N] [--replay-out FILE]\n\
+                     \x20           [--replay-cache DIR] [--min-speedup F]\n\
                      --matrix measures all five paper programs x (FirstFit, BSD, QuickFit)\n\
                      in the bank-vs-sweep comparison instead of espresso/FirstFit alone\n\
                      --obs measures recorder overhead (none vs null vs in-memory) and fails\n\
                      if the null recorder costs more than --max-overhead (default 0.02);\n\
                      --gate-retries re-measures up to N extra times before declaring a\n\
-                     gate failure (absorbs scheduler noise on loaded CI machines)"
+                     gate failure (absorbs scheduler noise on loaded CI machines)\n\
+                     --replay times the full 5x5 matrix cold (populating a fresh stream\n\
+                     cache) and then warm (replaying it), and fails if any warm cell's\n\
+                     result diverges from its cold run or the aggregate speedup falls\n\
+                     below --min-speedup (default 0: identity check only)"
                         .into(),
                 );
             }
             other => return Err(format!("unknown argument {other:?}; try --help")),
         }
     }
-    Ok(Args { scale, repeat, matrix, obs, max_overhead, gate_retries, out, sweep_out, obs_out })
+    Ok(Args {
+        scale,
+        repeat,
+        matrix,
+        obs,
+        replay,
+        max_overhead,
+        gate_retries,
+        out,
+        sweep_out,
+        obs_out,
+        replay_out,
+        replay_cache,
+        min_speedup,
+    })
 }
 
 /// The fixed heavy workload of the pipeline report: espresso under
@@ -452,6 +543,84 @@ fn sweep_report(args: &Args) -> Result<SweepReport, String> {
     })
 }
 
+/// The cold-vs-warm replay report: every cell of the paper's 5×5 matrix
+/// run once against an empty stream cache (generating the workload and
+/// storing the captured stream) and then again against the populated
+/// cache (replaying the decoded stream straight into the sinks).
+///
+/// The cold pass is timed once per cell — its second execution would hit
+/// the cache it just filled — while the warm pass is best of `--repeat`.
+fn replay_report(args: &Args) -> Result<ReplayReport, String> {
+    // Start from an empty cache so the first pass is genuinely cold.
+    let _ = std::fs::remove_dir_all(&args.replay_cache);
+    let configs = CacheConfig::paper_sweep();
+    let base = SimOptions {
+        cache_configs: configs.clone(),
+        paging: true,
+        stream_cache: Some(args.replay_cache.clone()),
+        ..SimOptions::default()
+    };
+
+    eprintln!(
+        "# replay perf: 5x5 matrix, {} cache configs + pager, scale {}, warm best of {}",
+        configs.len(),
+        args.scale,
+        args.repeat
+    );
+
+    let mut cells = Vec::new();
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    let mut min_speedup = f64::INFINITY;
+    let mut all_identical = true;
+    for program in Program::FIVE {
+        for allocator in AllocatorKind::ALL {
+            let exp = cell_experiment(program, allocator, args.scale, base.clone());
+            let start = Instant::now();
+            let cold_result = exp.run().map_err(|e| e.to_string())?;
+            let cold_secs = start.elapsed().as_secs_f64();
+            let refs = cold_result.data_refs();
+
+            let (warm_result, warm_secs) = time_run(&exp, args.repeat)?;
+            let same = identical(&cold_result, &warm_result);
+            let speedup = cold_secs / warm_secs.max(1e-9);
+            eprintln!(
+                "  {:<10}/{:<9} cold {cold_secs:.3}s  warm {warm_secs:.3}s  {speedup:.2}x  \
+                 (identical: {same})",
+                program.label(),
+                allocator.label(),
+            );
+            if !same {
+                eprintln!("WARNING: replayed result differs from the populating run");
+            }
+            cold_total += cold_secs;
+            warm_total += warm_secs;
+            min_speedup = min_speedup.min(speedup);
+            all_identical &= same;
+            cells.push(ReplayCell {
+                program: program.label().to_string(),
+                allocator: allocator.label().to_string(),
+                data_refs: refs,
+                cold: timing("cold", cold_secs, refs),
+                warm: timing("warm", warm_secs, refs),
+                speedup,
+                identical_results: same,
+            });
+        }
+    }
+
+    Ok(ReplayReport {
+        scale: args.scale,
+        repeats: args.repeat,
+        cache_configs: configs.iter().map(|c| c.to_string()).collect(),
+        cells,
+        aggregate_cold_secs: cold_total,
+        aggregate_warm_secs: warm_total,
+        aggregate_speedup: cold_total / warm_total.max(1e-9),
+        min_cell_speedup: min_speedup,
+        identical_results: all_identical,
+    })
+}
+
 /// The observability overhead report (`BENCH_obs.json`).
 #[derive(Debug, Clone, Serialize)]
 struct ObsReport {
@@ -587,6 +756,25 @@ fn run() -> Result<(), String> {
             ));
         }
         unreachable!("the attempt loop always returns");
+    }
+
+    if args.replay {
+        let report = replay_report(&args)?;
+        eprintln!(
+            "replay speedup: {:.2}x aggregate, {:.2}x min cell (identical results: {})",
+            report.aggregate_speedup, report.min_cell_speedup, report.identical_results
+        );
+        write_json(&args.replay_out, &report)?;
+        if !report.identical_results {
+            return Err("a replayed cell diverged from its populating run".into());
+        }
+        if report.aggregate_speedup < args.min_speedup {
+            return Err(format!(
+                "aggregate replay speedup {:.2}x is below the {:.2}x gate",
+                report.aggregate_speedup, args.min_speedup
+            ));
+        }
+        return Ok(());
     }
 
     let pipeline = pipeline_report(&args)?;

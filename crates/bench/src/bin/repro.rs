@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--scale F] [--threads N] [--json DIR] [--metrics FILE]
-//!       [--verbose] [TARGET ...]
+//!       [--stream-cache DIR] [--verbose] [TARGET ...]
 //!
 //! TARGETS: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          table1 table2 table3 table4 table5 table6 all
@@ -59,6 +59,7 @@ const ALL_TARGETS: [&str; 18] = [
 struct Args {
     scale: f64,
     threads: usize,
+    stream_cache: Option<PathBuf>,
     json_dir: Option<PathBuf>,
     metrics: Option<PathBuf>,
     verbose: bool,
@@ -70,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = alloc_locality::default_threads();
     let mut json_dir = None;
     let mut metrics = None;
+    let mut stream_cache = None;
     let mut verbose = false;
     let mut targets = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -96,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => {
                 metrics = Some(PathBuf::from(args.next().ok_or("--metrics needs a file path")?));
             }
+            "--stream-cache" => {
+                stream_cache =
+                    Some(PathBuf::from(args.next().ok_or("--stream-cache needs a directory")?));
+            }
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 return Err(format!(
@@ -103,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
                      [--verbose] [TARGET ...]\n\
                      --threads 0 (or omitted) auto-detects from available_parallelism\n\
                      --metrics FILE writes one instrumented RunReport per 5x5 cell as JSONL\n\
+                     --stream-cache DIR replays captured reference streams across invocations\n\
                      --verbose narrates sweep progress per completed cell\n\
                      targets: {} all",
                     ALL_TARGETS.join(" ")
@@ -119,13 +126,17 @@ fn parse_args() -> Result<Args, String> {
         targets.extend(ALL_TARGETS.iter().map(|s| s.to_string()));
     }
     targets.dedup();
-    Ok(Args { scale, threads, json_dir, metrics, verbose, targets })
+    Ok(Args { scale, threads, stream_cache, json_dir, metrics, verbose, targets })
 }
 
 /// Runs the paper's 5×5 matrix with the recorder attached and writes one
 /// validated [`RunReport`] per cell as a JSONL line of `path`.
 fn emit_metrics(args: &Args, path: &std::path::Path) -> Result<(), String> {
-    let opts = SimOptions { scale: Scale(args.scale), ..SimOptions::default() };
+    let opts = SimOptions {
+        scale: Scale(args.scale),
+        stream_cache: args.stream_cache.clone(),
+        ..SimOptions::default()
+    };
     let jobs: Vec<Experiment> = Program::FIVE
         .iter()
         .flat_map(|&p| {
@@ -183,7 +194,9 @@ fn run() -> Result<(), String> {
             return Ok(());
         }
     }
-    let mut cache = MatrixCache::with_threads(args.scale, args.threads).verbose(args.verbose);
+    let mut cache = MatrixCache::with_threads(args.scale, args.threads)
+        .verbose(args.verbose)
+        .stream_cache(args.stream_cache.clone());
     let k16 = CacheConfig::direct_mapped(16 * 1024, 32);
     let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
     eprintln!(

@@ -22,6 +22,7 @@ pub struct MatrixCache {
     scale: f64,
     threads: usize,
     verbose: bool,
+    stream_cache: Option<std::path::PathBuf>,
 }
 
 impl MatrixCache {
@@ -43,8 +44,20 @@ impl MatrixCache {
         self
     }
 
+    /// Points every sweep at a persistent stream cache: cells whose
+    /// reference stream was captured by an earlier invocation replay it
+    /// instead of regenerating the workload (`repro --stream-cache`).
+    pub fn stream_cache(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.stream_cache = dir;
+        self
+    }
+
     fn opts(&self) -> SimOptions {
-        SimOptions { scale: Scale(self.scale), ..SimOptions::default() }
+        SimOptions {
+            scale: Scale(self.scale),
+            stream_cache: self.stream_cache.clone(),
+            ..SimOptions::default()
+        }
     }
 
     /// Runs `jobs` on this cache's worker pool, narrating completions
@@ -160,6 +173,7 @@ impl MatrixCache {
                 victim_entries: Some(8),
                 three_c: true,
                 two_level: true,
+                stream_cache: self.stream_cache.clone(),
                 ..SimOptions::default()
             };
             let mut choices = AllocChoice::paper_five();

@@ -20,6 +20,7 @@ use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
+use sim_mem::stream::{fnv1a, CacheLookup, Fnv64, StreamCache, STREAM_FORMAT_VERSION};
 use sim_mem::{
     AccessSink, Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, RefRun,
     TraceStats,
@@ -107,6 +108,15 @@ pub struct SimOptions {
     pub frag_sample_every: u64,
     /// How the reference stream reaches the sinks (see [`PipelineMode`]).
     pub pipeline: PipelineMode,
+    /// Persistent stream-cache directory. When set, a run first looks
+    /// for its captured reference stream (keyed by the run's *driver
+    /// identity* — program, allocator, scale, seed) under this
+    /// directory and, on a hit, replays the decoded stream straight
+    /// into the sinks, skipping workload generation and allocator
+    /// simulation entirely. On a miss the run executes normally and
+    /// stores its stream for the next time. Results are bit-identical
+    /// either way.
+    pub stream_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for SimOptions {
@@ -123,6 +133,7 @@ impl Default for SimOptions {
             two_level: false,
             frag_sample_every: 0,
             pipeline: PipelineMode::Inline,
+            stream_cache: None,
         }
     }
 }
@@ -411,7 +422,7 @@ enum SinkShard {
     Sweep(SweepCache),
     /// One cache configuration simulated independently.
     Cache(Cache),
-    Pager(StackSim),
+    Pager(Box<StackSim>),
     Tracer(trace::TraceWriter<std::io::BufWriter<std::fs::File>>),
     Victim(VictimCache),
     ThreeC(ThreeCAnalyzer),
@@ -602,6 +613,141 @@ impl AccessSink for RunCollector {
     }
 }
 
+/// The producer side of a cache-populating run: folds the counting
+/// statistics while collecting the run-compressed stream for storage.
+struct CaptureSink {
+    counting: CountingSink,
+    runs: Vec<RefRun>,
+}
+
+impl AccessSink for CaptureSink {
+    fn record(&mut self, r: MemRef) {
+        self.counting.record(r);
+        self.runs.push(RefRun::once(r));
+    }
+
+    fn record_batch(&mut self, batch: &[MemRef]) {
+        self.counting.record_batch(batch);
+        self.runs.extend(batch.iter().map(|&r| RefRun::once(r)));
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        self.counting.record_runs(runs);
+        self.runs.extend_from_slice(runs);
+    }
+}
+
+/// Tees every metric into an internal [`MemoryRecorder`] — whose frozen
+/// snapshot becomes the stream file's sidecar — and, when the caller
+/// attached one, the caller's recorder too. Both therefore observe
+/// byte-identical metrics on a populating run, which is what lets a
+/// later replay hand back the stored snapshot as *the* metrics of the
+/// run and keep `RunReport` lines byte-identical to the generated ones.
+struct TeeRecorder<'a> {
+    mem: MemoryRecorder,
+    user: Option<&'a mut dyn Recorder>,
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&mut self, name: &'static str, delta: u64) {
+        self.mem.add(name, delta);
+        if let Some(user) = &mut self.user {
+            user.add(name, delta);
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64) {
+        self.mem.observe(name, value);
+        if let Some(user) = &mut self.user {
+            user.observe(name, value);
+        }
+    }
+
+    fn span_ns(&mut self, name: &'static str, nanos: u64) {
+        self.mem.span_ns(name, nanos);
+        if let Some(user) = &mut self.user {
+            user.span_ns(name, nanos);
+        }
+    }
+}
+
+/// Everything a replay cannot reconstruct from the reference stream
+/// alone: the driver-side products of the populating run, serialized as
+/// JSON into the stream file's sidecar.
+///
+/// The stream *key* covers every option the driver's outputs depend on
+/// (workload, allocator, scale, heap limit, fragmentation sampling), so
+/// these fields are valid for any run that hits the same key. The
+/// metrics snapshot additionally depends on the *sink* configuration —
+/// which sinks existed, which pipeline delivered to them — so it carries
+/// the populating run's [`Experiment::options_fingerprint`] and is only
+/// reused when the fingerprints match.
+#[derive(Serialize, Deserialize)]
+struct StreamSidecar {
+    /// [`Experiment::options_fingerprint`] of the populating run.
+    options_fp: u64,
+    /// Instruction counts by phase.
+    instrs: InstrCounter,
+    /// Counting-fold statistics over the stream.
+    trace: TraceStats,
+    /// Fragmentation samples (empty unless sampling was keyed on).
+    frag_curve: Vec<FragSample>,
+    /// Peak bytes obtained from the simulated operating system.
+    heap_high_water: u64,
+    /// The allocator's own statistics.
+    alloc_stats: AllocStats,
+    /// The populating run's full frozen metrics.
+    metrics: obs::MetricsSnapshot,
+}
+
+/// Sink results reassembled from finalized shards, in canonical order.
+struct FinalizedShards {
+    cache: Vec<(CacheConfig, CacheStats)>,
+    fault_curve: Option<FaultCurve>,
+    victim: Option<VictimStats>,
+    three_c: Option<ThreeC>,
+    two_level: Option<TwoLevelStats>,
+}
+
+/// Drains every shard into its result slot (and closes the trace file).
+fn finalize_shards(shards: Vec<SinkShard>) -> FinalizedShards {
+    let mut out = FinalizedShards {
+        cache: Vec::new(),
+        fault_curve: None,
+        victim: None,
+        three_c: None,
+        two_level: None,
+    };
+    for shard in shards {
+        match shard {
+            SinkShard::Sweep(s) => out.cache.extend(s.results()),
+            SinkShard::Cache(c) => out.cache.push((c.config(), *c.stats())),
+            SinkShard::Pager(p) => out.fault_curve = Some(p.curve()),
+            SinkShard::Tracer(t) => {
+                t.finish().expect("finalize trace file");
+            }
+            SinkShard::Victim(v) => out.victim = Some(*v.stats()),
+            SinkShard::ThreeC(a) => out.three_c = Some(a.classify()),
+            SinkShard::TwoLevel(t) => out.two_level = Some(t.stats()),
+        }
+    }
+    out
+}
+
+/// What [`Experiment::run_inner`] hands back: the result, plus — on a
+/// warm instrumented replay — the populating run's frozen metrics,
+/// which [`Experiment::run_instrumented`] returns in place of the live
+/// recorder's snapshot so replayed reports are byte-identical to
+/// generated ones.
+struct RunOutcome {
+    result: RunResult,
+    replay_metrics: Option<obs::MetricsSnapshot>,
+}
+
 /// Where a run's application events come from: a synthetic model, or a
 /// fixed stream (e.g. imported with [`workloads::import::parse_trace`]).
 #[derive(Debug, Clone)]
@@ -713,6 +859,13 @@ impl Experiment {
         self
     }
 
+    /// Enables the persistent stream cache under `dir` (see
+    /// [`SimOptions::stream_cache`]).
+    pub fn stream_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.opts.stream_cache = Some(dir.into());
+        self
+    }
+
     /// Builds the run's sinks in canonical order (see [`SinkShard`]):
     /// caches first — one sweep shard, or per-cache shards in
     /// configuration order — then pager, tracer, victim, three-C,
@@ -730,7 +883,7 @@ impl Experiment {
             ),
         }
         if self.opts.paging {
-            shards.push(SinkShard::Pager(StackSim::paper()));
+            shards.push(SinkShard::Pager(Box::new(StackSim::paper())));
         }
         if let Some(path) = &self.opts.record_trace {
             let file = std::fs::File::create(path)
@@ -946,7 +1099,7 @@ impl Experiment {
     /// Returns [`EngineError::Alloc`] if the allocator reports an error
     /// (out of simulated memory, invalid free).
     pub fn run(&self) -> Result<RunResult, EngineError> {
-        self.run_inner(None)
+        Ok(self.run_inner(None, false)?.result)
     }
 
     /// Runs the experiment with every metric delivered to `recorder`.
@@ -959,7 +1112,7 @@ impl Experiment {
     /// Returns [`EngineError::Alloc`] if the allocator reports an error
     /// (out of simulated memory, invalid free).
     pub fn run_with_recorder(&self, recorder: &mut dyn Recorder) -> Result<RunResult, EngineError> {
-        self.run_inner(Some(recorder))
+        Ok(self.run_inner(Some(recorder), false)?.result)
     }
 
     /// Runs the experiment with an in-memory recorder attached and
@@ -971,8 +1124,12 @@ impl Experiment {
     /// (out of simulated memory, invalid free).
     pub fn run_instrumented(&self) -> Result<(RunResult, obs::MetricsSnapshot), EngineError> {
         let mut rec = MemoryRecorder::new();
-        let result = self.run_inner(Some(&mut rec))?;
-        Ok((result, rec.snapshot()))
+        let outcome = self.run_inner(Some(&mut rec), true)?;
+        // On a warm replay the populating run's frozen snapshot stands
+        // in for the live one, keeping reports byte-identical to the
+        // generated run's; the live recorder saw only replay telemetry.
+        let metrics = outcome.replay_metrics.unwrap_or_else(|| rec.snapshot());
+        Ok((outcome.result, metrics))
     }
 
     /// Runs the experiment instrumented and wraps the outcome in the
@@ -987,7 +1144,299 @@ impl Experiment {
         Ok(crate::run_report::RunReport::new(result, metrics))
     }
 
-    fn run_inner(&self, mut recorder: Option<&mut dyn Recorder>) -> Result<RunResult, EngineError> {
+    /// Dispatches a run: a warm stream-cache replay when one applies,
+    /// the plain generated run otherwise (populating the cache when one
+    /// is configured). `need_metrics` marks an instrumented run whose
+    /// metrics must be byte-reusable (see [`RunOutcome`]).
+    fn run_inner(
+        &self,
+        mut recorder: Option<&mut dyn Recorder>,
+        need_metrics: bool,
+    ) -> Result<RunOutcome, EngineError> {
+        let Some(key) = self.stream_key() else {
+            let result = self.run_generated(Self::reborrow(&mut recorder))?;
+            return Ok(RunOutcome { result, replay_metrics: None });
+        };
+        let cache =
+            StreamCache::new(self.opts.stream_cache.as_ref().expect("key implies directory"));
+        let lookup_counter = match cache.load(key) {
+            CacheLookup::Hit { stream, memoized } => {
+                if memoized {
+                    if let Some(rec) = Self::reborrow(&mut recorder) {
+                        rec.add("stream_cache.decode_memo", 1);
+                    }
+                }
+                match self.try_replay(&stream, &mut recorder, need_metrics)? {
+                    Some(outcome) => return Ok(outcome),
+                    // The stream was usable but its sidecar was not (a
+                    // foreign sidecar shape, or an instrumented run over
+                    // a different sink configuration): regenerate and
+                    // overwrite, last writer wins.
+                    None => "stream_cache.sidecar_mismatch",
+                }
+            }
+            CacheLookup::Miss => "stream_cache.miss",
+            CacheLookup::Invalid(_) => "stream_cache.invalid",
+        };
+        self.run_and_populate(&cache, key, lookup_counter, recorder)
+    }
+
+    /// The stream-cache content key of this run's driver identity, when
+    /// the cache applies: every input the generated reference stream
+    /// (and the driver-side sidecar fields) depends on — workload
+    /// specification (program and seed included), allocator choice,
+    /// scale, heap limit, fragmentation sampling — plus the format
+    /// version, so a format bump cold-starts the cache. `None` when no
+    /// cache directory is configured or the workload is a fixed event
+    /// stream (already imported; nothing to skip regenerating is known
+    /// about its provenance, so it is never cached).
+    fn stream_key(&self) -> Option<u64> {
+        self.opts.stream_cache.as_ref()?;
+        let WorkloadSource::Spec(spec) = &self.source else {
+            return None;
+        };
+        let spec_json = serde_json::to_string(spec).expect("workload spec serializes");
+        let mut h = Fnv64::new();
+        h.write_u64(u64::from(STREAM_FORMAT_VERSION));
+        h.write(self.program_label.as_bytes());
+        h.write(&[0]);
+        h.write(spec_json.as_bytes());
+        h.write(&[0]);
+        h.write(self.choice.label().as_bytes());
+        h.write(&[0]);
+        h.write_u64(self.opts.scale.0.to_bits());
+        h.write_u64(self.opts.heap_limit);
+        h.write_u64(self.opts.frag_sample_every);
+        Some(h.finish())
+    }
+
+    /// Fingerprint of the *sink-side* options: everything a run's
+    /// metrics snapshot depends on beyond the stream key (which sinks
+    /// exist, how the stream reaches them). A stored snapshot is only
+    /// reused when this matches; results themselves never consult it.
+    fn options_fingerprint(&self) -> u64 {
+        let o = &self.opts;
+        let desc = format!(
+            "{:?}|{:?}|{}|{}|{:?}|{}|{}|{:?}",
+            o.cache_configs,
+            o.cache_engine,
+            o.paging,
+            o.record_trace.is_some(),
+            o.victim_entries,
+            o.three_c,
+            o.two_level,
+            o.pipeline
+        );
+        fnv1a(desc.as_bytes())
+    }
+
+    /// Replays a decoded stream into this run's sinks, if its sidecar
+    /// is usable: `Ok(None)` demotes the hit to a populating run.
+    fn try_replay(
+        &self,
+        decoded: &sim_mem::DecodedStream,
+        recorder: &mut Option<&mut dyn Recorder>,
+        need_metrics: bool,
+    ) -> Result<Option<RunOutcome>, EngineError> {
+        let Ok(sidecar) = std::str::from_utf8(&decoded.sidecar)
+            .map_err(|_| ())
+            .and_then(|text| serde_json::from_str::<StreamSidecar>(text).map_err(|_| ()))
+        else {
+            return Ok(None);
+        };
+        if need_metrics && sidecar.options_fp != self.options_fingerprint() {
+            return Ok(None);
+        }
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.add("stream_cache.hit", 1);
+        }
+        let replay_sw = Stopwatch::start();
+        let shards = self.replay_into_shards(&decoded.runs, self.build_shards(), recorder);
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.span_ns("engine.replay", replay_sw.elapsed_ns());
+            for shard in &shards {
+                if let Some((name, refs)) = shard.fastpath_refs() {
+                    rec.add(name, refs);
+                }
+            }
+        }
+        let finalize_sw = Stopwatch::start();
+        let parts = finalize_shards(shards);
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.span_ns("engine.finalize", finalize_sw.elapsed_ns());
+        }
+        let result = RunResult {
+            program: self.program_label.clone(),
+            allocator: self.choice.label(),
+            scale: self.opts.scale.0,
+            instrs: sidecar.instrs,
+            trace: sidecar.trace,
+            cache: parts.cache,
+            fault_curve: parts.fault_curve,
+            victim: parts.victim,
+            three_c: parts.three_c,
+            two_level: parts.two_level,
+            frag_curve: sidecar.frag_curve,
+            heap_high_water: sidecar.heap_high_water,
+            alloc_stats: sidecar.alloc_stats,
+        };
+        Ok(Some(RunOutcome { result, replay_metrics: need_metrics.then_some(sidecar.metrics) }))
+    }
+
+    /// Delivers an already-captured stream to the shards under the
+    /// run's pipeline mode — the warm-path replacement for
+    /// [`Experiment::drive`]. Sharded delivery needs no channels: the
+    /// whole stream is already in memory, so each worker walks the
+    /// slice once for its shard group.
+    fn replay_into_shards(
+        &self,
+        runs: &[RefRun],
+        mut shards: Vec<SinkShard>,
+        recorder: &mut Option<&mut dyn Recorder>,
+    ) -> Vec<SinkShard> {
+        match self.opts.pipeline {
+            PipelineMode::Inline => match recorder.as_deref_mut() {
+                None => {
+                    for shard in &mut shards {
+                        shard.record_runs(runs);
+                    }
+                    shards
+                }
+                Some(rec) => {
+                    for shard in &mut shards {
+                        let sw = Stopwatch::start();
+                        shard.record_runs(runs);
+                        rec.span_ns(shard.label(), sw.elapsed_ns());
+                    }
+                    shards
+                }
+            },
+            PipelineMode::Sharded => {
+                if shards.is_empty() {
+                    return shards;
+                }
+                let timed = recorder.is_some();
+                let workers = shards.len().min(default_threads().max(1));
+                let mut groups: Vec<Vec<(usize, SinkShard)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (position, shard) in shards.drain(..).enumerate() {
+                    groups[position % workers].push((position, shard));
+                }
+                let mut tagged: Vec<(usize, SinkShard)> = Vec::new();
+                let mut busy_times = Vec::with_capacity(workers);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = groups
+                        .into_iter()
+                        .map(|mut group| {
+                            s.spawn(move || {
+                                let sw = timed.then(Stopwatch::start);
+                                for (_, shard) in &mut group {
+                                    shard.record_runs(runs);
+                                }
+                                (group, sw.map_or(0, |sw| sw.elapsed_ns()))
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        let (group, busy_ns) = handle.join().expect("replay worker panicked");
+                        tagged.extend(group);
+                        busy_times.push(busy_ns);
+                    }
+                });
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.add("pipeline.workers", busy_times.len() as u64);
+                    for busy_ns in busy_times {
+                        rec.span_ns("pipeline.worker_busy", busy_ns);
+                    }
+                }
+                tagged.sort_by_key(|&(position, _)| position);
+                tagged.into_iter().map(|(_, shard)| shard).collect()
+            }
+        }
+    }
+
+    /// A cold run that also captures its stream and stores it (with the
+    /// sidecar holding everything a replay cannot reconstruct) under
+    /// `key`. The stream is captured once and then *replayed* into the
+    /// shards through the same code path a warm run uses, so the two
+    /// paths cannot drift. `lookup_counter` records why the cache did
+    /// not answer. A failed store is a missed optimization, never a
+    /// failed run.
+    fn run_and_populate(
+        &self,
+        cache: &StreamCache,
+        key: u64,
+        lookup_counter: &'static str,
+        user: Option<&mut dyn Recorder>,
+    ) -> Result<RunOutcome, EngineError> {
+        let mut tee = TeeRecorder { mem: MemoryRecorder::new(), user };
+        tee.add(lookup_counter, 1);
+        let mut heap = HeapImage::with_limit(self.opts.heap_limit);
+        let mut instrs = InstrCounter::new();
+        let mut capture = CaptureSink { counting: CountingSink::new(), runs: Vec::new() };
+        let drive_sw = Stopwatch::start();
+        let (frag_curve, alloc_stats) =
+            self.drive(&mut heap, &mut instrs, &mut capture, Some(&mut tee))?;
+        tee.span_ns("engine.drive", drive_sw.elapsed_ns());
+
+        let replay_sw = Stopwatch::start();
+        let shards = {
+            let mut recorder: Option<&mut dyn Recorder> = Some(&mut tee);
+            self.replay_into_shards(&capture.runs, self.build_shards(), &mut recorder)
+        };
+        tee.span_ns("engine.replay", replay_sw.elapsed_ns());
+        for shard in &shards {
+            if let Some((name, refs)) = shard.fastpath_refs() {
+                tee.add(name, refs);
+            }
+        }
+        let finalize_sw = Stopwatch::start();
+        let parts = finalize_shards(shards);
+        tee.span_ns("engine.finalize", finalize_sw.elapsed_ns());
+        // Counts the store *attempt*, and does so before the snapshot is
+        // frozen so the stored metrics equal what the caller's recorder
+        // observed on this run.
+        tee.add("stream_cache.store", 1);
+
+        let trace = capture.counting.stats();
+        let heap_high_water = heap.high_water();
+        let sidecar = StreamSidecar {
+            options_fp: self.options_fingerprint(),
+            instrs,
+            trace,
+            frag_curve: frag_curve.clone(),
+            heap_high_water,
+            alloc_stats,
+            metrics: tee.mem.snapshot(),
+        };
+        let sidecar_json = serde_json::to_string(&sidecar).expect("sidecar serializes");
+        let _ = cache.store(key, sidecar_json.as_bytes(), &capture.runs);
+
+        let result = RunResult {
+            program: self.program_label.clone(),
+            allocator: self.choice.label(),
+            scale: self.opts.scale.0,
+            instrs,
+            trace,
+            cache: parts.cache,
+            fault_curve: parts.fault_curve,
+            victim: parts.victim,
+            three_c: parts.three_c,
+            two_level: parts.two_level,
+            frag_curve,
+            heap_high_water,
+            alloc_stats,
+        };
+        Ok(RunOutcome { result, replay_metrics: None })
+    }
+
+    /// The plain generated run: drive the workload straight into the
+    /// sinks under the configured pipeline mode (the original engine
+    /// path, untouched by the stream cache).
+    fn run_generated(
+        &self,
+        mut recorder: Option<&mut dyn Recorder>,
+    ) -> Result<RunResult, EngineError> {
         let mut heap = HeapImage::with_limit(self.opts.heap_limit);
         let mut instrs = InstrCounter::new();
         let counting = CountingSink::new();
@@ -1023,24 +1472,7 @@ impl Experiment {
         }
 
         let finalize_sw = Stopwatch::start();
-        let mut cache = Vec::new();
-        let mut fault_curve = None;
-        let mut victim = None;
-        let mut three_c = None;
-        let mut two_level = None;
-        for shard in shards {
-            match shard {
-                SinkShard::Sweep(s) => cache.extend(s.results()),
-                SinkShard::Cache(c) => cache.push((c.config(), *c.stats())),
-                SinkShard::Pager(p) => fault_curve = Some(p.curve()),
-                SinkShard::Tracer(t) => {
-                    t.finish().expect("finalize trace file");
-                }
-                SinkShard::Victim(v) => victim = Some(*v.stats()),
-                SinkShard::ThreeC(a) => three_c = Some(a.classify()),
-                SinkShard::TwoLevel(t) => two_level = Some(t.stats()),
-            }
-        }
+        let parts = finalize_shards(shards);
         if let Some(rec) = recorder {
             rec.span_ns("engine.finalize", finalize_sw.elapsed_ns());
         }
@@ -1051,11 +1483,11 @@ impl Experiment {
             scale: self.opts.scale.0,
             instrs,
             trace: counting.stats(),
-            cache,
-            fault_curve,
-            victim,
-            three_c,
-            two_level,
+            cache: parts.cache,
+            fault_curve: parts.fault_curve,
+            victim: parts.victim,
+            three_c: parts.three_c,
+            two_level: parts.two_level,
             frag_curve,
             heap_high_water: heap.high_water(),
             alloc_stats,

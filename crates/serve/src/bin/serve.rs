@@ -4,6 +4,8 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!       [--max-body-bytes N] [--read-timeout-ms N]
+//!       [--result-cache-entries N] [--report-cache DIR]
+//!       [--report-cache-max-bytes N] [--stream-cache DIR]
 //! ```
 
 use serve::{Server, ServerConfig};
@@ -11,7 +13,9 @@ use serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
-         \x20            [--max-body-bytes N] [--read-timeout-ms N]"
+         \x20            [--max-body-bytes N] [--read-timeout-ms N]\n\
+         \x20            [--result-cache-entries N] [--report-cache DIR]\n\
+         \x20            [--report-cache-max-bytes N] [--stream-cache DIR]"
     );
     std::process::exit(2);
 }
@@ -40,6 +44,18 @@ fn main() {
             "--queue-depth" => cfg.queue_depth = parse_flag(&mut args, "--queue-depth"),
             "--max-body-bytes" => cfg.max_body_bytes = parse_flag(&mut args, "--max-body-bytes"),
             "--read-timeout-ms" => cfg.read_timeout_ms = parse_flag(&mut args, "--read-timeout-ms"),
+            "--result-cache-entries" => {
+                cfg.result_cache_entries = parse_flag(&mut args, "--result-cache-entries");
+            }
+            "--report-cache" => {
+                cfg.report_cache = Some(parse_flag::<String>(&mut args, "--report-cache").into());
+            }
+            "--report-cache-max-bytes" => {
+                cfg.report_cache_max_bytes = parse_flag(&mut args, "--report-cache-max-bytes");
+            }
+            "--stream-cache" => {
+                cfg.stream_cache = Some(parse_flag::<String>(&mut args, "--stream-cache").into());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");

@@ -11,6 +11,14 @@
 //! `alloc-locality.run-report` v1 line the `repro` binary would emit, so
 //! `report_check` validates server output unchanged.
 //!
+//! Two optional layers make repeat work cheap across restarts: a
+//! [`ServerConfig::report_cache`] directory persists every finished line
+//! (size-bounded, oldest evicted) so a restarted server answers
+//! duplicates instantly, and a [`ServerConfig::stream_cache`] directory
+//! lets the engine replay captured reference streams instead of
+//! regenerating workloads. The in-memory result table itself is bounded
+//! by [`ServerConfig::result_cache_entries`] with LRU eviction.
+//!
 //! Everything is built on `std`: `TcpListener` for transport,
 //! `Mutex`/`Condvar` for the queue, `AtomicBool` for shutdown. The HTTP
 //! subset lives in [`http`]; a blocking client for tests and the load
@@ -58,6 +66,21 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Per-connection socket read timeout.
     pub read_timeout_ms: u64,
+    /// Bound on finished results kept in memory. Beyond it the
+    /// least-recently-used `done` entry is dropped; resubmitting its spec
+    /// recomputes (or answers from the on-disk report cache).
+    pub result_cache_entries: usize,
+    /// Directory finished report lines persist to (one `<job-id>.json`
+    /// per job), so a restarted server answers duplicate submissions
+    /// instantly. `None` disables persistence.
+    pub report_cache: Option<std::path::PathBuf>,
+    /// Total-size bound on the on-disk report cache; oldest files are
+    /// evicted once the directory exceeds it.
+    pub report_cache_max_bytes: u64,
+    /// Stream-cache directory handed to every experiment
+    /// ([`Experiment::stream_cache`]), so a job whose reference stream was
+    /// captured before replays it instead of regenerating the workload.
+    pub stream_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +91,10 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_body_bytes: 64 * 1024,
             read_timeout_ms: 2_000,
+            result_cache_entries: 256,
+            report_cache: None,
+            report_cache_max_bytes: 8 * 1024 * 1024,
+            stream_cache: None,
         }
     }
 }
@@ -109,14 +136,19 @@ struct Job {
 struct State {
     /// Ids of submitted-but-unstarted jobs, FIFO.
     queue: VecDeque<String>,
-    /// Every job ever submitted, keyed by content address.
+    /// Every live job, keyed by content address. Finished entries beyond
+    /// [`ServerConfig::result_cache_entries`] are evicted LRU-first.
     jobs: HashMap<String, Job>,
+    /// `done` job ids, least recently used first. A cache hit moves the
+    /// id to the back; eviction pops the front.
+    done_order: VecDeque<String>,
     /// Simulation metrics merged across completed jobs.
     sim_metrics: MetricsSnapshot,
     submitted: u64,
     completed: u64,
     failed: u64,
     cache_hits: u64,
+    report_cache_hits: u64,
     rejected_backpressure: u64,
     rejected_invalid: u64,
     running: u64,
@@ -184,6 +216,11 @@ pub struct MetricsResponse {
     pub jobs_failed: u64,
     /// Submissions answered from the result cache.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` answered by reloading a persisted
+    /// report file (the in-memory entry was evicted or predates this
+    /// process).
+    #[serde(default)]
+    pub report_cache_hits: u64,
     /// Submissions refused with 429 (queue full).
     pub rejected_backpressure: u64,
     /// Submissions refused with 4xx (bad spec or body).
@@ -370,19 +407,33 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let outcome =
             spec.ok_or_else(|| "job vanished from the table".to_string()).and_then(|spec| {
-                spec.to_experiment()
-                    .map_err(|e| e.to_string())
-                    .and_then(|exp| exp.report().map_err(|e| e.to_string()))
+                spec.to_experiment().map_err(|e| e.to_string()).and_then(|exp| {
+                    let exp = match &shared.cfg.stream_cache {
+                        Some(dir) => exp.stream_cache(dir.clone()),
+                        None => exp,
+                    };
+                    exp.report().map_err(|e| e.to_string())
+                })
             });
+        // Persist before publishing, outside the lock: a line visible in
+        // memory is already on disk (or persistence is off/broken).
+        let outcome = outcome.map(|report| {
+            let line = report.to_jsonl_line();
+            if let Some(dir) = &shared.cfg.report_cache {
+                persist_report(dir, shared.cfg.report_cache_max_bytes, &id, &line);
+            }
+            (report, line)
+        });
         let mut state = shared.state.lock().expect("state lock");
         state.running -= 1;
         match outcome {
-            Ok(report) => {
+            Ok((report, line)) => {
                 state.sim_metrics.merge(&report.metrics);
                 state.completed += 1;
                 if let Some(job) = state.jobs.get_mut(&id) {
-                    job.status = JobStatus::Done { line: Arc::new(report.to_jsonl_line()) };
+                    job.status = JobStatus::Done { line: Arc::new(line) };
                 }
+                state.remember_done(&id, shared.cfg.result_cache_entries);
             }
             Err(error) => {
                 state.failed += 1;
@@ -392,6 +443,73 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         }
     }
+}
+
+impl State {
+    /// Marks `id` most recently used and evicts `done` entries beyond the
+    /// cap — never the entry just touched, so a cap of zero still lets
+    /// the submitting client fetch its report.
+    fn remember_done(&mut self, id: &str, cap: usize) {
+        self.done_order.retain(|existing| existing != id);
+        self.done_order.push_back(id.to_string());
+        while self.done_order.len() > cap.max(1) {
+            let Some(evicted) = self.done_order.pop_front() else { break };
+            self.jobs.remove(&evicted);
+        }
+    }
+}
+
+/// Writes `line` to `<dir>/<id>.json` atomically, then evicts
+/// oldest-modified report files until the directory fits the size bound.
+/// Best-effort throughout: persistence failures never fail the job.
+fn persist_report(dir: &std::path::Path, max_bytes: u64, id: &str, line: &str) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    let tmp = dir.join(format!(".{id}.tmp"));
+    if std::fs::write(&tmp, line).is_err() {
+        return;
+    }
+    if std::fs::rename(&tmp, &path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut files: Vec<(std::time::SystemTime, u64, std::path::PathBuf)> = entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .filter_map(|e| {
+            let meta = e.metadata().ok()?;
+            Some((meta.modified().ok()?, meta.len(), e.path()))
+        })
+        .collect();
+    let mut total: u64 = files.iter().map(|(_, size, _)| size).sum();
+    files.sort_by_key(|entry| entry.0);
+    for (_, size, candidate) in files {
+        if total <= max_bytes {
+            break;
+        }
+        if candidate == path {
+            continue; // never evict the report just written
+        }
+        if std::fs::remove_file(&candidate).is_ok() {
+            total = total.saturating_sub(size);
+        }
+    }
+}
+
+/// Loads a previously persisted report line for `id`, verifying it still
+/// parses as a run report (a damaged file is treated as absent).
+fn load_persisted_report(dir: &std::path::Path, id: &str) -> Option<String> {
+    // Ids are hex strings from `JobSpec::job_id`, but guard anyway: the
+    // id becomes a file name.
+    if id.is_empty() || !id.bytes().all(|b| b.is_ascii_alphanumeric()) {
+        return None;
+    }
+    let line = std::fs::read_to_string(dir.join(format!("{id}.json"))).ok()?;
+    alloc_locality::RunReport::parse(&line).ok()?;
+    Some(line)
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
@@ -501,8 +619,26 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
     let mut state = shared.state.lock().expect("state lock");
     if let Some(job) = state.jobs.get(&id) {
         let status = job.status.label().to_string();
+        let done = matches!(job.status, JobStatus::Done { .. });
         state.cache_hits += 1;
+        if done {
+            state.remember_done(&id, shared.cfg.result_cache_entries);
+        }
         return (200, json_body(&SubmitResponse { id, status, cached: true }));
+    }
+    // Not in memory — an earlier life of this server (or an evicted
+    // entry) may have persisted the report.
+    if let Some(line) =
+        shared.cfg.report_cache.as_deref().and_then(|dir| load_persisted_report(dir, &id))
+    {
+        state.cache_hits += 1;
+        state.report_cache_hits += 1;
+        state.jobs.insert(
+            id.clone(),
+            Job { spec: spec.normalized(), status: JobStatus::Done { line: Arc::new(line) } },
+        );
+        state.remember_done(&id, shared.cfg.result_cache_entries);
+        return (200, json_body(&SubmitResponse { id, status: "done".into(), cached: true }));
     }
     if shared.shutdown.load(Ordering::SeqCst) {
         return (
@@ -593,6 +729,7 @@ fn metrics(shared: &Arc<Shared>) -> (u16, String) {
             jobs_completed: state.completed,
             jobs_failed: state.failed,
             cache_hits: state.cache_hits,
+            report_cache_hits: state.report_cache_hits,
             rejected_backpressure: state.rejected_backpressure,
             rejected_invalid: state.rejected_invalid,
             simulation: state.sim_metrics.clone(),

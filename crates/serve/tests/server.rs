@@ -218,3 +218,138 @@ fn healthz_and_metrics_report_progress() {
     assert!(metrics.simulation.histograms.contains_key("alloc.search_len"));
     drop(server);
 }
+
+/// A fresh per-test scratch directory (cleared on entry).
+fn scratch_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-it-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn the_result_cache_evicts_lru_and_recomputes_on_resubmission() {
+    let cfg = ServerConfig { workers: 1, result_cache_entries: 1, ..ServerConfig::default() };
+    let (server, client) = start(cfg);
+
+    let first = quick_spec("make", "BSD");
+    let second = quick_spec("gawk", "BSD");
+    let a = client.submit(&first).unwrap();
+    client.wait_done(&a.id, WAIT).unwrap();
+    let line_a = client.fetch_report(&a.id).unwrap();
+
+    // Finishing the second job evicts the first (cap is one entry).
+    let b = client.submit(&second).unwrap();
+    client.wait_done(&b.id, WAIT).unwrap();
+    let response = client.request("GET", &format!("/jobs/{}/report", a.id), None).unwrap();
+    assert_eq!(response.status, 404, "evicted job must be forgotten");
+
+    // Resubmitting the evicted spec recomputes — same simulation result
+    // (timing spans legitimately differ without a stream cache).
+    let again = client.submit(&first).unwrap();
+    assert!(!again.cached, "evicted spec must be recomputed, not served stale");
+    assert_eq!(again.id, a.id, "content address is stable");
+    client.wait_done(&again.id, WAIT).unwrap();
+    let recomputed = RunReport::parse(&client.fetch_report(&again.id).unwrap()).unwrap();
+    assert_eq!(recomputed.result, RunReport::parse(&line_a).unwrap().result);
+    drop(server);
+}
+
+#[test]
+fn persisted_reports_survive_a_server_restart() {
+    let report_dir = scratch_dir("restart-reports");
+    let stream_dir = scratch_dir("restart-streams");
+    let cfg = || ServerConfig {
+        workers: 1,
+        report_cache: Some(report_dir.clone()),
+        stream_cache: Some(stream_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let spec = quick_spec("ptc", "FirstFit");
+
+    let (server, client) = start(cfg());
+    let submitted = client.submit(&spec).unwrap();
+    client.wait_done(&submitted.id, WAIT).unwrap();
+    let line = client.fetch_report(&submitted.id).unwrap();
+    drop(server);
+
+    assert!(
+        report_dir.join(format!("{}.json", submitted.id)).exists(),
+        "finished report must be persisted"
+    );
+
+    // A brand-new process (fresh in-memory state) answers the duplicate
+    // from disk: 200, cached, same bytes — without re-running anything.
+    let (server, client) = start(cfg());
+    let resubmitted = client.submit(&spec).unwrap();
+    assert!(resubmitted.cached, "restart must answer duplicates from the report cache");
+    assert_eq!(resubmitted.status, "done");
+    assert_eq!(client.fetch_report(&resubmitted.id).unwrap(), line);
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.report_cache_hits, 1);
+    assert_eq!(metrics.jobs_submitted, 0, "nothing was recomputed");
+    drop(server);
+
+    let _ = std::fs::remove_dir_all(&report_dir);
+    let _ = std::fs::remove_dir_all(&stream_dir);
+}
+
+#[test]
+fn the_report_cache_is_size_bounded() {
+    let report_dir = scratch_dir("bounded-reports");
+    // A bound small enough that a single report line overflows it: each
+    // finished job evicts its predecessor.
+    let cfg = ServerConfig {
+        workers: 1,
+        report_cache: Some(report_dir.clone()),
+        report_cache_max_bytes: 64,
+        ..ServerConfig::default()
+    };
+    let (server, client) = start(cfg);
+    let a = client.submit(&quick_spec("make", "BSD")).unwrap();
+    client.wait_done(&a.id, WAIT).unwrap();
+    let b = client.submit(&quick_spec("gawk", "BSD")).unwrap();
+    client.wait_done(&b.id, WAIT).unwrap();
+
+    let files: Vec<_> = std::fs::read_dir(&report_dir)
+        .expect("report dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8 name"))
+        .collect();
+    assert_eq!(files, vec![format!("{}.json", b.id)], "only the newest report survives");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&report_dir);
+}
+
+#[test]
+fn stream_cached_jobs_replay_after_eviction() {
+    // With a stream cache, recomputing an evicted job replays the
+    // captured stream; the served bytes still match the original.
+    let stream_dir = scratch_dir("replay-streams");
+    let cfg = ServerConfig {
+        workers: 1,
+        result_cache_entries: 1,
+        stream_cache: Some(stream_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let (server, client) = start(cfg);
+    let spec = quick_spec("espresso", "FirstFit");
+    let a = client.submit(&spec).unwrap();
+    client.wait_done(&a.id, WAIT).unwrap();
+    let line = client.fetch_report(&a.id).unwrap();
+
+    let b = client.submit(&quick_spec("make", "FirstFit")).unwrap();
+    client.wait_done(&b.id, WAIT).unwrap();
+
+    let again = client.submit(&spec).unwrap();
+    assert!(!again.cached);
+    client.wait_done(&again.id, WAIT).unwrap();
+    let replayed = client.fetch_report(&again.id).unwrap();
+    assert_eq!(replayed, line, "replayed job must serve identical bytes");
+    // A replayed report carries the *populating* run's metrics verbatim
+    // (that is what makes the bytes identical), so the counter to expect
+    // is the original miss, not a hit.
+    let report: RunReport = RunReport::parse(&replayed).expect("served line parses");
+    assert_eq!(report.metrics.counter("stream_cache.miss"), 1);
+    assert_eq!(report.metrics.counter("stream_cache.store"), 1);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&stream_dir);
+}

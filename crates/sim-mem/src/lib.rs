@@ -43,6 +43,8 @@ pub mod addr;
 pub mod cost;
 pub mod ctx;
 pub mod heap;
+pub mod stream;
+pub mod varint;
 
 pub use access::{
     AccessClass, AccessKind, CountingSink, FanoutSink, MemRef, NullSink, RefRun, TraceStats,
@@ -52,6 +54,10 @@ pub use addr::{Address, WORD};
 pub use cost::{InstrCounter, Phase};
 pub use ctx::{MemCtx, BATCH_CAPACITY};
 pub use heap::{HeapImage, OomError};
+pub use stream::{
+    decode_stream, encode_stream, CacheLookup, DecodedStream, Fnv64, StreamCache, StreamError,
+    STREAM_FORMAT_VERSION, STREAM_MAGIC,
+};
 
 /// The trait implemented by every consumer of the simulated reference
 /// stream (cache simulators, paging simulators, statistics collectors).

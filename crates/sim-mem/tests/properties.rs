@@ -266,6 +266,109 @@ proptest! {
         prop_assert_eq!(direct.stats(), expanded.stats());
     }
 
+    /// ALSC encode/decode round-trips any reference stream losslessly:
+    /// the decoded runs expand to exactly the encoded stream (the codec
+    /// may merge adjacent identical runs), and the sidecar comes back
+    /// verbatim.
+    #[test]
+    fn stream_codec_round_trips(
+        raw_runs in proptest::collection::vec(
+            (0u64..1 << 44, 1u32..10_000, 1u32..1 << 16, any::<bool>(), any::<bool>()),
+            0..200,
+        ),
+        sidecar in proptest::collection::vec(any::<u8>(), 0..256),
+        key: u64,
+    ) {
+        let runs: Vec<RefRun> = raw_runs
+            .iter()
+            .map(|&(addr, len, count, meta, write)| {
+                let a = Address::new(addr);
+                let r = match (meta, write) {
+                    (false, false) => MemRef::app_read(a, len),
+                    (false, true) => MemRef::app_write(a, len),
+                    (true, false) => MemRef::meta_read(a, len),
+                    (true, true) => MemRef::meta_write(a, len),
+                };
+                RefRun { r, count }
+            })
+            .collect();
+        let bytes = sim_mem::encode_stream(key, &sidecar, &runs);
+        let decoded = sim_mem::decode_stream(&bytes, key).expect("round trip");
+        prop_assert_eq!(decoded.sidecar, sidecar);
+        prop_assert_eq!(expand(&decoded.runs), expand(&runs));
+    }
+
+    /// Maximal-length runs survive the codec, including merges whose
+    /// combined count exceeds `u32::MAX` and must split into saturated
+    /// records.
+    #[test]
+    fn stream_codec_handles_maximal_runs(
+        counts in proptest::collection::vec(
+            prop_oneof![Just(u32::MAX), Just(u32::MAX - 1), 1u32..1 << 20],
+            1..12,
+        ),
+    ) {
+        let r = MemRef::app_read(Address::new(0x4000), 4);
+        let runs: Vec<RefRun> = counts.iter().map(|&count| RefRun { r, count }).collect();
+        let bytes = sim_mem::encode_stream(1, b"", &runs);
+        let decoded = sim_mem::decode_stream(&bytes, 1).expect("round trip");
+        let want: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        let got: u64 = decoded.runs.iter().map(|run| u64::from(run.count)).sum();
+        prop_assert_eq!(got, want);
+        for run in &decoded.runs {
+            prop_assert_eq!(run.r, r);
+        }
+    }
+
+    /// A batched MemCtx stream — whose runs straddle flush boundaries at
+    /// [`sim_mem::BATCH_CAPACITY`] — round-trips through the codec to
+    /// exactly the raw reference sequence an unbatched context records.
+    #[test]
+    fn stream_codec_round_trips_batched_capture(
+        ops in proptest::collection::vec(
+            (0u64..512, any::<u32>(), 0u8..3),
+            1..80,
+        ),
+    ) {
+        let hot_tail = sim_mem::BATCH_CAPACITY as u32 + 50;
+        let drive = |ctx: &mut MemCtx<'_>| {
+            let p = ctx.sbrk(4096).expect("small");
+            ctx.set_phase(Phase::Malloc);
+            for &(slot, value, op) in &ops {
+                match op {
+                    0 => ctx.store(p + (slot % 1024) * 4, value),
+                    1 => {
+                        ctx.load(p + (slot % 1024) * 4);
+                    }
+                    _ => ctx.app_touch(Address::new(slot * 4), value % 4096 + 1, value % 2 == 0),
+                }
+            }
+            for _ in 0..hot_tail {
+                ctx.store(p, 7);
+            }
+            ctx.flush();
+        };
+
+        let mut heap = HeapImage::new();
+        let mut raw = VecSink::new();
+        let mut instrs = InstrCounter::new();
+        drive(&mut MemCtx::new(&mut heap, &mut raw, &mut instrs));
+
+        let mut heap = HeapImage::new();
+        let mut captured = RunSink::default();
+        let mut instrs_batched = InstrCounter::new();
+        drive(&mut MemCtx::batched(&mut heap, &mut captured, &mut instrs_batched));
+        prop_assert!(captured.flushes >= 2, "hot tail must straddle a flush");
+
+        let bytes = sim_mem::encode_stream(99, b"{}", &captured.runs);
+        let decoded = sim_mem::decode_stream(&bytes, 99).expect("round trip");
+        prop_assert!(
+            decoded.runs.len() <= captured.runs.len(),
+            "codec never expands the run stream"
+        );
+        prop_assert_eq!(expand(&decoded.runs), raw.refs);
+    }
+
     /// Block decomposition covers the byte range exactly once.
     #[test]
     fn block_decomposition_covers(addr in 0u64..1 << 30, size in 1u32..10_000) {

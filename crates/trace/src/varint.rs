@@ -1,120 +1,9 @@
 //! LEB128 variable-length integers and zig-zag signed encoding.
+//!
+//! The implementation lives in [`sim_mem::varint`] so that the stream
+//! cache (`sim_mem::stream`) and this crate's ALTR trace format share
+//! one encoder; this module re-exports it under the historical path.
 
-use std::io::{self, Read, Write};
-
-/// Writes an unsigned LEB128 integer.
-///
-/// # Errors
-///
-/// Propagates I/O errors from the writer.
-pub fn write_u64<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            return w.write_all(&[byte]);
-        }
-        w.write_all(&[byte | 0x80])?;
-    }
-}
-
-/// Reads an unsigned LEB128 integer.
-///
-/// # Errors
-///
-/// Returns `UnexpectedEof` on truncation and `InvalidData` if the
-/// encoding exceeds 64 bits.
-pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8];
-        r.read_exact(&mut byte)?;
-        let b = byte[0];
-        if shift >= 64 || (shift == 63 && b > 1) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflows u64"));
-        }
-        v |= u64::from(b & 0x7f) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
-}
-
-/// Zig-zag encodes a signed integer so small magnitudes stay small.
-pub fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-/// Inverse of [`zigzag`].
-pub fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-/// Writes a zig-zag LEB128 signed integer.
-///
-/// # Errors
-///
-/// Propagates I/O errors from the writer.
-pub fn write_i64<W: Write>(w: &mut W, v: i64) -> io::Result<()> {
-    write_u64(w, zigzag(v))
-}
-
-/// Reads a zig-zag LEB128 signed integer.
-///
-/// # Errors
-///
-/// See [`read_u64`].
-pub fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
-    read_u64(r).map(unzigzag)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unsigned_round_trips() {
-        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
-            let mut buf = Vec::new();
-            write_u64(&mut buf, v).unwrap();
-            assert_eq!(read_u64(&mut &buf[..]).unwrap(), v, "value {v}");
-        }
-    }
-
-    #[test]
-    fn signed_round_trips() {
-        for v in [0i64, 1, -1, 63, -64, 1 << 40, -(1 << 40), i64::MAX, i64::MIN] {
-            let mut buf = Vec::new();
-            write_i64(&mut buf, v).unwrap();
-            assert_eq!(read_i64(&mut &buf[..]).unwrap(), v, "value {v}");
-        }
-    }
-
-    #[test]
-    fn zigzag_keeps_small_magnitudes_small() {
-        assert_eq!(zigzag(0), 0);
-        assert_eq!(zigzag(-1), 1);
-        assert_eq!(zigzag(1), 2);
-        assert_eq!(zigzag(-2), 3);
-        assert_eq!(unzigzag(zigzag(-123456)), -123456);
-    }
-
-    #[test]
-    fn truncation_is_an_error() {
-        let mut buf = Vec::new();
-        write_u64(&mut buf, 1 << 30).unwrap();
-        buf.pop();
-        assert!(read_u64(&mut &buf[..]).is_err());
-    }
-
-    #[test]
-    fn small_values_take_one_byte() {
-        for v in 0..128u64 {
-            let mut buf = Vec::new();
-            write_u64(&mut buf, v).unwrap();
-            assert_eq!(buf.len(), 1);
-        }
-    }
-}
+pub use sim_mem::varint::{
+    read_i64, read_u64, take_i64, take_u64, unzigzag, write_i64, write_u64, zigzag,
+};

@@ -34,6 +34,24 @@ use std::collections::HashMap;
 /// The paper's page size: 4 kilobytes.
 pub const PAGE_SIZE: u64 = 4096;
 
+/// Depth of the MRU top-of-stack segment: page traffic is heavily
+/// skewed toward recently used pages, so a 2 KB move-to-front array
+/// holding the [`MRU_DEPTH`] most recent distinct pages absorbs nearly
+/// every access with pure positional arithmetic — index `i` *is* stack
+/// distance `i + 1` — leaving the HashMap/Fenwick machinery only the
+/// rare deeper hits.
+const MRU_DEPTH: usize = 256;
+
+/// How many of the hottest entries are scanned before consulting the
+/// map: deep scans are only worth it once the map has confirmed the page
+/// is front-resident, but the top handful of entries absorbs the bulk of
+/// all traffic at a cost below a single hash probe.
+const FAST_PROBE: usize = 8;
+
+/// Slot sentinel marking a page as resident in the MRU segment (its
+/// recency is positional, not slot-based, while it lives there).
+const IN_FRONT: usize = usize::MAX;
+
 /// Binary indexed tree over access-time slots.
 #[derive(Debug, Clone, Default)]
 struct Fenwick {
@@ -103,8 +121,17 @@ pub struct StackSim {
     /// (repeats counted straight into `hist[1]`). An observability
     /// counter — it never feeds the fault curve.
     fastpath_refs: u64,
-    /// Fast path: the page of the previous access.
-    last_page: Option<u64>,
+    /// The MRU segment: the [`MRU_DEPTH`] most recently accessed
+    /// distinct pages, most recent first — the literal top of the LRU
+    /// stack, so a hit at index `i` *is* a stack-distance-`i+1` access
+    /// with no HashMap or Fenwick work. Pages in this array carry the
+    /// [`IN_FRONT`] sentinel in `last`; only pages demoted off its end
+    /// hold a real time slot in the tree, which makes every front entry
+    /// more recent than every tree entry by construction (a deep hit's
+    /// distance is `mru_len` + its rank among the tree's live slots).
+    mru_pages: [u64; MRU_DEPTH],
+    /// Occupied prefix of `mru_pages`.
+    mru_len: usize,
     /// Lazily-built suffix sums of `hist` (`suffix[d] = Σ_{i≥d} hist[i]`),
     /// tagged with the access count they were computed at so any further
     /// access invalidates them. `RefCell`, not a plain field: queries
@@ -131,7 +158,8 @@ impl StackSim {
             cold: 0,
             accesses: 0,
             fastpath_refs: 0,
-            last_page: None,
+            mru_pages: [0; MRU_DEPTH],
+            mru_len: 0,
             suffix: std::cell::RefCell::new((0, Vec::new())),
         }
     }
@@ -168,40 +196,87 @@ impl StackSim {
     /// Records an access to a page number directly.
     pub fn access_page(&mut self, page: u64) {
         self.accesses += 1;
-        if self.last_page == Some(page) {
-            // Repeated access: stack distance 1, no tree work needed.
-            self.hist[1] += 1;
-            return;
+        // Probe the hottest few entries without touching the map: most
+        // traffic lands here at a cost below a single hash probe.
+        let probe = self.mru_len.min(FAST_PROBE);
+        for i in 0..probe {
+            if self.mru_pages[i] == page {
+                self.front_hit(i, page);
+                return;
+            }
         }
-        self.last_page = Some(page);
-        if self.now > self.tree.len() {
-            self.compact();
-        }
-        let slot = self.now;
-        self.now += 1;
-        match self.last.insert(page, slot) {
+        match self.last.get(&page).copied() {
             None => {
                 self.cold += 1;
-                self.tree.add(slot, 1);
+                self.last.insert(page, IN_FRONT);
+                self.push_front(page);
             }
-            Some(prev) => {
-                // Distinct pages touched since this page's last access,
-                // plus the page itself.
-                let d = (self.tree.range(prev + 1, slot - 1) + 1) as usize;
+            Some(IN_FRONT) => {
+                // The map confirms the page sits somewhere in the MRU
+                // segment; now a deep scan is worth its cost.
+                let i = probe
+                    + self.mru_pages[probe..self.mru_len]
+                        .iter()
+                        .position(|&p| p == page)
+                        .expect("front-resident page is in the MRU segment");
+                self.front_hit(i, page);
+            }
+            Some(slot) => {
+                // Deep hit: every front entry is more recent, as is
+                // every live tree slot above this one, and the page
+                // itself completes the distance.
+                let deeper = self.tree.range(slot + 1, self.now - 1) as usize;
+                let d = self.mru_len + deeper + 1;
                 if self.hist.len() <= d {
                     self.hist.resize(d + 1, 0);
                 }
                 self.hist[d] += 1;
-                self.tree.add(prev, -1);
-                self.tree.add(slot, 1);
+                self.tree.add(slot, -1);
+                self.last.insert(page, IN_FRONT);
+                self.push_front(page);
             }
         }
     }
 
+    /// Records a hit at MRU index `i` (stack distance `i + 1`) and moves
+    /// the entry to the front.
+    #[inline]
+    fn front_hit(&mut self, i: usize, page: u64) {
+        let d = i + 1;
+        if self.hist.len() <= d {
+            self.hist.resize(d + 1, 0);
+        }
+        self.hist[d] += 1;
+        self.mru_pages.copy_within(0..i, 1);
+        self.mru_pages[0] = page;
+    }
+
+    /// Inserts `page` at the front of the MRU segment, demoting the
+    /// least-recent entry into the overflow tree (with a fresh time
+    /// slot, above every live slot) when the segment is full.
+    fn push_front(&mut self, page: u64) {
+        if self.mru_len == MRU_DEPTH {
+            let evicted = self.mru_pages[MRU_DEPTH - 1];
+            if self.now > self.tree.len() {
+                self.compact();
+            }
+            let slot = self.now;
+            self.now += 1;
+            self.last.insert(evicted, slot);
+            self.tree.add(slot, 1);
+            self.mru_len -= 1;
+        }
+        self.mru_pages.copy_within(0..self.mru_len, 1);
+        self.mru_pages[0] = page;
+        self.mru_len += 1;
+    }
+
     /// Renumbers time slots 1..=P in LRU order, keeping the tree bounded
-    /// by the number of distinct pages.
+    /// by the number of demoted distinct pages. Front-resident pages
+    /// hold the [`IN_FRONT`] sentinel and have no slot to renumber.
     fn compact(&mut self) {
-        let mut entries: Vec<(u64, usize)> = self.last.iter().map(|(&p, &t)| (p, t)).collect();
+        let mut entries: Vec<(u64, usize)> =
+            self.last.iter().filter(|&(_, &t)| t != IN_FRONT).map(|(&p, &t)| (p, t)).collect();
         entries.sort_by_key(|&(_, t)| t);
         let n = entries.len().max(1);
         self.tree = Fenwick::with_capacity((n * 2).max(1024));
@@ -472,5 +547,200 @@ mod tests {
         let mut s = StackSim::paper();
         s.record(MemRef::app_write(Address::new(0), 4096 * 2));
         assert_eq!(s.distinct_pages(), 2);
+    }
+
+    /// The pre-MRU stack simulator, ported verbatim (its only shortcut
+    /// was a repeat of the immediately preceding page), as the reference
+    /// the MRU fast path is equivalence-tested against.
+    struct ReferenceSim {
+        page_size: u64,
+        page_shift: u32,
+        last: HashMap<u64, usize>,
+        tree: Fenwick,
+        now: usize,
+        hist: Vec<u64>,
+        cold: u64,
+        accesses: u64,
+        last_page: Option<u64>,
+    }
+
+    impl ReferenceSim {
+        fn new(page_size: u64) -> Self {
+            ReferenceSim {
+                page_size,
+                page_shift: page_size.trailing_zeros(),
+                last: HashMap::new(),
+                tree: Fenwick::with_capacity(1024),
+                now: 1,
+                hist: vec![0; 2],
+                cold: 0,
+                accesses: 0,
+                last_page: None,
+            }
+        }
+
+        fn access_addr(&mut self, addr: Address, size: u32) {
+            let first = addr.raw() >> self.page_shift;
+            let last = (addr.raw() + u64::from(size.max(1)) - 1) >> self.page_shift;
+            for page in first..=last {
+                self.access_page(page);
+            }
+        }
+
+        fn access_page(&mut self, page: u64) {
+            self.accesses += 1;
+            if self.last_page == Some(page) {
+                self.hist[1] += 1;
+                return;
+            }
+            self.last_page = Some(page);
+            if self.now > self.tree.len() {
+                self.compact();
+            }
+            let slot = self.now;
+            self.now += 1;
+            match self.last.insert(page, slot) {
+                None => {
+                    self.cold += 1;
+                    self.tree.add(slot, 1);
+                }
+                Some(prev) => {
+                    let d = (self.tree.range(prev + 1, slot - 1) + 1) as usize;
+                    if self.hist.len() <= d {
+                        self.hist.resize(d + 1, 0);
+                    }
+                    self.hist[d] += 1;
+                    self.tree.add(prev, -1);
+                    self.tree.add(slot, 1);
+                }
+            }
+        }
+
+        fn compact(&mut self) {
+            let mut entries: Vec<(u64, usize)> = self.last.iter().map(|(&p, &t)| (p, t)).collect();
+            entries.sort_by_key(|&(_, t)| t);
+            let n = entries.len().max(1);
+            self.tree = Fenwick::with_capacity((n * 2).max(1024));
+            for (rank, (page, _)) in entries.into_iter().enumerate() {
+                self.last.insert(page, rank + 1);
+                self.tree.add(rank + 1, 1);
+            }
+            self.now = n + 1;
+        }
+
+        fn record_runs(&mut self, runs: &[RefRun]) {
+            for run in runs {
+                self.access_addr(run.r.addr, run.r.size);
+                if run.count > 1 {
+                    if run.r.single_block(self.page_size) {
+                        let extra = u64::from(run.count - 1);
+                        self.accesses += extra;
+                        self.hist[1] += extra;
+                    } else {
+                        for _ in 1..run.count {
+                            self.access_addr(run.r.addr, run.r.size);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The reference's fault curve, built exactly as
+        /// [`StackSim::curve`] builds its own (same index range, same
+        /// histogram-length-dependent point count).
+        fn curve(&self) -> FaultCurve {
+            let faults_at = |m: u64| {
+                self.cold
+                    + self
+                        .hist
+                        .iter()
+                        .enumerate()
+                        .skip(1)
+                        .filter(|&(d, _)| d as u64 > m)
+                        .map(|(_, &c)| c)
+                        .sum::<u64>()
+            };
+            let max = self.hist.len() as u64;
+            let points = (0..=max).map(|m| (m, faults_at(m))).collect();
+            FaultCurve { page_size: self.page_size, accesses: self.accesses, points }
+        }
+    }
+
+    /// A skewed page-reference stream: mostly a few hot pages (exercising
+    /// MRU hits at every depth), salted with cold sweeps (evictions),
+    /// revisits of mid-aged pages (slow-path hits over stale state), and
+    /// multi-page references.
+    fn skewed_refs(n: usize, seed: u64) -> Vec<MemRef> {
+        let mut x = seed;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        let mut refs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = step();
+            let page = match r % 100 {
+                0..=59 => r % 4,           // hot: top of stack
+                60..=84 => 10 + r % 12,    // warm: straddles MRU_DEPTH
+                85..=94 => 100 + r % 400,  // cool: mostly evicted
+                _ => 10_000 + r % 100_000, // cold sweep
+            };
+            let size = match r % 17 {
+                0 => 4096 * 2,
+                1 => 5000,
+                _ => 4,
+            };
+            refs.push(MemRef::app_read(Address::new(page * 4096 + (r % 7) * 4), size as u32));
+        }
+        refs
+    }
+
+    #[test]
+    fn mru_fast_path_is_bit_identical_to_the_reference() {
+        for seed in [1u64, 42, 977, 31337] {
+            let refs = skewed_refs(20_000, seed);
+            let mut fast = StackSim::paper();
+            let mut reference = ReferenceSim::new(PAGE_SIZE);
+            for &r in &refs {
+                fast.access_addr(r.addr, r.size);
+                reference.access_addr(r.addr, r.size);
+            }
+            assert_eq!(fast.accesses(), reference.accesses, "seed {seed}");
+            assert_eq!(fast.distinct_pages(), reference.last.len() as u64, "seed {seed}");
+            assert_eq!(fast.curve(), reference.curve(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mru_fast_path_is_bit_identical_under_run_delivery() {
+        use sim_mem::AccessSink;
+        for seed in [7u64, 555] {
+            // Chop the stream into runs with repeat counts, including
+            // repeated multi-page references (which bypass the run fast
+            // path) and repeated single-page ones (which use it).
+            let refs = skewed_refs(6_000, seed);
+            let mut x = seed ^ 0xabcdef;
+            let runs: Vec<RefRun> = refs
+                .iter()
+                .map(|&r| {
+                    x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    RefRun { r, count: 1 + (x % 9) as u32 }
+                })
+                .collect();
+            let mut fast = StackSim::paper();
+            let mut reference = ReferenceSim::new(PAGE_SIZE);
+            // Deliver in uneven slices to move the run boundaries around.
+            let mut i = 0;
+            let mut chunk = 1;
+            while i < runs.len() {
+                let end = (i + chunk).min(runs.len());
+                fast.record_runs(&runs[i..end]);
+                reference.record_runs(&runs[i..end]);
+                i = end;
+                chunk = chunk % 37 + 1;
+            }
+            assert_eq!(fast.accesses(), reference.accesses, "seed {seed}");
+            assert_eq!(fast.curve(), reference.curve(), "seed {seed}");
+        }
     }
 }

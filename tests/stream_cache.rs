@@ -1,0 +1,199 @@
+//! The persistent stream cache's contract, end to end:
+//!
+//! 1. **Replay is invisible in the results.** A warm (cache-hit) run
+//!    produces a [`RunResult`] bit-identical to the cold run that
+//!    populated the cache, and the instrumented `RunReport` JSONL line
+//!    is *byte*-identical — in both pipeline modes.
+//! 2. **Damage degrades, it never breaks.** A corrupt or truncated
+//!    cache file demotes the run to cold generation, recorded as
+//!    `stream_cache.invalid`, and the file is rewritten for next time.
+
+use alloc_locality_repro::engine::{AllocChoice, Experiment, PipelineMode, SimOptions};
+use allocators::AllocatorKind;
+use cache_sim::CacheConfig;
+use obs::MemoryRecorder;
+use workloads::{Program, Scale};
+
+/// A fresh per-test cache directory (cleared on entry so reruns and
+/// stale files cannot leak across tests).
+fn cache_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("alsc-it-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &std::path::Path, pipeline: PipelineMode) -> SimOptions {
+    SimOptions {
+        cache_configs: vec![
+            CacheConfig::direct_mapped(16 * 1024, 32),
+            CacheConfig::direct_mapped(64 * 1024, 32),
+        ],
+        paging: true,
+        scale: Scale(0.002),
+        frag_sample_every: 500,
+        pipeline,
+        stream_cache: Some(dir.to_path_buf()),
+        ..SimOptions::default()
+    }
+}
+
+/// The only `.alsc` file in a cache directory.
+fn sole_cache_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("cache dir exists after a populating run")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "alsc"))
+        .collect();
+    assert_eq!(files.len(), 1, "expected exactly one stream file in {}", dir.display());
+    files.pop().expect("nonempty")
+}
+
+#[test]
+fn warm_replay_is_bit_identical_in_both_pipeline_modes() {
+    for (mode, name) in [(PipelineMode::Inline, "inline"), (PipelineMode::Sharded, "sharded")] {
+        let dir = cache_dir(&format!("identity-{name}"));
+        let exp = Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::FirstFit))
+            .options(opts(&dir, mode));
+
+        let cold = exp.report().unwrap_or_else(|e| panic!("{name} cold run: {e}"));
+        assert!(sole_cache_file(&dir).exists());
+        let warm = exp.report().unwrap_or_else(|e| panic!("{name} warm run: {e}"));
+
+        assert_eq!(warm.result, cold.result, "{name}: replayed RunResult diverged");
+        assert_eq!(
+            warm.to_jsonl_line(),
+            cold.to_jsonl_line(),
+            "{name}: replayed report line is not byte-identical"
+        );
+        warm.validate().unwrap_or_else(|e| panic!("{name}: replayed report invalid: {e}"));
+
+        // The uninstrumented entry point replays to the same result too.
+        let plain = exp.run().unwrap_or_else(|e| panic!("{name} plain run: {e}"));
+        assert_eq!(plain, cold.result, "{name}: run() after populate diverged");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn warm_runs_hit_and_cold_runs_miss_in_the_recorder() {
+    let dir = cache_dir("counters");
+    let exp = Experiment::new(Program::Gawk, AllocChoice::Paper(AllocatorKind::Bsd))
+        .options(opts(&dir, PipelineMode::Inline));
+
+    let mut rec = MemoryRecorder::new();
+    exp.run_with_recorder(&mut rec).expect("cold run");
+    assert_eq!(rec.counter("stream_cache.miss"), 1);
+    assert_eq!(rec.counter("stream_cache.store"), 1);
+    assert_eq!(rec.counter("stream_cache.hit"), 0);
+
+    let mut rec = MemoryRecorder::new();
+    exp.run_with_recorder(&mut rec).expect("warm run");
+    assert_eq!(rec.counter("stream_cache.hit"), 1);
+    assert_eq!(rec.counter("stream_cache.miss"), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uninstrumented_replay_ignores_the_sink_fingerprint() {
+    // The sidecar's result-reconstruction fields depend only on the
+    // stream key, so a run with *different sinks* than the populating
+    // run still replays when no byte-reusable metrics are needed.
+    let dir = cache_dir("fingerprint");
+    let populate = Experiment::new(Program::GsSmall, AllocChoice::Paper(AllocatorKind::QuickFit))
+        .options(opts(&dir, PipelineMode::Inline));
+    let cold = populate.run().expect("cold run");
+
+    let mut narrower = opts(&dir, PipelineMode::Inline);
+    narrower.cache_configs = vec![CacheConfig::direct_mapped(16 * 1024, 32)];
+    let warm_exp = Experiment::new(Program::GsSmall, AllocChoice::Paper(AllocatorKind::QuickFit))
+        .options(narrower);
+    let mut rec = MemoryRecorder::new();
+    let warm = warm_exp.run_with_recorder(&mut rec).expect("warm run");
+    assert_eq!(rec.counter("stream_cache.hit"), 1, "different sinks must still replay");
+    assert_eq!(warm.cache.len(), 1);
+    assert_eq!(warm.cache[0], cold.cache[0]);
+    assert_eq!(warm.instrs, cold.instrs);
+    assert_eq!(warm.trace, cold.trace);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_files_fall_back_to_cold_generation() {
+    let dir = cache_dir("corrupt");
+    let exp = Experiment::new(Program::Make, AllocChoice::Paper(AllocatorKind::GnuGxx))
+        .options(opts(&dir, PipelineMode::Inline));
+    let cold = exp.report().expect("populating run");
+
+    // Flip one bit in the middle of the stored stream.
+    let path = sole_cache_file(&dir);
+    let mut bytes = std::fs::read(&path).expect("read stream file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("write damaged file");
+
+    let mut rec = MemoryRecorder::new();
+    let damaged = exp.run_with_recorder(&mut rec).expect("damaged file must not break the run");
+    assert_eq!(rec.counter("stream_cache.invalid"), 1, "damage must be counted");
+    assert_eq!(rec.counter("stream_cache.hit"), 0);
+    assert_eq!(rec.counter("stream_cache.store"), 1, "the file must be rewritten");
+    assert_eq!(damaged, cold.result, "cold fallback must reproduce the result");
+
+    // Truncation likewise.
+    let bytes = std::fs::read(&path).expect("read rewritten file");
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate file");
+    let mut rec = MemoryRecorder::new();
+    let truncated = exp.run_with_recorder(&mut rec).expect("truncated file must not break the run");
+    assert_eq!(rec.counter("stream_cache.invalid"), 1);
+    assert_eq!(truncated, cold.result);
+
+    // The rewrite healed the cache: the next run replays.
+    let mut rec = MemoryRecorder::new();
+    let healed = exp.run_with_recorder(&mut rec).expect("healed run");
+    assert_eq!(rec.counter("stream_cache.hit"), 1);
+    assert_eq!(healed, cold.result);
+    // The replayed report validates and reproduces the result; its
+    // metrics are those of the *repopulating* run (which counted
+    // `stream_cache.invalid` where the first cold run counted a miss),
+    // so only the result is owed byte-identity here.
+    let warm = exp.report().expect("healed instrumented run");
+    warm.validate().expect("healed report validates");
+    assert_eq!(warm.result, cold.result);
+    assert_eq!(warm.metrics.counter("stream_cache.invalid"), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replayed_trace_files_are_byte_identical() {
+    // The tracer is rebuilt on replay and fed the decoded stream; the
+    // ALTR file it writes must match the generated run's byte for byte.
+    let dir = cache_dir("tracefile");
+    let trace_cold = dir.join("cold.altr");
+    let trace_warm = dir.join("warm.altr");
+    std::fs::create_dir_all(&dir).expect("create test dir");
+
+    let mut cold_opts = opts(&dir, PipelineMode::Inline);
+    cold_opts.record_trace = Some(trace_cold.clone());
+    Experiment::new(Program::Ptc, AllocChoice::Paper(AllocatorKind::FirstFit))
+        .options(cold_opts)
+        .run()
+        .expect("cold traced run");
+
+    let mut warm_opts = opts(&dir, PipelineMode::Inline);
+    warm_opts.record_trace = Some(trace_warm.clone());
+    let mut rec = MemoryRecorder::new();
+    Experiment::new(Program::Ptc, AllocChoice::Paper(AllocatorKind::FirstFit))
+        .options(warm_opts)
+        .run_with_recorder(&mut rec)
+        .expect("warm traced run");
+    assert_eq!(rec.counter("stream_cache.hit"), 1, "second traced run must replay");
+
+    let cold_bytes = std::fs::read(&trace_cold).expect("cold trace");
+    let warm_bytes = std::fs::read(&trace_warm).expect("warm trace");
+    assert_eq!(cold_bytes, warm_bytes, "replayed trace file diverged");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
