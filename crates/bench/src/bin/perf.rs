@@ -6,7 +6,22 @@
 //!      [--obs-out FILE]
 //! perf --replay [--scale F] [--repeat N] [--replay-out FILE]
 //!      [--replay-cache DIR]
+//! perf --sinks [--scale F] [--repeat N] [--min-speedup F]
+//!      [--gate-retries N] [--sinks-out FILE]
 //! ```
+//!
+//! With `--sinks`, the harness measures the data-parallel sink engine
+//! (`BENCH_sinks.json`): one run-compressed reference stream is
+//! captured once, then replayed into each sink type alone — the
+//! struct-of-arrays [`SweepCache`], the per-cache [`CacheBank`], a
+//! single direct-mapped [`Cache`], and the stack-distance
+//! [`StackSim`] pager — against its pre-restructure counterpart: the
+//! verbatim [`ReferenceSweepCache`] port for the sweep lane, and an
+//! [`OldRunDelivery`] wrapper (which expands every repeated
+//! multi-block run back into per-reference calls, the old scalar
+//! fallback) for the others. Every lane must be bit-identical across
+//! the two deliveries, and the sweep lane's speedup must clear
+//! `--min-speedup`; either failure exits non-zero.
 //!
 //! With `--replay`, the harness measures the persistent stream cache
 //! (`BENCH_replay.json`): every cell of the paper's 5×5 matrix runs once
@@ -56,10 +71,12 @@ use alloc_locality::{
     default_threads, AllocChoice, Experiment, PipelineMode, RunResult, SimOptions,
 };
 use allocators::AllocatorKind;
-use cache_sim::{CacheBank, CacheConfig, SweepCache};
+use cache_sim::reference::ReferenceSweepCache;
+use cache_sim::{Cache, CacheBank, CacheConfig, SweepCache};
 use obs::NullRecorder;
 use serde::Serialize;
-use sim_mem::{AccessSink, CountingSink, RefRun};
+use sim_mem::{AccessSink, CountingSink, MemRef, RefRun};
+use vm_sim::StackSim;
 use workloads::{Program, Scale};
 
 /// One timed mode (or lone sink) of the harness.
@@ -175,12 +192,50 @@ struct ReplayReport {
     identical_results: bool,
 }
 
+/// One sink type timed under the current run-aware delivery and under
+/// the pre-restructure delivery.
+#[derive(Debug, Clone, Serialize)]
+struct SinkLane {
+    /// Which sink ran: "sweep", "bank", "cache-16K", or "pager".
+    sink: String,
+    /// The restructured sink replaying the captured stream.
+    current: Timing,
+    /// The pre-restructure counterpart: [`ReferenceSweepCache`] for the
+    /// sweep lane, [`OldRunDelivery`] around the same sink otherwise.
+    reference: Timing,
+    /// `reference.secs / current.secs`.
+    speedup: f64,
+    /// Whether both deliveries produced bit-identical statistics.
+    identical_results: bool,
+}
+
+/// The sink harness's JSON report (`BENCH_sinks.json`).
+#[derive(Debug, Clone, Serialize)]
+struct SinksReport {
+    program: String,
+    allocator: String,
+    scale: f64,
+    repeats: u32,
+    /// Run-compressed entries in the captured stream.
+    stream_runs: u64,
+    /// Word-granular data references the stream expands to.
+    data_refs: u64,
+    /// The cache configurations the sweep and bank lanes simulated.
+    cache_configs: Vec<String>,
+    lanes: Vec<SinkLane>,
+    /// The sweep lane's speedup (what `--min-speedup` gates).
+    sweep_speedup: f64,
+    /// True iff every lane was bit-identical across deliveries.
+    identical_results: bool,
+}
+
 struct Args {
     scale: f64,
     repeat: u32,
     matrix: bool,
     obs: bool,
     replay: bool,
+    sinks: bool,
     max_overhead: f64,
     gate_retries: u32,
     out: PathBuf,
@@ -188,6 +243,7 @@ struct Args {
     obs_out: PathBuf,
     replay_out: PathBuf,
     replay_cache: PathBuf,
+    sinks_out: PathBuf,
     min_speedup: f64,
 }
 
@@ -204,6 +260,8 @@ fn parse_args() -> Result<Args, String> {
     let mut obs_out = PathBuf::from("BENCH_obs.json");
     let mut replay_out = PathBuf::from("BENCH_replay.json");
     let mut replay_cache = PathBuf::from("artifacts/stream-cache/perf-replay");
+    let mut sinks = false;
+    let mut sinks_out = PathBuf::from("BENCH_sinks.json");
     let mut min_speedup = 0.0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -230,6 +288,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--replay-cache" => {
                 replay_cache = PathBuf::from(args.next().ok_or("--replay-cache needs a path")?);
+            }
+            "--sinks" => sinks = true,
+            "--sinks-out" => {
+                sinks_out = PathBuf::from(args.next().ok_or("--sinks-out needs a path")?);
             }
             "--min-speedup" => {
                 let v = args.next().ok_or("--min-speedup needs a value")?;
@@ -265,6 +327,8 @@ fn parse_args() -> Result<Args, String> {
                      \x20           [--gate-retries N] [--obs-out FILE]\n\
                      \x20      perf --replay [--scale F] [--repeat N] [--replay-out FILE]\n\
                      \x20           [--replay-cache DIR] [--min-speedup F]\n\
+                     \x20      perf --sinks [--scale F] [--repeat N] [--min-speedup F]\n\
+                     \x20           [--gate-retries N] [--sinks-out FILE]\n\
                      --matrix measures all five paper programs x (FirstFit, BSD, QuickFit)\n\
                      in the bank-vs-sweep comparison instead of espresso/FirstFit alone\n\
                      --obs measures recorder overhead (none vs null vs in-memory) and fails\n\
@@ -274,7 +338,12 @@ fn parse_args() -> Result<Args, String> {
                      --replay times the full 5x5 matrix cold (populating a fresh stream\n\
                      cache) and then warm (replaying it), and fails if any warm cell's\n\
                      result diverges from its cold run or the aggregate speedup falls\n\
-                     below --min-speedup (default 0: identity check only)"
+                     below --min-speedup (default 0: identity check only)\n\
+                     --sinks replays one captured stream into each sink type alone\n\
+                     (sweep, bank, single cache, pager) against its pre-restructure\n\
+                     delivery, and fails if any lane's statistics diverge or the sweep\n\
+                     lane's speedup falls below --min-speedup (re-measured up to\n\
+                     --gate-retries extra times first)"
                         .into(),
                 );
             }
@@ -287,6 +356,7 @@ fn parse_args() -> Result<Args, String> {
         matrix,
         obs,
         replay,
+        sinks,
         max_overhead,
         gate_retries,
         out,
@@ -294,6 +364,7 @@ fn parse_args() -> Result<Args, String> {
         obs_out,
         replay_out,
         replay_cache,
+        sinks_out,
         min_speedup,
     })
 }
@@ -621,6 +692,194 @@ fn replay_report(args: &Args) -> Result<ReplayReport, String> {
     })
 }
 
+/// Run delivery as it was before the run-aware multi-block fast paths:
+/// a repeated reference spanning more than one block is expanded back
+/// into `count` scalar [`AccessSink::record`] calls, while single-block
+/// runs (whose O(1) repeat arithmetic predates this PR) still flow
+/// through [`AccessSink::record_runs`].
+///
+/// Wrapping a current sink in this reproduces the old cost model
+/// exactly — the wrapped sink's span fast path never fires because it
+/// only ever sees runs it would have absorbed before — which makes it
+/// the timing *and* bit-identity baseline for every lane that has no
+/// verbatim reference port.
+struct OldRunDelivery<S> {
+    sink: S,
+    /// The wrapped sink's block (or page) size, for the single-block
+    /// test the old gate used.
+    block: u64,
+}
+
+impl<S: AccessSink> AccessSink for OldRunDelivery<S> {
+    fn record(&mut self, r: MemRef) {
+        self.sink.record(r);
+    }
+
+    fn record_runs(&mut self, runs: &[RefRun]) {
+        for run in runs {
+            if run.count > 1 && !run.r.single_block(self.block) {
+                for _ in 0..run.count {
+                    self.sink.record(run.r);
+                }
+            } else {
+                self.sink.record_runs(std::slice::from_ref(run));
+            }
+        }
+    }
+}
+
+/// Times one sink lane: the current sink against its pre-restructure
+/// delivery, both replaying the same captured stream, with the finished
+/// statistics compared for bit-identity.
+///
+/// The repeats are interleaved — current, reference, current, reference
+/// — so slow drift in the machine's load lands on both sides of the
+/// speedup instead of whichever happened to be measured second.
+fn sink_lane<S, R, O, Q>(
+    label: &str,
+    repeat: u32,
+    runs: &[RefRun],
+    refs: u64,
+    current: (impl Fn() -> S, impl Fn(S) -> R),
+    reference: (impl Fn() -> O, impl Fn(O) -> Q),
+    same: impl Fn(&R, &Q) -> bool,
+) -> SinkLane
+where
+    S: AccessSink,
+    O: AccessSink,
+{
+    let (mut cur_secs, mut ref_secs) = (f64::INFINITY, f64::INFINITY);
+    let (mut cur_result, mut ref_result) = (None, None);
+    for _ in 0..repeat {
+        let (r, secs) = time_component(1, runs, &current.0, &current.1);
+        cur_secs = cur_secs.min(secs);
+        cur_result = Some(r);
+        let (r, secs) = time_component(1, runs, &reference.0, &reference.1);
+        ref_secs = ref_secs.min(secs);
+        ref_result = Some(r);
+    }
+    let (cur_result, ref_result) =
+        (cur_result.expect("repeat >= 1"), ref_result.expect("repeat >= 1"));
+    let identical = same(&cur_result, &ref_result);
+    let speedup = ref_secs / cur_secs.max(1e-9);
+    eprintln!(
+        "  {label:<10} current {cur_secs:.3}s  reference {ref_secs:.3}s  {speedup:.2}x  \
+         (identical: {identical})"
+    );
+    if !identical {
+        eprintln!("WARNING: {label} diverged from its pre-restructure delivery");
+    }
+    SinkLane {
+        sink: label.to_string(),
+        current: timing("current", cur_secs, refs),
+        reference: timing("reference", ref_secs, refs),
+        speedup,
+        identical_results: identical,
+    }
+}
+
+/// The isolated sink report: one captured espresso/FirstFit stream
+/// replayed into each sink type alone, current vs. pre-restructure
+/// delivery (`BENCH_sinks.json`).
+fn sinks_report(args: &Args) -> Result<SinksReport, String> {
+    let configs = CacheConfig::paper_sweep();
+    let single = CacheConfig::direct_mapped(16 * 1024, 32);
+
+    eprintln!(
+        "# sinks perf: current vs pre-restructure delivery, scale {}, best of {}",
+        args.scale, args.repeat
+    );
+
+    // No sinks attached: the capture drive only collects the stream.
+    let opts = SimOptions { cache_configs: vec![], paging: false, ..SimOptions::default() };
+    let exp = experiment(args.scale, opts);
+    let runs = exp.capture_runs().map_err(|e| e.to_string())?;
+    let mut counter = CountingSink::new();
+    counter.record_runs(&runs);
+    let refs = counter.stats().total_words();
+
+    let block = u64::from(single.block);
+    let page = vm_sim::PAGE_SIZE;
+    let lanes = vec![
+        // The sweep lane has a verbatim port of the old implementation,
+        // so it measures the SoA restructure itself, not just delivery.
+        sink_lane(
+            "sweep",
+            args.repeat,
+            &runs,
+            refs,
+            (
+                || SweepCache::try_new(configs.iter().copied()).expect("paper sweep is sweepable"),
+                |sweep: SweepCache| sweep.results(),
+            ),
+            (
+                || {
+                    ReferenceSweepCache::try_new(configs.iter().copied())
+                        .expect("paper sweep is sweepable")
+                },
+                |sweep: ReferenceSweepCache| sweep.results(),
+            ),
+            |a, b| a == b,
+        ),
+        sink_lane(
+            "bank",
+            args.repeat,
+            &runs,
+            refs,
+            (|| CacheBank::new(configs.iter().copied()), |bank: CacheBank| bank.results()),
+            (
+                || OldRunDelivery { sink: CacheBank::new(configs.iter().copied()), block },
+                |old: OldRunDelivery<CacheBank>| old.sink.results(),
+            ),
+            |a, b| a == b,
+        ),
+        sink_lane(
+            "cache-16K",
+            args.repeat,
+            &runs,
+            refs,
+            (|| Cache::new(single), |cache: Cache| *cache.stats()),
+            (
+                || OldRunDelivery { sink: Cache::new(single), block },
+                |old: OldRunDelivery<Cache>| *old.sink.stats(),
+            ),
+            |a, b| a == b,
+        ),
+        sink_lane(
+            "pager",
+            args.repeat,
+            &runs,
+            refs,
+            (
+                || StackSim::paper(),
+                |sim: StackSim| (sim.curve(), sim.accesses(), sim.distinct_pages()),
+            ),
+            (
+                || OldRunDelivery { sink: StackSim::paper(), block: page },
+                |old: OldRunDelivery<StackSim>| {
+                    (old.sink.curve(), old.sink.accesses(), old.sink.distinct_pages())
+                },
+            ),
+            |a, b| a == b,
+        ),
+    ];
+
+    let sweep_speedup = lanes[0].speedup;
+    let identical_results = lanes.iter().all(|lane| lane.identical_results);
+    Ok(SinksReport {
+        program: Program::Espresso.label().to_string(),
+        allocator: AllocatorKind::FirstFit.label().to_string(),
+        scale: args.scale,
+        repeats: args.repeat,
+        stream_runs: runs.len() as u64,
+        data_refs: refs,
+        cache_configs: configs.iter().map(|c| c.to_string()).collect(),
+        lanes,
+        sweep_speedup,
+        identical_results,
+    })
+}
+
 /// The observability overhead report (`BENCH_obs.json`).
 #[derive(Debug, Clone, Serialize)]
 struct ObsReport {
@@ -753,6 +1012,42 @@ fn run() -> Result<(), String> {
                 report.noop_overhead * 100.0,
                 args.max_overhead * 100.0,
                 attempt
+            ));
+        }
+        unreachable!("the attempt loop always returns");
+    }
+
+    if args.sinks {
+        // Like the obs overhead gate, the speedup gate compares short
+        // wall-clock timings, so `--gate-retries` re-measures before
+        // declaring a failure; a bit-identity divergence is a bug, not
+        // noise, and is never retried.
+        for attempt in 1..=args.gate_retries + 1 {
+            let report = sinks_report(&args)?;
+            eprintln!(
+                "sinks sweep speedup: {:.2}x (identical results: {})",
+                report.sweep_speedup, report.identical_results
+            );
+            write_json(&args.sinks_out, &report)?;
+            if !report.identical_results {
+                return Err("a sink lane diverged from its pre-restructure delivery".into());
+            }
+            if report.sweep_speedup >= args.min_speedup {
+                return Ok(());
+            }
+            if attempt <= args.gate_retries {
+                eprintln!(
+                    "sweep speedup {:.2}x below the {:.2}x gate; re-measuring (attempt {} of {})",
+                    report.sweep_speedup,
+                    args.min_speedup,
+                    attempt + 1,
+                    args.gate_retries + 1
+                );
+                continue;
+            }
+            return Err(format!(
+                "sweep lane speedup {:.2}x is below the {:.2}x gate after {} attempt(s)",
+                report.sweep_speedup, args.min_speedup, attempt
             ));
         }
         unreachable!("the attempt loop always returns");

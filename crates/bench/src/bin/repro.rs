@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--scale F] [--threads N] [--json DIR] [--metrics FILE]
-//!       [--stream-cache DIR] [--verbose] [TARGET ...]
+//!       [--stream-cache DIR] [--stream-cache-bytes N]
+//!       [--channel-depth N] [--verbose] [TARGET ...]
 //!
 //! TARGETS: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          table1 table2 table3 table4 table5 table6 all
@@ -60,6 +61,8 @@ struct Args {
     scale: f64,
     threads: usize,
     stream_cache: Option<PathBuf>,
+    stream_cache_bytes: Option<u64>,
+    channel_depth: Option<usize>,
     json_dir: Option<PathBuf>,
     metrics: Option<PathBuf>,
     verbose: bool,
@@ -72,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
     let mut json_dir = None;
     let mut metrics = None;
     let mut stream_cache = None;
+    let mut stream_cache_bytes = None;
+    let mut channel_depth = None;
     let mut verbose = false;
     let mut targets = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -102,6 +107,20 @@ fn parse_args() -> Result<Args, String> {
                 stream_cache =
                     Some(PathBuf::from(args.next().ok_or("--stream-cache needs a directory")?));
             }
+            "--stream-cache-bytes" => {
+                let v = args.next().ok_or("--stream-cache-bytes needs a byte count")?;
+                let bytes: u64 =
+                    v.parse().map_err(|e| format!("bad stream cache bound {v}: {e}"))?;
+                stream_cache_bytes = Some(bytes);
+            }
+            "--channel-depth" => {
+                let v = args.next().ok_or("--channel-depth needs a value")?;
+                let depth: usize = v.parse().map_err(|e| format!("bad channel depth {v}: {e}"))?;
+                if depth == 0 {
+                    return Err("channel depth must be at least 1".into());
+                }
+                channel_depth = Some(depth);
+            }
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 return Err(format!(
@@ -110,6 +129,8 @@ fn parse_args() -> Result<Args, String> {
                      --threads 0 (or omitted) auto-detects from available_parallelism\n\
                      --metrics FILE writes one instrumented RunReport per 5x5 cell as JSONL\n\
                      --stream-cache DIR replays captured reference streams across invocations\n\
+                     --stream-cache-bytes N bounds the stream cache, evicting oldest-written\n\
+                     --channel-depth N sets the sharded pipeline's per-worker queue (default 8)\n\
                      --verbose narrates sweep progress per completed cell\n\
                      targets: {} all",
                     ALL_TARGETS.join(" ")
@@ -126,16 +147,29 @@ fn parse_args() -> Result<Args, String> {
         targets.extend(ALL_TARGETS.iter().map(|s| s.to_string()));
     }
     targets.dedup();
-    Ok(Args { scale, threads, stream_cache, json_dir, metrics, verbose, targets })
+    Ok(Args {
+        scale,
+        threads,
+        stream_cache,
+        stream_cache_bytes,
+        channel_depth,
+        json_dir,
+        metrics,
+        verbose,
+        targets,
+    })
 }
 
 /// Runs the paper's 5×5 matrix with the recorder attached and writes one
 /// validated [`RunReport`] per cell as a JSONL line of `path`.
 fn emit_metrics(args: &Args, path: &std::path::Path) -> Result<(), String> {
+    let defaults = SimOptions::default();
     let opts = SimOptions {
         scale: Scale(args.scale),
         stream_cache: args.stream_cache.clone(),
-        ..SimOptions::default()
+        stream_cache_bytes: args.stream_cache_bytes,
+        channel_depth: args.channel_depth.unwrap_or(defaults.channel_depth),
+        ..defaults
     };
     let jobs: Vec<Experiment> = Program::FIVE
         .iter()
@@ -196,7 +230,9 @@ fn run() -> Result<(), String> {
     }
     let mut cache = MatrixCache::with_threads(args.scale, args.threads)
         .verbose(args.verbose)
-        .stream_cache(args.stream_cache.clone());
+        .stream_cache(args.stream_cache.clone())
+        .stream_cache_bytes(args.stream_cache_bytes)
+        .channel_depth(args.channel_depth);
     let k16 = CacheConfig::direct_mapped(16 * 1024, 32);
     let k64 = CacheConfig::direct_mapped(64 * 1024, 32);
     eprintln!(

@@ -23,6 +23,8 @@ pub struct MatrixCache {
     threads: usize,
     verbose: bool,
     stream_cache: Option<std::path::PathBuf>,
+    stream_cache_bytes: Option<u64>,
+    channel_depth: Option<usize>,
 }
 
 impl MatrixCache {
@@ -52,11 +54,28 @@ impl MatrixCache {
         self
     }
 
+    /// Bounds the stream-cache directory's size; oldest-written streams
+    /// are evicted after each store (`repro --stream-cache-bytes`).
+    pub fn stream_cache_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.stream_cache_bytes = max_bytes;
+        self
+    }
+
+    /// Overrides the sharded pipeline's per-worker channel depth
+    /// (`repro --channel-depth`; `None` keeps the engine default).
+    pub fn channel_depth(mut self, depth: Option<usize>) -> Self {
+        self.channel_depth = depth;
+        self
+    }
+
     fn opts(&self) -> SimOptions {
+        let defaults = SimOptions::default();
         SimOptions {
             scale: Scale(self.scale),
             stream_cache: self.stream_cache.clone(),
-            ..SimOptions::default()
+            stream_cache_bytes: self.stream_cache_bytes,
+            channel_depth: self.channel_depth.unwrap_or(defaults.channel_depth),
+            ..defaults
         }
     }
 
@@ -169,12 +188,10 @@ impl MatrixCache {
             let opts = SimOptions {
                 cache_configs: vec![CacheConfig::direct_mapped(16 * 1024, 32)],
                 paging: false,
-                scale: Scale(self.scale),
                 victim_entries: Some(8),
                 three_c: true,
                 two_level: true,
-                stream_cache: self.stream_cache.clone(),
-                ..SimOptions::default()
+                ..self.opts()
             };
             let mut choices = AllocChoice::paper_five();
             choices.push(AllocChoice::BestFit);

@@ -68,11 +68,23 @@ impl AccessSink for CacheBank {
         }
     }
 
-    /// Same loop-nest inversion for run-compressed batches; each member
-    /// applies its own run fast path.
+    /// Run-compressed batches keep the members *inner*, per run — the
+    /// opposite nesting from [`CacheBank::record_batch`]. A replayed
+    /// stream can be tens of millions of runs (hundreds of megabytes);
+    /// letting each member consume the whole slice would stream that
+    /// from memory once *per member*, while the members' tag arrays
+    /// together are only a few hundred kilobytes and stay cache-resident
+    /// under any nesting. Reading each run once and applying it to every
+    /// member touches the big operand exactly once, and each member's
+    /// own run fast path still absorbs the repeats. Run-boundary
+    /// placement never affects sink state (the [`AccessSink`] contract),
+    /// so the nesting choice is bit-identical.
     fn record_runs(&mut self, runs: &[RefRun]) {
-        for cache in &mut self.caches {
-            cache.record_runs(runs);
+        for run in runs {
+            let run = std::slice::from_ref(run);
+            for cache in &mut self.caches {
+                cache.record_runs(run);
+            }
         }
     }
 }

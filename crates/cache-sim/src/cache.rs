@@ -252,17 +252,23 @@ impl AccessSink for Cache {
         self.access(r);
     }
 
-    /// Run fast path: repeats of a single-block reference are swallowed
-    /// by the last-block short-circuit in the raw stream — whatever the
-    /// associativity — so after the first occurrence only the word
-    /// counters move. Multi-block repeats re-walk their span in the raw
-    /// stream (the leading blocks are looked up again) and therefore
-    /// fall back to the full access.
+    /// Run fast path: the reference's block span is decomposed once per
+    /// run. When the span fits the cache (`span ≤ lines`), the first
+    /// occurrence's walk leaves every spanned block resident — the span
+    /// places at most `ceil(span / sets) ≤ assoc` blocks in any set, and
+    /// an insertion always evicts an older non-span entry while one
+    /// exists — so every repeat is an all-hit pass that re-touches the
+    /// sets in the identical order, leaving both the MRU ordering and
+    /// every counter exactly where the raw stream would. Only the word
+    /// counters move. Spans wider than the cache fall back to the full
+    /// re-walk per repeat. (`span == 1` is the historical single-block
+    /// case: repeats are swallowed by the last-block short-circuit.)
     fn record_runs(&mut self, runs: &[RefRun]) {
         for run in runs {
             self.access(run.r);
             if run.count > 1 {
-                if run.r.single_block(u64::from(self.config.block)) {
+                let span = run.r.block_span(u64::from(self.config.block));
+                if span <= u64::from(self.config.lines()) {
                     self.fastpath_refs += u64::from(run.count - 1);
                     self.count_words(run.r, u64::from(run.count - 1));
                 } else {

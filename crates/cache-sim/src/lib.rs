@@ -43,6 +43,7 @@ pub mod bank;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod reference;
 pub mod sweep;
 pub mod three_c;
 pub mod victim;

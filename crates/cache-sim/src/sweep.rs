@@ -25,29 +25,74 @@
 //! * the **cold-miss [`BlockSet`]** — a block's first-ever touch misses
 //!   in *every* member (it cannot be resident anywhere before it has
 //!   ever been referenced), so each member's "seen" set would grow
-//!   identically anyway; per touch, the freshness answer is computed
-//!   once and applied to every member that missed;
+//!   identically anyway;
 //! * the **word-granular access counters** — accesses are counted per
 //!   reference, not per block fetched, so every member's totals are
 //!   equal and one shared pair (app/meta) suffices. Only misses differ
 //!   per member.
 //!
+//! # Data-parallel member pass
+//!
+//! The per-block member loop is laid out as a branch-minimized
+//! struct-of-arrays pass. Miss counters live in flat per-member lanes
+//! (one app lane, one meta lane, one cold lane) instead of an
+//! array-of-structs, the lane for the reference's class is selected
+//! *once* per touch by indexing instead of branching per member, and
+//! the hit/miss decision inside the loop is a flag-free compare:
+//!
+//! ```text
+//! miss   = (tag != block) as u64    // no branch
+//! tag    = block                    // unconditional: a hit stores the
+//!                                   // value already there
+//! lane  += miss
+//! any   |= miss
+//! ```
+//!
+//! The freshness query is hoisted *out* of the member loop entirely: a
+//! block's first-ever touch misses in every member, so when the shared
+//! set reports fresh, every cold counter advances by one; and when every
+//! member hit, the block was necessarily inserted on its first touch, so
+//! skipping the query changes nothing.
+//!
+//! Before the member pass runs at all, one compare against the
+//! *smallest* member's tag filters the common case. The suffix-index
+//! structure makes the smallest member a conservative witness for the
+//! whole sweep: the blocks aliasing member `j`'s slot for `block` are
+//! `{b : b ≡ block mod lines_j}`, and since `lines_min` divides
+//! `lines_j`, that set is contained in the blocks aliasing the smallest
+//! member's slot. If the smallest member still holds `block`, no
+//! aliasing block has been touched since `block`'s own last touch (which
+//! stored it into *every* member), so nothing can have evicted it from
+//! any member: a smallest-member hit is a hit everywhere. The touch then
+//! changes no tag, no miss lane, and no freshness state — returning
+//! after the single compare is bit-identical and skips the whole pass on
+//! the hit-dominated steady state.
+//!
+//! # Run-aware multi-block fast path
+//!
+//! [`AccessSink::record_runs`] decomposes each [`RefRun`] into its block
+//! span once. A repeated span of `span = last − first + 1` consecutive
+//! blocks with `span ≤ min_lines` (the smallest member's line count)
+//! maps to `span` *distinct* indices in every member — consecutive block
+//! numbers collide mod `lines` only when the span exceeds `lines`. After
+//! the first occurrence's walk, every spanned block is therefore
+//! resident in every member, so each repeat would be all hits
+//! everywhere: no tag changes, no miss counts, no freshness inserts, and
+//! the last-block short-circuit state ends where it already is. The
+//! repeats collapse to word counting, exactly as the single-block fast
+//! path (which is the `span == 1` case) always did. Spans wider than the
+//! smallest member fall back to the full re-walk.
+//!
 //! The result is bit-identical to a bank of independent [`Cache`]s fed
-//! the same stream, at roughly one cache's cost instead of five.
+//! the same stream, at roughly one cache's cost instead of five — the
+//! pre-restructure implementation is preserved verbatim as
+//! [`crate::reference::ReferenceSweepCache`] and `bench perf --sinks`
+//! verifies the identity while timing both.
 
 use sim_mem::{AccessClass, AccessSink, MemRef, RefRun};
 
 use crate::cache::BlockSet;
 use crate::{CacheConfig, CacheStats};
-
-/// Per-member miss counters — the only statistics that differ between
-/// members of a sweep (see the module docs).
-#[derive(Debug, Clone, Copy, Default)]
-struct MemberMisses {
-    app: u64,
-    meta: u64,
-    cold: u64,
-}
 
 /// Many direct-mapped, common-block-size caches simulated in one walk
 /// over the reference stream.
@@ -80,16 +125,27 @@ pub struct SweepCache {
     offsets: Vec<usize>,
     /// All members' tag arrays, concatenated (`u64::MAX` = invalid).
     tags: Vec<u64>,
-    /// Per member miss counters.
-    misses: Vec<MemberMisses>,
-    /// Shared word-granular access counters (identical for every
-    /// member; see the module docs).
-    app_words: u64,
-    meta_words: u64,
+    /// Per-member miss lanes, struct-of-arrays: the app lane (all
+    /// members, construction order) followed by the meta lane, indexed
+    /// by `class as usize * members + member`.
+    miss_lanes: Vec<u64>,
+    /// Per-member cold-miss lane.
+    miss_cold: Vec<u64>,
+    /// Shared word-granular access counters, indexed by
+    /// `AccessClass as usize` (identical for every member; see the
+    /// module docs).
+    words: [u64; 2],
     /// Every block number ever referenced — shared by all members.
     seen: BlockSet,
     /// The most recently touched block (`u64::MAX` before any access).
     last_block: u64,
+    /// The smallest member's line count: the widest block span whose
+    /// repeats the run fast path may absorb (see the module docs).
+    min_lines: u64,
+    /// Offset of the smallest member's tag array within `tags`: the
+    /// all-members-hit filter probes this member first (see the module
+    /// docs).
+    min_offset: usize,
     /// References absorbed by the run fast path in `record_runs` (repeat
     /// occurrences that advanced only the shared word counters). An
     /// observability counter, deliberately outside the per-member
@@ -116,17 +172,22 @@ impl SweepCache {
             masks.push(u64::from(c.lines()) - 1);
             total += c.lines() as usize;
         }
+        let min_lines = configs.iter().map(|c| u64::from(c.lines())).min()?;
+        let min_idx = masks.iter().position(|&m| m == min_lines - 1).expect("min exists");
+        let min_offset = offsets[min_idx];
         Some(SweepCache {
             block_shift: block.trailing_zeros(),
-            misses: vec![MemberMisses::default(); configs.len()],
+            miss_lanes: vec![0; 2 * configs.len()],
+            miss_cold: vec![0; configs.len()],
             configs,
             masks,
             offsets,
             tags: vec![u64::MAX; total],
-            app_words: 0,
-            meta_words: 0,
+            words: [0; 2],
             seen: BlockSet::new(),
             last_block: u64::MAX,
+            min_lines,
+            min_offset,
             fastpath_refs: 0,
         })
     }
@@ -153,14 +214,16 @@ impl SweepCache {
         self.fastpath_refs
     }
 
+    /// Folds a member's miss lanes into a [`CacheStats`] at reporting
+    /// time — the lanes themselves stay flat counters on the hot path.
     fn member_stats(&self, i: usize) -> CacheStats {
-        let m = self.misses[i];
+        let members = self.configs.len();
         CacheStats {
-            app_accesses: self.app_words,
-            app_misses: m.app,
-            meta_accesses: self.meta_words,
-            meta_misses: m.meta,
-            cold_misses: m.cold,
+            app_accesses: self.words[AccessClass::AppData as usize],
+            app_misses: self.miss_lanes[AccessClass::AppData as usize * members + i],
+            meta_accesses: self.words[AccessClass::AllocatorMeta as usize],
+            meta_misses: self.miss_lanes[AccessClass::AllocatorMeta as usize * members + i],
+            cold_misses: self.miss_cold[i],
         }
     }
 
@@ -171,12 +234,20 @@ impl SweepCache {
     pub fn access(&mut self, r: MemRef) {
         let first = r.addr.raw() >> self.block_shift;
         let last = (r.addr.raw() + u64::from(r.size.max(1)) - 1) >> self.block_shift;
+        self.walk_span(first, last, r.class);
+        self.count_words(r, 1);
+    }
+
+    /// Touches every block in `first..=last` through the shared
+    /// last-block short-circuit.
+    #[inline]
+    fn walk_span(&mut self, first: u64, last: u64, class: AccessClass) {
         if first == last {
             // Nearly every reference is word-sized: one block, one
             // shared short-circuit check.
             if first != self.last_block {
                 self.last_block = first;
-                self.touch_block(first, r.class);
+                self.touch_block(first, class);
             }
         } else {
             for block in first..=last {
@@ -184,42 +255,53 @@ impl SweepCache {
                     continue;
                 }
                 self.last_block = block;
-                self.touch_block(block, r.class);
+                self.touch_block(block, class);
             }
         }
-        self.count_words(r, 1);
     }
 
     /// Advances the shared word-granular access counters by `n`
     /// occurrences of `r`, without touching tags.
     #[inline]
     fn count_words(&mut self, r: MemRef, n: u64) {
-        let words = r.words() * n;
-        match r.class {
-            AccessClass::AppData => self.app_words += words,
-            AccessClass::AllocatorMeta => self.meta_words += words,
-        }
+        self.words[r.class as usize] += r.words() * n;
     }
 
-    /// Brings `block` into every member, counting misses per member and
-    /// classifying cold misses against the shared membership set.
+    /// Brings `block` into every member: the branch-minimized
+    /// struct-of-arrays pass described in the module docs.
+    #[inline]
     fn touch_block(&mut self, block: u64, class: AccessClass) {
-        let SweepCache { offsets, masks, tags, misses, seen, .. } = self;
-        // Freshness is queried at most once per touch: the first member
-        // that misses inserts into the shared set, and the answer is
-        // reused for its siblings (their own sets would have given the
-        // same answer — see the module docs).
-        let mut fresh: Option<bool> = None;
-        for ((&offset, &mask), m) in offsets.iter().zip(masks.iter()).zip(misses.iter_mut()) {
-            let tag = &mut tags[offset + (block & mask) as usize];
-            if *tag != block {
-                *tag = block;
-                let was_fresh = *fresh.get_or_insert_with(|| seen.insert(block));
-                match class {
-                    AccessClass::AppData => m.app += 1,
-                    AccessClass::AllocatorMeta => m.meta += 1,
-                }
-                m.cold += u64::from(was_fresh);
+        // Smallest-member filter: a hit here is provably a hit in every
+        // member (see the module docs), and an all-hit touch changes no
+        // state at all.
+        if self.tags[self.min_offset + (block & (self.min_lines - 1)) as usize] == block {
+            return;
+        }
+        let SweepCache { offsets, masks, tags, miss_lanes, miss_cold, seen, .. } = self;
+        let members = offsets.len();
+        // One indexed lane selection per touch instead of a class
+        // branch per missing member.
+        let base = class as usize * members;
+        let lane = &mut miss_lanes[base..base + members];
+        let mut any = 0u64;
+        for ((&offset, &mask), m) in offsets.iter().zip(masks.iter()).zip(lane.iter_mut()) {
+            let slot = offset + (block & mask) as usize;
+            // Flag-free hit/miss: the store is unconditional (a hit
+            // rewrites the value already there) and the miss feeds the
+            // lane as an integer.
+            let miss = u64::from(tags[slot] != block);
+            tags[slot] = block;
+            *m += miss;
+            any |= miss;
+        }
+        // Freshness hoisted out of the member loop. If every member hit,
+        // the block was inserted on its first-ever touch (which missed
+        // everywhere), so skipping the query is state-identical; if the
+        // query reports fresh, that first-ever touch is happening now
+        // and every member's miss was cold.
+        if any != 0 && seen.insert(block) {
+            for cold in miss_cold.iter_mut() {
+                *cold += 1;
             }
         }
     }
@@ -236,31 +318,46 @@ impl AccessSink for SweepCache {
         }
     }
 
-    /// Run fast path: after the first occurrence of a single-block
-    /// reference, every repeat would be swallowed by the shared
-    /// last-block short-circuit — only the shared word counters move.
-    /// Repeats of multi-block references fall back to the full walk
-    /// (their leading blocks are re-looked-up in the raw stream too).
+    /// Run fast path: the block span is decomposed once per run. After
+    /// the first occurrence's walk, a span no wider than the smallest
+    /// member leaves every spanned block resident in every member, so
+    /// each repeat would be all hits — only the shared word counters
+    /// move (see the module docs). Wider spans fall back to the full
+    /// re-walk per repeat.
     fn record_runs(&mut self, runs: &[RefRun]) {
+        let shift = self.block_shift;
+        let min_lines = self.min_lines;
+        // Word and fast-path counters accumulate in locals across the
+        // whole slice and fold into the struct at flush.
+        let mut words = [0u64; 2];
+        let mut fastpath = 0u64;
         for run in runs {
-            self.access(run.r);
+            let r = run.r;
+            let first = r.addr.raw() >> shift;
+            let last = (r.addr.raw() + u64::from(r.size.max(1)) - 1) >> shift;
+            self.walk_span(first, last, r.class);
+            let n = u64::from(run.count);
+            words[r.class as usize] += r.words() * n;
             if run.count > 1 {
-                if run.r.single_block(1 << self.block_shift) {
-                    self.fastpath_refs += u64::from(run.count - 1);
-                    self.count_words(run.r, u64::from(run.count - 1));
+                if last - first < min_lines {
+                    fastpath += n - 1;
                 } else {
                     for _ in 1..run.count {
-                        self.access(run.r);
+                        self.walk_span(first, last, r.class);
                     }
                 }
             }
         }
+        self.words[0] += words[0];
+        self.words[1] += words[1];
+        self.fastpath_refs += fastpath;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceSweepCache;
     use crate::Cache;
     use sim_mem::Address;
 
@@ -324,9 +421,13 @@ mod tests {
         let runs = [
             RefRun { r: MemRef::app_write(Address::new(100), 4), count: 1000 },
             RefRun { r: MemRef::app_read(Address::new(100), 4), count: 3 },
-            // Multi-block: must take the fallback.
+            // Multi-block, span within the smallest member: absorbed by
+            // the span fast path.
             RefRun { r: MemRef::app_write(Address::new(90), 64), count: 7 },
             RefRun { r: MemRef::meta_read(Address::new(4096), 4), count: 2 },
+            // Span wider than the smallest member (512 lines × 32 B):
+            // must take the re-walk fallback.
+            RefRun { r: MemRef::app_read(Address::new(64), 600 * 32), count: 3 },
         ];
         fast.record_runs(&runs);
         for run in &runs {
@@ -336,6 +437,46 @@ mod tests {
                 }
             }
         }
+        for (i, c) in slow.iter().enumerate() {
+            assert_eq!(fast.results()[i].1, *c.stats(), "member {i} diverged");
+        }
+        // 999 + 2 + 6 + 1 repeats absorbed; the wide span's 2 repeats
+        // are re-walked.
+        assert_eq!(fast.fastpath_refs(), 999 + 2 + 6 + 1);
+    }
+
+    #[test]
+    fn multi_block_spans_absorb_repeats_exactly() {
+        // A span that conflicts *within itself* in the smallest member
+        // would break the fast path's residency argument; the gate
+        // excludes it. Here: spans of every width around the 512-line
+        // boundary of the 16K member, interleaved with conflicting
+        // single blocks, against both the old implementation and a
+        // fresh expansion.
+        let configs = CacheConfig::paper_sweep();
+        let mut fast = paper();
+        let mut old = ReferenceSweepCache::try_new(configs.clone()).unwrap();
+        let mut slow = bank(&configs);
+        let mut runs = Vec::new();
+        for (i, &blocks) in [1u64, 2, 3, 511, 512, 513, 700].iter().enumerate() {
+            let addr = Address::new(i as u64 * 1_000_000 + 17);
+            let size = (blocks * 32) as u32;
+            runs.push(RefRun { r: MemRef::app_read(addr, size), count: 5 });
+            // Conflict with the span's first block in the 16K member.
+            let conflict = Address::new(i as u64 * 1_000_000 + 17 + 512 * 32);
+            runs.push(RefRun { r: MemRef::meta_write(conflict, 4), count: 2 });
+            runs.push(RefRun { r: MemRef::app_read(addr, size), count: 4 });
+        }
+        fast.record_runs(&runs);
+        old.record_runs(&runs);
+        for run in &runs {
+            for _ in 0..run.count {
+                for c in &mut slow {
+                    c.access(run.r);
+                }
+            }
+        }
+        assert_eq!(fast.results(), old.results());
         for (i, c) in slow.iter().enumerate() {
             assert_eq!(fast.results()[i].1, *c.stats(), "member {i} diverged");
         }

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use cache_sim::reference::ReferenceSweepCache;
 use cache_sim::{Cache, CacheBank, CacheConfig, SweepCache, ThreeCAnalyzer, VictimCache};
 use sim_mem::{AccessSink, Address, MemRef, RefRun};
 
@@ -9,26 +10,38 @@ fn refs_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
     proptest::collection::vec((0u64..1_000_000, 1u32..256), 1..500)
 }
 
+fn to_runs(entries: Vec<(u64, u32, u32, u8)>) -> Vec<RefRun> {
+    entries
+        .into_iter()
+        .map(|(addr, len, count, kind)| {
+            let a = Address::new(addr);
+            let r = match kind {
+                0 => MemRef::app_read(a, len),
+                1 => MemRef::app_write(a, len),
+                2 => MemRef::meta_read(a, len),
+                _ => MemRef::meta_write(a, len),
+            };
+            RefRun { r, count }
+        })
+        .collect()
+}
+
 /// Arbitrary run-compressed streams: mixed classes, multi-block spans,
 /// and repeat counts past the short-circuit fast path.
 fn runs_strategy() -> impl Strategy<Value = Vec<RefRun>> {
-    proptest::collection::vec((0u64..100_000, 1u32..300, 1u32..50, 0u8..4), 1..200).prop_map(
-        |entries| {
-            entries
-                .into_iter()
-                .map(|(addr, len, count, kind)| {
-                    let a = Address::new(addr);
-                    let r = match kind {
-                        0 => MemRef::app_read(a, len),
-                        1 => MemRef::app_write(a, len),
-                        2 => MemRef::meta_read(a, len),
-                        _ => MemRef::meta_write(a, len),
-                    };
-                    RefRun { r, count }
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec((0u64..100_000, 1u32..300, 1u32..50, 0u8..4), 1..200)
+        .prop_map(to_runs)
+}
+
+/// Streams dominated by *repeated multi-block* references straddling
+/// block boundaries: every length spans at least two 32-byte blocks,
+/// ranging up to spans wider than the smallest paper-sweep member
+/// (512 lines), and every run repeats — the worst case for the span
+/// fast path's residency argument. Addresses cluster so spans overlap
+/// and conflict across runs.
+fn straddling_runs_strategy() -> impl Strategy<Value = Vec<RefRun>> {
+    proptest::collection::vec((0u64..60_000, 33u32..20_000, 2u32..40, 0u8..4), 1..100)
+        .prop_map(to_runs)
 }
 
 /// Expands a run-compressed stream back into raw references.
@@ -229,6 +242,58 @@ proptest! {
         let mut slow = Cache::new(cfg);
         for r in expand(&runs) {
             slow.access(r);
+        }
+        prop_assert_eq!(fast.stats(), slow.stats());
+    }
+
+    /// The SoA sweep's multi-block span fast path agrees with a
+    /// [`CacheBank`] fed the fully expanded stream *and* with the
+    /// pre-restructure implementation under identical run delivery, on
+    /// streams built almost entirely of repeated block-straddling
+    /// references (spans on both sides of the smallest member's line
+    /// count, so both the absorb and the re-walk arms run).
+    #[test]
+    fn sweep_span_fast_path_matches_bank_and_reference(
+        runs in straddling_runs_strategy(),
+        cut in 0usize..=100,
+    ) {
+        let configs = CacheConfig::paper_sweep();
+        let mut sweep = SweepCache::try_new(configs.clone()).expect("paper sweep is sweepable");
+        let mut old = ReferenceSweepCache::try_new(configs.clone()).expect("sweepable");
+        let split = cut % (runs.len() + 1);
+        sweep.record_runs(&runs[..split]);
+        sweep.record_runs(&runs[split..]);
+        old.record_runs(&runs);
+
+        let mut bank = CacheBank::new(configs.clone());
+        for r in expand(&runs) {
+            bank.record(r);
+        }
+        prop_assert_eq!(sweep.results(), old.results());
+        for (i, &cfg) in configs.iter().enumerate() {
+            prop_assert_eq!(
+                &sweep.results()[i].1,
+                bank.stats_for(cfg).expect("member"),
+                "member {} diverged", i
+            );
+        }
+    }
+
+    /// A single cache's span fast path agrees with per-reference replay
+    /// on repeated block-straddling runs, across associativities — the
+    /// residency argument must hold for LRU sets, not just direct
+    /// mapping, and for spans larger than the whole cache (fallback).
+    #[test]
+    fn cache_span_fast_path_matches_per_ref_replay(
+        runs in straddling_runs_strategy(),
+        assoc in prop_oneof![Just(1u32), Just(2), Just(8)],
+    ) {
+        let cfg = CacheConfig::set_associative(16 * 1024, 32, assoc);
+        let mut fast = Cache::new(cfg);
+        fast.record_runs(&runs);
+        let mut slow = Cache::new(cfg);
+        for r in expand(&runs) {
+            slow.record(r);
         }
         prop_assert_eq!(fast.stats(), slow.stats());
     }

@@ -117,6 +117,17 @@ pub struct SimOptions {
     /// stores its stream for the next time. Results are bit-identical
     /// either way.
     pub stream_cache: Option<std::path::PathBuf>,
+    /// Size bound in bytes for the stream-cache directory. After each
+    /// store, the oldest-written stream files are evicted until the
+    /// directory fits (the entry just written is spared). `None` =
+    /// unbounded, the historical behavior.
+    pub stream_cache_bytes: Option<u64>,
+    /// Batches in flight per sharded-pipeline worker channel before the
+    /// producer blocks (clamped to at least 1). The default keeps the
+    /// historical depth; raising it trades memory for producer slack on
+    /// many-core hosts, and `pipeline.send_stalls` in the run metrics
+    /// shows whether it is the bottleneck.
+    pub channel_depth: usize,
 }
 
 impl Default for SimOptions {
@@ -134,6 +145,8 @@ impl Default for SimOptions {
             frag_sample_every: 0,
             pipeline: PipelineMode::Inline,
             stream_cache: None,
+            stream_cache_bytes: None,
+            channel_depth: BATCH_CHANNEL_DEPTH,
         }
     }
 }
@@ -402,12 +415,13 @@ impl StackWalker {
     }
 }
 
-/// Batches in flight per worker channel before the producer blocks.
+/// Default batches in flight per worker channel before the producer
+/// blocks ([`SimOptions::channel_depth`] overrides it per run).
 ///
 /// A few batches of slack per consumer absorb scheduling jitter; a
 /// deeper queue only grows memory without speeding up a pipeline whose
 /// throughput is set by its slowest consumer.
-const BATCH_CHANNEL_DEPTH: usize = 8;
+pub const BATCH_CHANNEL_DEPTH: usize = 8;
 
 /// One independent consumer of the reference stream.
 ///
@@ -866,6 +880,20 @@ impl Experiment {
         self
     }
 
+    /// Bounds the stream-cache directory's size (see
+    /// [`SimOptions::stream_cache_bytes`]).
+    pub fn stream_cache_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.opts.stream_cache_bytes = max_bytes;
+        self
+    }
+
+    /// Sets the sharded pipeline's per-worker channel depth (see
+    /// [`SimOptions::channel_depth`]).
+    pub fn channel_depth(mut self, depth: usize) -> Self {
+        self.opts.channel_depth = depth;
+        self
+    }
+
     /// Builds the run's sinks in canonical order (see [`SinkShard`]):
     /// caches first — one sweep shard, or per-cache shards in
     /// configuration order — then pager, tracer, victim, three-C,
@@ -1026,8 +1054,9 @@ impl Experiment {
             let mut senders = Vec::with_capacity(workers);
             let mut handles = Vec::with_capacity(workers);
             for mut group in groups {
-                let (tx, rx) =
-                    std::sync::mpsc::sync_channel::<Arc<Vec<RefRun>>>(BATCH_CHANNEL_DEPTH);
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Arc<Vec<RefRun>>>(
+                    self.opts.channel_depth.max(1),
+                );
                 senders.push(tx);
                 handles.push(s.spawn(move || {
                     let mut busy_ns = 0u64;
@@ -1158,7 +1187,8 @@ impl Experiment {
             return Ok(RunOutcome { result, replay_metrics: None });
         };
         let cache =
-            StreamCache::new(self.opts.stream_cache.as_ref().expect("key implies directory"));
+            StreamCache::new(self.opts.stream_cache.as_ref().expect("key implies directory"))
+                .with_max_bytes(self.opts.stream_cache_bytes);
         let lookup_counter = match cache.load(key) {
             CacheLookup::Hit { stream, memoized } => {
                 if memoized {
@@ -1217,7 +1247,7 @@ impl Experiment {
     fn options_fingerprint(&self) -> u64 {
         let o = &self.opts;
         let desc = format!(
-            "{:?}|{:?}|{}|{}|{:?}|{}|{}|{:?}",
+            "{:?}|{:?}|{}|{}|{:?}|{}|{}|{:?}|{}",
             o.cache_configs,
             o.cache_engine,
             o.paging,
@@ -1225,7 +1255,11 @@ impl Experiment {
             o.victim_entries,
             o.three_c,
             o.two_level,
-            o.pipeline
+            o.pipeline,
+            // The channel depth shapes pipeline metrics (send_stalls,
+            // worker_busy), so snapshots taken at one depth must not be
+            // reported for another.
+            o.channel_depth
         );
         fnv1a(desc.as_bytes())
     }

@@ -6,6 +6,7 @@
 //!       [--max-body-bytes N] [--read-timeout-ms N]
 //!       [--result-cache-entries N] [--report-cache DIR]
 //!       [--report-cache-max-bytes N] [--stream-cache DIR]
+//!       [--stream-cache-bytes N]
 //! ```
 
 use serve::{Server, ServerConfig};
@@ -15,7 +16,8 @@ fn usage() -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20            [--max-body-bytes N] [--read-timeout-ms N]\n\
          \x20            [--result-cache-entries N] [--report-cache DIR]\n\
-         \x20            [--report-cache-max-bytes N] [--stream-cache DIR]"
+         \x20            [--report-cache-max-bytes N] [--stream-cache DIR]\n\
+         \x20            [--stream-cache-bytes N]"
     );
     std::process::exit(2);
 }
@@ -55,6 +57,9 @@ fn main() {
             }
             "--stream-cache" => {
                 cfg.stream_cache = Some(parse_flag::<String>(&mut args, "--stream-cache").into());
+            }
+            "--stream-cache-bytes" => {
+                cfg.stream_cache_bytes = Some(parse_flag(&mut args, "--stream-cache-bytes"));
             }
             "--help" | "-h" => usage(),
             other => {

@@ -81,6 +81,12 @@ pub struct ServerConfig {
     /// ([`Experiment::stream_cache`]), so a job whose reference stream was
     /// captured before replays it instead of regenerating the workload.
     pub stream_cache: Option<std::path::PathBuf>,
+    /// Total-size bound on the stream-cache directory; after each store
+    /// the oldest-written streams are evicted (mirrors
+    /// `report_cache_max_bytes`, which already bounds the report cache).
+    /// `None` leaves the stream cache unbounded — a long-lived daemon
+    /// should set it.
+    pub stream_cache_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +101,7 @@ impl Default for ServerConfig {
             report_cache: None,
             report_cache_max_bytes: 8 * 1024 * 1024,
             stream_cache: None,
+            stream_cache_bytes: None,
         }
     }
 }
@@ -409,7 +416,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             spec.ok_or_else(|| "job vanished from the table".to_string()).and_then(|spec| {
                 spec.to_experiment().map_err(|e| e.to_string()).and_then(|exp| {
                     let exp = match &shared.cfg.stream_cache {
-                        Some(dir) => exp.stream_cache(dir.clone()),
+                        Some(dir) => exp
+                            .stream_cache(dir.clone())
+                            .stream_cache_bytes(shared.cfg.stream_cache_bytes),
                         None => exp,
                     };
                     exp.report().map_err(|e| e.to_string())

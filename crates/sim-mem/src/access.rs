@@ -101,6 +101,31 @@ impl MemRef {
         first == last
     }
 
+    /// The first and last `block_size`-aligned block this reference
+    /// touches, as block numbers.
+    #[inline]
+    pub fn block_range(&self, block_size: u64) -> (u64, u64) {
+        debug_assert!(block_size.is_power_of_two());
+        let first = self.addr.raw() / block_size;
+        let last = (self.addr.raw() + u64::from(self.size.max(1)) - 1) / block_size;
+        (first, last)
+    }
+
+    /// How many consecutive `block_size`-aligned blocks this reference
+    /// spans (at least 1).
+    ///
+    /// This is the gate for run-aware multi-block fast paths: the span
+    /// of a run's reference is decomposed once, and when the spanned
+    /// blocks all stay resident in a sink's tracking structure after the
+    /// first occurrence (e.g. the span is no wider than a cache's line
+    /// count, or fits the exact top of an LRU stack), every repeat is a
+    /// predictable all-hit pass the sink may account for in O(1).
+    #[inline]
+    pub fn block_span(&self, block_size: u64) -> u64 {
+        let (first, last) = self.block_range(block_size);
+        last - first + 1
+    }
+
     /// Word-granular size of this reference (one per data word touched,
     /// rounded up; at least one) — the unit access counters advance by.
     #[inline]

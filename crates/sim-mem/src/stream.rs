@@ -439,15 +439,32 @@ fn decode_memo() -> &'static std::sync::Mutex<Option<DecodeMemo>> {
 /// Files are named `<key as 16 hex digits>.alsc`. Stores write to a
 /// temporary sibling and rename into place, so concurrent readers see
 /// either the old file or the complete new one, never a torn write.
+/// The temporary name embeds the process id *and* a process-wide
+/// counter, so concurrent writers — across processes or threads — never
+/// share a scratch file even when racing on the same key.
 #[derive(Debug, Clone)]
 pub struct StreamCache {
     dir: PathBuf,
+    /// Size bound for the directory's stream files; `None` = unbounded.
+    max_bytes: Option<u64>,
 }
 
 impl StreamCache {
-    /// A cache rooted at `dir` (created lazily on first store).
+    /// A cache rooted at `dir` (created lazily on first store), with no
+    /// size bound.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        StreamCache { dir: dir.into() }
+        StreamCache { dir: dir.into(), max_bytes: None }
+    }
+
+    /// Bounds the total size of the cache's stream files. After each
+    /// store, the oldest-written entries are evicted (best-effort) until
+    /// the directory's `.alsc` files fit in `max_bytes` — the same
+    /// write-time-ordered eviction the on-disk report cache uses. The
+    /// just-written entry is never evicted, so a single oversized stream
+    /// still caches; `None` restores unbounded growth.
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.max_bytes = max_bytes;
+        self
     }
 
     /// The directory this cache stores into.
@@ -506,9 +523,14 @@ impl StreamCache {
     /// Returns the underlying I/O error; callers treat a failed store as
     /// a missed optimization, not a failed run.
     pub fn store(&self, key: u64, sidecar: &[u8], runs: &[RefRun]) -> std::io::Result<()> {
+        // Distinct scratch file per writer: two threads of one process
+        // racing on the same key must not interleave writes into a
+        // shared tmp (the pid alone cannot distinguish them).
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
         let bytes = encode_stream(key, sidecar, runs);
-        let tmp = self.dir.join(format!("{key:016x}.alsc.tmp.{}", std::process::id()));
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!("{key:016x}.alsc.tmp.{}.{seq}", std::process::id()));
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(&bytes)?;
         file.sync_all()?;
@@ -516,13 +538,48 @@ impl StreamCache {
         let result = std::fs::rename(&tmp, self.path_for(key));
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);
-        } else if let Ok(mut memo) = decode_memo().lock() {
-            // The file just changed; a memo entry for this key is stale.
-            if memo.as_ref().is_some_and(|entry| entry.key == key) {
-                *memo = None;
+        } else {
+            if let Ok(mut memo) = decode_memo().lock() {
+                // The file just changed; a memo entry for this key is
+                // stale.
+                if memo.as_ref().is_some_and(|entry| entry.key == key) {
+                    *memo = None;
+                }
+            }
+            if let Some(max_bytes) = self.max_bytes {
+                self.evict_to_bound(&self.path_for(key), max_bytes);
             }
         }
         result
+    }
+
+    /// Deletes the oldest-written `.alsc` files until the directory fits
+    /// in `max_bytes`, sparing `keep` (the entry just stored).
+    /// Best-effort throughout: eviction races and I/O errors cost bytes,
+    /// never correctness.
+    fn evict_to_bound(&self, keep: &Path, max_bytes: u64) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
+        let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "alsc"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                Some((meta.modified().ok()?, meta.len(), e.path()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, size, _)| size).sum();
+        files.sort_by_key(|entry| entry.0);
+        for (_, size, candidate) in files {
+            if total <= max_bytes {
+                break;
+            }
+            if candidate == keep {
+                continue;
+            }
+            if std::fs::remove_file(&candidate).is_ok() {
+                total = total.saturating_sub(size);
+            }
+        }
     }
 }
 
@@ -674,6 +731,101 @@ mod tests {
         bytes[mid] ^= 0x40;
         std::fs::write(&path, &bytes).expect("rewrite");
         assert!(matches!(cache.load(1), CacheLookup::Invalid(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_bound_evicts_oldest_written_first() {
+        let dir = std::env::temp_dir().join(format!("alsc-evict-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runs = sample_runs();
+        let unbounded = StreamCache::new(&dir);
+        for key in [10u64, 11, 12] {
+            unbounded.store(key, b"", &runs).expect("store");
+        }
+        let entry_size = std::fs::metadata(unbounded.path_for(10)).expect("meta").len();
+        // Age the entries deterministically: 10 oldest, 12 newest.
+        for (i, key) in [10u64, 11, 12].iter().enumerate() {
+            let age = std::time::Duration::from_secs(3000 - 1000 * i as u64);
+            std::fs::File::options()
+                .write(true)
+                .open(unbounded.path_for(*key))
+                .expect("open")
+                .set_modified(std::time::SystemTime::now() - age)
+                .expect("set mtime");
+        }
+
+        // Room for three entries: storing a fourth evicts exactly the
+        // oldest-written one.
+        let bounded = StreamCache::new(&dir).with_max_bytes(Some(3 * entry_size));
+        bounded.store(13, b"", &runs).expect("store");
+        assert!(!bounded.path_for(10).exists(), "oldest entry must be evicted");
+        for key in [11u64, 12, 13] {
+            assert!(bounded.path_for(key).exists(), "entry {key} wrongly evicted");
+        }
+
+        // A bound smaller than any single entry still keeps the entry
+        // just written — eviction never undoes the store it follows.
+        let tiny = StreamCache::new(&dir).with_max_bytes(Some(1));
+        tiny.store(14, b"", &runs).expect("store");
+        assert!(tiny.path_for(14).exists(), "just-written entry must survive");
+        for key in [11u64, 12, 13] {
+            assert!(!tiny.path_for(key).exists(), "entry {key} should be evicted");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_on_one_key_never_corrupt_or_partially_expose() {
+        let dir = std::env::temp_dir().join(format!("alsc-race-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = StreamCache::new(&dir);
+        let runs_a = sample_runs();
+        let mut runs_b = sample_runs();
+        runs_b.reverse();
+        let key = 0xdead_beef;
+        cache.store(key, b"A", &runs_a).expect("seed store");
+
+        std::thread::scope(|scope| {
+            let writer_a = scope.spawn(|| {
+                for _ in 0..40 {
+                    cache.store(key, b"A", &runs_a).expect("store A");
+                }
+            });
+            let writer_b = scope.spawn(|| {
+                for _ in 0..40 {
+                    cache.store(key, b"B", &runs_b).expect("store B");
+                }
+            });
+            // Every observation during the race must be one writer's
+            // complete entry: the matching sidecar/runs pair, never a
+            // torn mixture, a decode failure, or a vanished file.
+            let reader = scope.spawn(|| {
+                for _ in 0..200 {
+                    match cache.load(key) {
+                        CacheLookup::Hit { stream, .. } => match stream.sidecar.as_slice() {
+                            b"A" => assert_eq!(stream.runs, runs_a, "torn entry for A"),
+                            b"B" => assert_eq!(stream.runs, runs_b, "torn entry for B"),
+                            other => panic!("unknown sidecar {other:?}"),
+                        },
+                        CacheLookup::Miss => panic!("entry vanished mid-race"),
+                        CacheLookup::Invalid(e) => panic!("corrupt entry exposed: {e:?}"),
+                    }
+                }
+            });
+            writer_a.join().expect("writer A");
+            writer_b.join().expect("writer B");
+            reader.join().expect("reader");
+        });
+
+        // Both final states are valid, and no scratch files leaked.
+        assert!(matches!(cache.load(key), CacheLookup::Hit { .. }));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "scratch files leaked: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -118,7 +118,7 @@ pub struct StackSim {
     /// Total page-granular accesses.
     accesses: u64,
     /// References absorbed by the run fast path in `record_runs`
-    /// (repeats counted straight into `hist[1]`). An observability
+    /// (repeats counted straight into `hist[span]`). An observability
     /// counter — it never feeds the fault curve.
     fastpath_refs: u64,
     /// The MRU segment: the [`MRU_DEPTH`] most recently accessed
@@ -169,9 +169,9 @@ impl StackSim {
         Self::new(PAGE_SIZE)
     }
 
-    /// References absorbed by the `record_runs` fast path (counted as
-    /// stack-distance-1 repeats without tree work). An observability
-    /// counter — not part of the fault curve.
+    /// References absorbed by the `record_runs` fast path (repeats
+    /// counted as exact-distance histogram arithmetic without tree
+    /// work). An observability counter — not part of the fault curve.
     pub fn fastpath_refs(&self) -> u64 {
         self.fastpath_refs
     }
@@ -337,25 +337,36 @@ impl AccessSink for StackSim {
         self.access_addr(r.addr, r.size);
     }
 
-    /// Run fast path: after the first occurrence of a single-page
-    /// reference, every repeat is a stack-distance-1 access to
-    /// `last_page` — the raw path would bump `accesses` and `hist[1]`
-    /// and return. Repeats of page-straddling references re-walk their
-    /// span in the raw stream too, so they fall back to the full access.
+    /// Run fast path: the reference's page span is decomposed once per
+    /// run. After the first occurrence, the span's pages occupy the top
+    /// `span` stack positions (most recent last), so each page touched
+    /// by a repeat sits at exactly depth `span` and rotates back to the
+    /// top — every one of the repeat's `span` page accesses has stack
+    /// distance exactly `span`, and the stack's top returns to where the
+    /// first occurrence left it. The repeats therefore collapse to
+    /// histogram arithmetic with no per-page stack work, for *any* span:
+    /// `span == 1` reduces to the historical stack-distance-1 case.
+    ///
+    /// The internal bookkeeping (MRU segment, Fenwick slots) is left at
+    /// the first occurrence's state rather than the post-repeat state,
+    /// but the two represent the same logical LRU stack, and every
+    /// output — `hist`, `cold`, `accesses`, the page population —
+    /// derives only from state the fast path advances exactly.
     fn record_runs(&mut self, runs: &[RefRun]) {
         for run in runs {
             self.access_addr(run.r.addr, run.r.size);
             if run.count > 1 {
-                if run.r.single_block(self.page_size) {
-                    let extra = u64::from(run.count - 1);
-                    self.fastpath_refs += extra;
-                    self.accesses += extra;
-                    self.hist[1] += extra;
-                } else {
-                    for _ in 1..run.count {
-                        self.access_addr(run.r.addr, run.r.size);
-                    }
+                let extra = u64::from(run.count - 1);
+                let span = run.r.block_span(self.page_size);
+                let d = span as usize;
+                if self.hist.len() <= d {
+                    // The slow path's repeats would record distance
+                    // `span` and grow the histogram identically.
+                    self.hist.resize(d + 1, 0);
                 }
+                self.hist[d] += span * extra;
+                self.accesses += span * extra;
+                self.fastpath_refs += extra;
             }
         }
     }

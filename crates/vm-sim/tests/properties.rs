@@ -160,6 +160,41 @@ proptest! {
         prop_assert_eq!(fast.distinct_pages(), slow.distinct_pages());
     }
 
+    /// The multi-page span fast path: streams built entirely of
+    /// *repeated page-straddling* references (2 to ~50 pages, so every
+    /// run takes the span arithmetic) produce exactly the fault curve,
+    /// access count, and page population of per-record replay.
+    #[test]
+    fn multi_page_run_fast_path_matches_per_record(
+        runs in proptest::collection::vec(
+            (0u64..2_000_000, 4097u32..200_000, 2u32..40),
+            1..60,
+        ),
+        cut in 0usize..=60,
+    ) {
+        use sim_mem::RefRun;
+        let runs: Vec<RefRun> = runs
+            .iter()
+            .map(|&(a, l, count)| RefRun { r: MemRef::app_read(Address::new(a), l), count })
+            .collect();
+
+        let mut fast = StackSim::new(4096);
+        let split = cut % (runs.len() + 1);
+        fast.record_runs(&runs[..split]);
+        fast.record_runs(&runs[split..]);
+
+        let mut slow = StackSim::new(4096);
+        for run in &runs {
+            for _ in 0..run.count {
+                slow.record(run.r);
+            }
+        }
+
+        prop_assert_eq!(fast.curve().points, slow.curve().points);
+        prop_assert_eq!(fast.accesses(), slow.accesses());
+        prop_assert_eq!(fast.distinct_pages(), slow.distinct_pages());
+    }
+
     /// Compaction (forced by long streams over few pages) never changes
     /// results: two simulators fed the same stream with different
     /// interleavings of the same accesses agree.
