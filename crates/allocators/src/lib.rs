@@ -52,6 +52,8 @@ pub mod gnu_local;
 pub mod layout;
 pub mod predictive;
 pub mod quick_fit;
+pub mod reference;
+pub mod shadow;
 pub mod size_map;
 pub mod stats;
 pub mod verify;

@@ -14,15 +14,9 @@
 //! When a class's list is empty, a whole page (or the block size, if
 //! larger) is carved into blocks at once, mirroring the 4.2 BSD
 //! `morecore`.
-//!
-//! The rebuilt hot path serves every head and chain word from a
-//! [`crate::shadow::WordMirror`] and keeps an advisory bucket-occupancy
-//! bitmap, probed once per malloc, that predicts the morecore decision —
-//! emission stays bit-identical to [`crate::reference::bsd`].
 
 use sim_mem::{Address, MemCtx};
 
-use crate::shadow::WordMirror;
 use crate::{AllocError, AllocStats, Allocator};
 
 /// Smallest block size class, 2^4 = 16 bytes (12-byte payload).
@@ -46,11 +40,6 @@ pub struct Bsd {
     /// Static area: one list-head word per bucket.
     heads: Address,
     stats: AllocStats,
-    /// Shared mirror of every metadata word this allocator stores.
-    mirror: WordMirror,
-    /// Advisory occupancy bitmap: bit `k` set iff bucket `k`'s freelist
-    /// is non-empty. Checked against the loaded head in debug builds.
-    occupied: u32,
 }
 
 impl Bsd {
@@ -61,12 +50,11 @@ impl Bsd {
     ///
     /// Returns [`AllocError::Oom`] if the static area cannot be reserved.
     pub fn new(ctx: &mut MemCtx<'_>) -> Result<Self, AllocError> {
-        let mut mirror = WordMirror::new();
         let heads = ctx.sbrk(NBUCKETS as u64 * 4)?;
         for i in 0..NBUCKETS {
-            mirror.store(ctx, heads + i as u64 * 4, 0);
+            ctx.store(heads + i as u64 * 4, 0);
         }
-        Ok(Bsd { heads, stats: AllocStats::new(), mirror, occupied: 0 })
+        Ok(Bsd { heads, stats: AllocStats::new() })
     }
 
     /// The bucket index serving a payload request of `size` bytes, or
@@ -100,11 +88,10 @@ impl Bsd {
         for i in 0..nblocks {
             let b = start + u64::from(i * bsize);
             let next = if i + 1 < nblocks { (b + u64::from(bsize)).raw() as u32 } else { 0 };
-            self.mirror.store(ctx, b, next);
+            ctx.store(b, next);
             ctx.ops(2);
         }
-        self.mirror.store(ctx, self.head_addr(k), start.raw() as u32);
-        self.occupied |= 1 << k;
+        ctx.store(self.head_addr(k), start.raw() as u32);
         Ok(())
     }
 }
@@ -117,28 +104,20 @@ impl Allocator for Bsd {
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         let k = Self::bucket_for(size).ok_or(AllocError::Unsupported(size))?;
         ctx.ops(4);
-        // Advisory probe: the bitmap predicts the morecore decision the
-        // head load is about to make.
-        ctx.obs_add(obs::names::BITMAP_PROBE, 1);
-        let predicted = self.occupied & (1 << k) != 0;
-        let mut b = self.mirror.load(ctx, self.head_addr(k));
-        debug_assert_eq!(predicted, b != 0, "occupancy bit stale for bucket {k}");
+        let mut b = ctx.load(self.head_addr(k));
         if b == 0 {
             self.morecore(k, ctx)?;
-            b = self.mirror.load(ctx, self.head_addr(k));
+            b = ctx.load(self.head_addr(k));
         }
         let block = Address::new(u64::from(b));
         // Pop: head takes the block's chain word; the chain word then
         // becomes the in-use header identifying the bucket.
-        let next = self.mirror.load(ctx, block);
-        self.mirror.store(ctx, self.head_addr(k), next);
-        if next == 0 {
-            self.occupied &= !(1 << k);
-        }
-        self.mirror.store(ctx, block, k | 0x4d50_0000); // "MP" magic | bucket, as 4.2 BSD
-                                                        // Segregated storage never searches: the explicit zero keeps the
-                                                        // per-malloc search-length histogram comparable across
-                                                        // allocators (paper finding 1).
+        let next = ctx.load(block);
+        ctx.store(self.head_addr(k), next);
+        ctx.store(block, k | 0x4d50_0000); // "MP" magic | bucket, as 4.2 BSD
+                                           // Segregated storage never searches: the explicit zero keeps the
+                                           // per-malloc search-length histogram comparable across
+                                           // allocators (paper finding 1).
         ctx.obs_observe("alloc.search_len", 0);
         self.stats.note_malloc(size, Self::bucket_size(k));
         Ok(block + HDR)
@@ -149,7 +128,7 @@ impl Allocator for Bsd {
             return Err(AllocError::InvalidFree(ptr));
         }
         let block = ptr - HDR;
-        let header = self.mirror.load(ctx, block);
+        let header = ctx.load(block);
         ctx.ops(3);
         if header >> 16 != 0x4d50 {
             return Err(AllocError::InvalidFree(ptr));
@@ -159,10 +138,9 @@ impl Allocator for Bsd {
             return Err(AllocError::InvalidFree(ptr));
         }
         // Push: block takes the old head in its chain word.
-        let old = self.mirror.load(ctx, self.head_addr(k));
-        self.mirror.store(ctx, block, old);
-        self.mirror.store(ctx, self.head_addr(k), block.raw() as u32);
-        self.occupied |= 1 << k;
+        let old = ctx.load(self.head_addr(k));
+        ctx.store(block, old);
+        ctx.store(self.head_addr(k), block.raw() as u32);
         // BSD never coalesces; record the zero so the histogram covers
         // every free.
         ctx.obs_observe("alloc.coalesce_per_free", 0);

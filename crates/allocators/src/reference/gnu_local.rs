@@ -23,15 +23,10 @@
 //! boundary tag added to every object, to isolate the cache pollution
 //! caused by tags; [`GnuLocalConfig::emulate_boundary_tags`] reproduces
 //! that modification.
-//!
-//! All hot-path metadata is owned by [`ChunkedHeap`], so this wrapper
-//! inherits the shadow engine wholesale: descriptor walks and fragment
-//! pops compute host-side while emitting the reference trace of
-//! [`crate::reference::gnu_local`] bit for bit.
 
 use sim_mem::{Address, MemCtx};
 
-use crate::chunked::{ChunkedHeap, FRAG_MAX};
+use super::chunked::{ChunkedHeap, FRAG_MAX};
 use crate::{AllocError, AllocStats, Allocator};
 
 /// Smallest fragment size (bytes).
@@ -121,7 +116,7 @@ impl Allocator for GnuLocal {
             None => {
                 ctx.obs_add("alloc.chunk_allocs", 1);
                 let a = self.heap.alloc_large(internal, ctx)?;
-                (a, internal.div_ceil(crate::chunked::CHUNK) * crate::chunked::CHUNK)
+                (a, internal.div_ceil(super::chunked::CHUNK) * super::chunked::CHUNK)
             }
         };
         // Table 6's methodology: the extra space alone models the

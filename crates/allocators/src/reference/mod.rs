@@ -1,0 +1,44 @@
+//! Verbatim ports of the pre-rework allocator implementations.
+//!
+//! Every allocator in the crate root was rebuilt around host-side shadow
+//! state ([`crate::shadow`]): free-list walks iterate a compact slab
+//! instead of chasing pointers through the multi-megabyte heap image,
+//! metadata loads are served from mirrors and emitted with
+//! [`sim_mem::MemCtx::shadow_load`], and instruction charges are batched
+//! per operation. These modules preserve the originals — same heap
+//! layout, same traced reference sequence, same instruction charges,
+//! same statistics — so the rework can be regression-gated forever:
+//!
+//! * `perf --alloc` drives one captured workload through each rebuilt
+//!   allocator *and* its port here, requires bit-identical reference
+//!   streams, stats, heap images and `alloc.search_len` histograms, and
+//!   gates the slowest lane's speedup;
+//! * the `reference_equivalence` property tests do the same over
+//!   randomized alloc/free scripts.
+//!
+//! The only edits relative to the originals are module paths: ports that
+//! embed another allocator ([`quick_fit`] embeds GNU G++, the pool
+//! allocators embed [`chunked`]) embed the *port*, never the rebuilt
+//! version, so a lane measures exactly one implementation generation.
+
+pub mod best_fit;
+pub mod bsd;
+pub mod buddy;
+pub mod chunked;
+pub mod custom;
+pub mod first_fit;
+pub mod gnu_gxx;
+pub mod gnu_local;
+pub mod predictive;
+pub mod quick_fit;
+
+pub use best_fit::BestFit;
+pub use bsd::Bsd;
+pub use buddy::Buddy;
+pub use chunked::ChunkedHeap;
+pub use custom::Custom;
+pub use first_fit::FirstFit;
+pub use gnu_gxx::GnuGxx;
+pub use gnu_local::GnuLocal;
+pub use predictive::Predictive;
+pub use quick_fit::QuickFit;

@@ -15,18 +15,13 @@
 //! block. This tag is exactly the "cache pollution" the paper discusses
 //! in §4.3: information useful only to the allocator, dragged into the
 //! cache alongside object data.
-//!
-//! The rebuilt fast path serves QuickFit's own head/tail/chain words from
-//! a [`crate::shadow::WordMirror`] (the embedded GNU G++ carries its
-//! own); only `free`'s routing tag read stays a real heap load, because
-//! that word may belong to either owner. Emission stays bit-identical to
-//! [`crate::reference::quick_fit`].
 
 use sim_mem::{Address, MemCtx};
 
 use crate::layout::{encode, tag_fast, tag_size, F_ALLOC, F_FAST, TAG};
-use crate::shadow::WordMirror;
-use crate::{AllocError, AllocStats, Allocator, GnuGxx};
+use crate::{AllocError, AllocStats, Allocator};
+
+use super::gnu_gxx::GnuGxx;
 
 /// Largest payload (bytes) served by the fast lists.
 pub const FAST_MAX: u32 = 32;
@@ -51,10 +46,6 @@ pub struct QuickFit {
     /// General allocator for requests above [`FAST_MAX`].
     general: GnuGxx,
     stats: AllocStats,
-    /// Mirror of QuickFit's own metadata words (heads, tail, limit, fast
-    /// chain words and fast tags). General-side words live in the
-    /// embedded allocator's mirror instead.
-    mirror: WordMirror,
 }
 
 impl QuickFit {
@@ -65,15 +56,14 @@ impl QuickFit {
     ///
     /// Returns [`AllocError::Oom`] if the static area cannot be reserved.
     pub fn new(ctx: &mut MemCtx<'_>) -> Result<Self, AllocError> {
-        let mut mirror = WordMirror::new();
         let statics = ctx.sbrk(LIMIT_OFF + 4)?;
         for i in 0..NCLASSES {
-            mirror.store(ctx, statics + i as u64 * 4, 0);
+            ctx.store(statics + i as u64 * 4, 0);
         }
-        mirror.store(ctx, statics + TAIL_OFF, 0);
-        mirror.store(ctx, statics + LIMIT_OFF, 0);
+        ctx.store(statics + TAIL_OFF, 0);
+        ctx.store(statics + LIMIT_OFF, 0);
         let general = GnuGxx::new(ctx)?;
-        Ok(QuickFit { statics, general, stats: AllocStats::new(), mirror })
+        Ok(QuickFit { statics, general, stats: AllocStats::new() })
     }
 
     /// The fast-class index for a payload request, or `None` if the
@@ -96,22 +86,30 @@ impl QuickFit {
     /// growing it by [`TAIL_CHUNK`] when exhausted. Any unusably small
     /// tail remnant is abandoned, as in the original.
     fn carve(&mut self, total: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
-        let tail = self.mirror.load(ctx, self.statics + TAIL_OFF);
-        let limit = self.mirror.load(ctx, self.statics + LIMIT_OFF);
+        let tail = ctx.load(self.statics + TAIL_OFF);
+        let limit = ctx.load(self.statics + LIMIT_OFF);
         ctx.ops(3);
         let tail = if tail + total <= limit {
             tail
         } else {
             let fresh = ctx.sbrk(u64::from(TAIL_CHUNK))?;
-            self.mirror.store(ctx, self.statics + LIMIT_OFF, fresh.raw() as u32 + TAIL_CHUNK);
+            ctx.store(self.statics + LIMIT_OFF, fresh.raw() as u32 + TAIL_CHUNK);
             fresh.raw() as u32
         };
-        self.mirror.store(ctx, self.statics + TAIL_OFF, tail + total);
+        ctx.store(self.statics + TAIL_OFF, tail + total);
         let block = Address::new(u64::from(tail));
         // The boundary tag: size plus the fast-storage marker, written
         // once and never changed (fast blocks do not coalesce).
-        self.mirror.store(ctx, block, encode(total, F_FAST | F_ALLOC));
+        ctx.store(block, encode(total, F_FAST | F_ALLOC));
         Ok(block)
+    }
+
+    /// Folds the embedded general allocator's search/coalesce/split
+    /// counters into our own so `stats()` reflects the whole hybrid.
+    fn absorb_general_counters(&mut self) {
+        self.stats.search_visits = self.general.stats().search_visits;
+        self.stats.coalesces = self.general.stats().coalesces;
+        self.stats.splits = self.general.stats().splits;
     }
 }
 
@@ -125,14 +123,12 @@ impl Allocator for QuickFit {
         if let Some(idx) = Self::class_for(size) {
             let total = Self::class_payload(idx) + TAG as u32;
             let head = self.head_addr(idx);
-            let b = self.mirror.load(ctx, head);
+            let b = ctx.load(head);
             let block = if b != 0 {
-                // Pop from a warm quicklist: the O(1) path the engine
-                // exists for.
-                ctx.obs_add(obs::names::QUICK_HIT, 1);
+                // Pop: the chain word lives in the payload's first word.
                 let block = Address::new(u64::from(b));
-                let next = self.mirror.load(ctx, block + TAG);
-                self.mirror.store(ctx, head, next);
+                let next = ctx.load(block + TAG);
+                ctx.store(head, next);
                 block
             } else {
                 self.carve(total, ctx)?
@@ -152,7 +148,7 @@ impl Allocator for QuickFit {
             // The embedded GNU G++ observes its own search length.
             let p = self.general.malloc(size, ctx)?;
             let granted = self.general.stats().live_granted - before;
-            self.stats.absorb_general_counters(self.general.stats());
+            self.absorb_general_counters();
             self.stats.note_malloc(size, granted as u32);
             Ok(p)
         }
@@ -162,10 +158,6 @@ impl Allocator for QuickFit {
         if ptr.raw() < TAG || !ctx.heap().contains(ptr - TAG, TAG) {
             return Err(AllocError::InvalidFree(ptr));
         }
-        // Routing read: this word was written by whichever side owns the
-        // block (our fast tag or the general allocator's boundary tag),
-        // so it cannot be served from one mirror — read the heap image,
-        // which both mirrors keep current.
         let tag = ctx.load(ptr - TAG);
         ctx.ops(2);
         if tag_fast(tag) {
@@ -178,13 +170,13 @@ impl Allocator for QuickFit {
             let block = ptr - TAG;
             // Push LIFO.
             let head = self.head_addr(idx);
-            let old = self.mirror.load(ctx, head);
+            let old = ctx.load(head);
             if old == block.raw() as u32 {
                 // The block is already the list head: double free.
                 return Err(AllocError::InvalidFree(ptr));
             }
-            self.mirror.store(ctx, block + TAG, old);
-            self.mirror.store(ctx, head, block.raw() as u32);
+            ctx.store(block + TAG, old);
+            ctx.store(head, block.raw() as u32);
             // Fast blocks never coalesce; record the zero so the
             // histogram covers every free.
             ctx.obs_observe("alloc.coalesce_per_free", 0);
@@ -194,7 +186,7 @@ impl Allocator for QuickFit {
             let before = self.general.stats().live_granted;
             self.general.free(ptr, ctx)?;
             let granted = before - self.general.stats().live_granted;
-            self.stats.absorb_general_counters(self.general.stats());
+            self.absorb_general_counters();
             self.stats.note_free(granted as u32);
             Ok(())
         }

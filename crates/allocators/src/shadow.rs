@@ -1,0 +1,936 @@
+//! Host-side shadow state for the rebuilt allocator hot paths.
+//!
+//! The allocators keep their metadata *in* the simulated heap, and every
+//! metadata access is part of the measured phenomenon: it must emit a
+//! reference and charge an instruction. The pre-rework implementations
+//! also *read that metadata back* through the multi-megabyte heap image
+//! byte vector, which is where the host CPU time went. The rework keeps
+//! the traced cost model bit-identical while serving the *values* from
+//! compact host-side structures:
+//!
+//! * [`WordMirror`] — a dense `u32` mirror of every metadata word the
+//!   allocator has stored, indexed by heap offset. A mirrored load calls
+//!   [`sim_mem::MemCtx::shadow_load`], which emits the same reference
+//!   and charges the same instruction as a real load but returns the
+//!   mirrored value (debug builds assert coherence against the image).
+//! * [`ShadowList`] — a slab of freelist nodes `{addr, size, next,
+//!   prev}` mirroring the in-heap circular doubly-linked lists. Walks
+//!   iterate cache-dense slots with block sizes cached inline; unlink is
+//!   O(1) by slot handle.
+//! * [`ClassBitmap`] — a two-level `u64` occupancy bitmap (summary word
+//!   over 64 leaf words, find-first-set via `trailing_zeros`), the "Fast
+//!   Bitmap Fit" structure. The bitmap answers "is any class ≥ k
+//!   occupied?" in O(1) word scans *on the host*; it cannot remove any
+//!   traced accesses (a failed walk must still emit its full reference
+//!   sequence), but it lets the allocator decide up front whether a walk
+//!   will succeed and take the extend path without redundant host work.
+//!
+//! Stores always write through to the heap image, so the image stays the
+//! byte-exact source of truth for `verify::check_tagged_heap`, the
+//! equivalence property tests, and every debug assertion.
+
+use sim_mem::heap::HEAP_BASE;
+use sim_mem::{Address, MemCtx};
+
+use crate::layout::{NEXT_OFF, PREV_OFF};
+
+/// Dense host-side mirror of metadata words, indexed by word offset from
+/// [`HEAP_BASE`]. Grows on store; loads of never-stored words return 0,
+/// matching the zero-initialized heap image.
+#[derive(Debug, Default)]
+pub struct WordMirror {
+    words: Vec<u32>,
+}
+
+impl WordMirror {
+    /// An empty mirror.
+    #[must_use]
+    pub fn new() -> Self {
+        WordMirror { words: Vec::new() }
+    }
+
+    #[inline]
+    fn index(addr: Address) -> usize {
+        let off = addr.raw().checked_sub(HEAP_BASE).expect("address below heap base");
+        debug_assert_eq!(off % 4, 0, "unaligned metadata word at {addr}");
+        (off / 4) as usize
+    }
+
+    /// The mirrored value at `addr` without touching the simulated heap.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, addr: Address) -> u32 {
+        self.words.get(Self::index(addr)).copied().unwrap_or(0)
+    }
+
+    /// Records `value` as the mirror of `addr`, growing as needed.
+    #[inline]
+    pub fn set(&mut self, addr: Address, value: u32) {
+        let i = Self::index(addr);
+        if i >= self.words.len() {
+            self.words.resize(i + 1, 0);
+        }
+        self.words[i] = value;
+    }
+
+    /// A traced metadata load served from the mirror: emits the same
+    /// reference and charges the same instruction as [`MemCtx::load`].
+    #[inline]
+    pub fn load(&self, ctx: &mut MemCtx<'_>, addr: Address) -> u32 {
+        ctx.shadow_load(addr, self.get(addr))
+    }
+
+    /// A traced write-through metadata store: updates the heap image via
+    /// [`MemCtx::store`] *and* the mirror.
+    #[inline]
+    pub fn store(&mut self, ctx: &mut MemCtx<'_>, addr: Address, value: u32) {
+        ctx.store(addr, value);
+        self.set(addr, value);
+    }
+}
+
+/// Slot handle into a [`ShadowList`] slab. `NIL` marks list ends inside
+/// the slab; the in-heap structure it mirrors uses sentinel addresses.
+pub type Slot = u32;
+const NIL: Slot = u32::MAX;
+
+/// Slab entry. The block address is stored as its raw heap word
+/// (simulated addresses fit in `u32`, see [`word`]) so a node packs
+/// into 16 bytes — walks touch half the slab cache lines they would
+/// with a widened `Address`.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    addr: u32,
+    size: u32,
+    next: Slot,
+    prev: Slot,
+}
+
+/// Host-side mirror of one or more in-heap doubly-linked free lists.
+///
+/// Each list `k` mirrors the membership *and order* of the in-heap list
+/// whose sentinel the allocator owns, with each node's block size cached
+/// inline so a first-fit or best-fit walk never touches the heap image.
+/// The walk itself still emits every traced access (the caller replays
+/// the reference pattern of the original walk); this structure only
+/// removes the *host-side* pointer chasing.
+///
+/// Nodes are slab-allocated and recycled through an internal free list,
+/// and a word-indexed `(addr → slot)` table gives O(1) handle lookup
+/// when an unlink starts from a heap address rather than a walk
+/// position. The table is indexed like [`WordMirror`] — one entry per
+/// heap word, grown on demand — so its footprint tracks the heap image
+/// the engine already holds, and no list operation pays more than a
+/// few array stores.
+#[derive(Debug)]
+pub struct ShadowList {
+    nodes: Vec<Node>,
+    /// Head slot of each mirrored list (NIL when empty).
+    heads: Vec<Slot>,
+    /// Tail slot of each mirrored list (NIL when empty).
+    tails: Vec<Slot>,
+    /// Recycled slots.
+    free: Vec<Slot>,
+    /// Slot at word index `(addr - HEAP_BASE) / 4`, NIL when no node
+    /// mirrors that address.
+    slot_at: Vec<Slot>,
+    /// Number of live nodes across all lists.
+    len: usize,
+}
+
+impl ShadowList {
+    /// A slab mirroring `lists` independent in-heap lists, all empty.
+    #[must_use]
+    pub fn new(lists: usize) -> Self {
+        ShadowList {
+            nodes: Vec::new(),
+            heads: vec![NIL; lists],
+            tails: vec![NIL; lists],
+            free: Vec::new(),
+            slot_at: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of nodes across all mirrored lists.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether every mirrored list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether list `k` is empty.
+    #[must_use]
+    pub fn list_is_empty(&self, k: usize) -> bool {
+        self.heads[k] == NIL
+    }
+
+    fn alloc_slot(&mut self, node: Node) -> Slot {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as Slot
+        }
+    }
+
+    #[inline]
+    fn word_index(addr: Address) -> usize {
+        let off = addr.raw().checked_sub(HEAP_BASE).expect("address below heap base");
+        debug_assert_eq!(off % 4, 0, "unaligned shadow node at {addr}");
+        (off / 4) as usize
+    }
+
+    #[inline]
+    fn index_insert(&mut self, addr: Address, slot: Slot) {
+        let i = Self::word_index(addr);
+        if i >= self.slot_at.len() {
+            self.slot_at.resize(i + 1, NIL);
+        }
+        debug_assert_eq!(self.slot_at[i], NIL, "duplicate shadow node for {addr}");
+        self.slot_at[i] = slot;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn index_remove(&mut self, addr: Address) -> Slot {
+        let i = Self::word_index(addr);
+        let slot = self.slot_at[i];
+        debug_assert_ne!(slot, NIL, "no shadow node for {addr}");
+        self.slot_at[i] = NIL;
+        self.len -= 1;
+        slot
+    }
+
+    /// The slot mirroring block `addr`, if it is on any list.
+    #[must_use]
+    pub fn slot_of(&self, addr: Address) -> Option<Slot> {
+        let slot = self.slot_at.get(Self::word_index(addr)).copied().unwrap_or(NIL);
+        (slot != NIL).then_some(slot)
+    }
+
+    /// Pushes a node at the *front* of list `k` (the position
+    /// `list::insert_after(sentinel, b)` produces in the heap).
+    pub fn push_front(&mut self, k: usize, addr: Address, size: u32) {
+        let old = self.heads[k];
+        let slot = self.alloc_slot(Node { addr: word(addr), size, next: old, prev: NIL });
+        if old == NIL {
+            self.tails[k] = slot;
+        } else {
+            self.nodes[old as usize].prev = slot;
+        }
+        self.heads[k] = slot;
+        self.index_insert(addr, slot);
+    }
+
+    /// Pushes a node at the *back* of list `k` (the position
+    /// `list::insert_after(sentinel.prev, b)` produces, i.e. appending
+    /// before a circular sentinel).
+    pub fn push_back(&mut self, k: usize, addr: Address, size: u32) {
+        let old = self.tails[k];
+        let slot = self.alloc_slot(Node { addr: word(addr), size, next: NIL, prev: old });
+        if old == NIL {
+            self.heads[k] = slot;
+        } else {
+            self.nodes[old as usize].next = slot;
+        }
+        self.tails[k] = slot;
+        self.index_insert(addr, slot);
+    }
+
+    /// Inserts `addr` immediately after the node mirrored by `after` on
+    /// list `k` (mirrors `list::insert_after(after_addr, b)` for a
+    /// non-sentinel predecessor).
+    pub fn insert_after(&mut self, k: usize, after: Slot, addr: Address, size: u32) {
+        let next = self.nodes[after as usize].next;
+        let slot = self.alloc_slot(Node { addr: word(addr), size, next, prev: after });
+        self.nodes[after as usize].next = slot;
+        if next == NIL {
+            self.tails[k] = slot;
+        } else {
+            self.nodes[next as usize].prev = slot;
+        }
+        self.index_insert(addr, slot);
+    }
+
+    /// Unlinks the node at `slot` from list `k` in O(1) and returns its
+    /// `(addr, size)`.
+    pub fn unlink(&mut self, k: usize, slot: Slot) -> (Address, u32) {
+        let Node { addr, size, next, prev } = self.nodes[slot as usize];
+        let addr = unword(addr);
+        if prev == NIL {
+            self.heads[k] = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tails[k] = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+        let removed = self.index_remove(addr);
+        debug_assert_eq!(removed, slot);
+        self.free.push(slot);
+        (addr, size)
+    }
+
+    /// Unlinks the node mirroring block `addr` (any list `k`) in
+    /// O(log n), returning its size.
+    pub fn unlink_addr(&mut self, k: usize, addr: Address) -> Option<u32> {
+        let slot = self.slot_of(addr)?;
+        Some(self.unlink(k, slot).1)
+    }
+
+    /// Updates the cached size of the node at `slot`.
+    pub fn set_size(&mut self, slot: Slot, size: u32) {
+        self.nodes[slot as usize].size = size;
+    }
+
+    /// Replaces the node at `slot` with a new block in the same list
+    /// position (what splitting a free block does: the remainder
+    /// inherits the original's links).
+    pub fn replace(&mut self, slot: Slot, addr: Address, size: u32) {
+        let old = self.nodes[slot as usize].addr;
+        if old != word(addr) {
+            let removed = self.index_remove(unword(old));
+            debug_assert_eq!(removed, slot);
+            self.index_insert(addr, slot);
+            self.nodes[slot as usize].addr = word(addr);
+        }
+        self.nodes[slot as usize].size = size;
+    }
+
+    /// Slot preceding `slot` on its list, if any.
+    #[must_use]
+    pub fn prev(&self, slot: Slot) -> Option<Slot> {
+        let p = self.nodes[slot as usize].prev;
+        (p != NIL).then_some(p)
+    }
+
+    /// `(addr, size)` mirrored at `slot`.
+    #[must_use]
+    pub fn node(&self, slot: Slot) -> (Address, u32) {
+        let n = self.nodes[slot as usize];
+        (unword(n.addr), n.size)
+    }
+
+    /// First slot of list `k`, if any.
+    #[must_use]
+    pub fn head(&self, k: usize) -> Option<Slot> {
+        let h = self.heads[k];
+        (h != NIL).then_some(h)
+    }
+
+    /// Slot following `slot` on its list, if any.
+    #[must_use]
+    pub fn next(&self, slot: Slot) -> Option<Slot> {
+        let n = self.nodes[slot as usize].next;
+        (n != NIL).then_some(n)
+    }
+
+    /// `(raw addr, size, next)` of the member at `slot` in one slab
+    /// access, for walks that carry the whole node from step to step
+    /// (raw word form, since walks emit raw-address pairs anyway).
+    #[must_use]
+    pub fn node_with_next(&self, slot: Slot) -> (u32, u32, Option<Slot>) {
+        let n = self.nodes[slot as usize];
+        (n.addr, n.size, (n.next != NIL).then_some(n.next))
+    }
+}
+
+/// Number of leaf words (and thus `64 ×` the class capacity) in a
+/// [`ClassBitmap`].
+const LEAVES: usize = 64;
+
+/// Two-level occupancy bitmap over up to 4096 size classes.
+///
+/// Bit `c` is set when class `c` is occupied. The summary word has bit
+/// `w` set when leaf word `w` is non-zero, so [`ClassBitmap::first_at_least`]
+/// is at most three `trailing_zeros` scans — the "Fast Bitmap Fit"
+/// find-first-set structure.
+#[derive(Debug)]
+pub struct ClassBitmap {
+    summary: u64,
+    leaves: [u64; LEAVES],
+}
+
+impl Default for ClassBitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClassBitmap {
+    /// An all-empty bitmap.
+    #[must_use]
+    pub fn new() -> Self {
+        ClassBitmap { summary: 0, leaves: [0; LEAVES] }
+    }
+
+    /// Marks class `c` occupied.
+    #[inline]
+    pub fn set(&mut self, c: usize) {
+        debug_assert!(c < LEAVES * 64);
+        self.leaves[c / 64] |= 1u64 << (c % 64);
+        self.summary |= 1u64 << (c / 64);
+    }
+
+    /// Marks class `c` empty.
+    #[inline]
+    pub fn clear(&mut self, c: usize) {
+        debug_assert!(c < LEAVES * 64);
+        self.leaves[c / 64] &= !(1u64 << (c % 64));
+        if self.leaves[c / 64] == 0 {
+            self.summary &= !(1u64 << (c / 64));
+        }
+    }
+
+    /// Whether class `c` is occupied.
+    #[inline]
+    #[must_use]
+    pub fn is_set(&self, c: usize) -> bool {
+        self.leaves[c / 64] & (1u64 << (c % 64)) != 0
+    }
+
+    /// The smallest occupied class `>= c`, if any, via find-first-set
+    /// over the leaf word holding `c` and then the summary word.
+    #[inline]
+    #[must_use]
+    pub fn first_at_least(&self, c: usize) -> Option<usize> {
+        debug_assert!(c < LEAVES * 64);
+        let (w, b) = (c / 64, c % 64);
+        let masked = self.leaves[w] & (!0u64 << b);
+        if masked != 0 {
+            return Some(w * 64 + masked.trailing_zeros() as usize);
+        }
+        let higher = if w + 1 < 64 { self.summary & (!0u64 << (w + 1)) } else { 0 };
+        if higher == 0 {
+            return None;
+        }
+        let w2 = higher.trailing_zeros() as usize;
+        let leaf = self.leaves[w2];
+        debug_assert_ne!(leaf, 0, "summary bit set for empty leaf");
+        Some(w2 * 64 + leaf.trailing_zeros() as usize)
+    }
+}
+
+/// Occupancy index over size classes: a [`ClassBitmap`] plus per-class
+/// counts, so a bit clears exactly when the *last* block of its class
+/// leaves. The search allocators keep one keyed by floor-log2 block
+/// size and probe it (`alloc.bitmap_probe`) before walking.
+#[derive(Debug)]
+pub struct ClassIndex {
+    bitmap: ClassBitmap,
+    counts: Vec<u32>,
+}
+
+impl ClassIndex {
+    /// An empty index over `classes` size classes.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        ClassIndex { bitmap: ClassBitmap::new(), counts: vec![0; classes] }
+    }
+
+    /// Records one more block of class `c`.
+    #[inline]
+    pub fn add(&mut self, c: usize) {
+        self.counts[c] += 1;
+        self.bitmap.set(c);
+    }
+
+    /// Records one fewer block of class `c`.
+    #[inline]
+    pub fn remove(&mut self, c: usize) {
+        debug_assert!(self.counts[c] > 0, "class {c} count underflow");
+        self.counts[c] -= 1;
+        if self.counts[c] == 0 {
+            self.bitmap.clear(c);
+        }
+    }
+
+    /// The smallest occupied class `>= c`, if any.
+    #[inline]
+    #[must_use]
+    pub fn first_at_least(&self, c: usize) -> Option<usize> {
+        self.bitmap.first_at_least(c)
+    }
+}
+
+/// A position on a sentinel-headed circular list: the sentinel itself,
+/// or a member block's slab slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pos {
+    /// The list's sentinel head.
+    Head,
+    /// A member node, by slab slot.
+    Node(Slot),
+}
+
+/// Shadow of the in-heap circular doubly-linked freelists built by
+/// [`crate::layout::list`]: one sentinel per list in the allocator's
+/// static area, member links threaded through free-block payloads.
+///
+/// Every operation *emits exactly the reference sequence* of the
+/// corresponding `layout::list` helper — same loads (served via
+/// [`sim_mem::MemCtx::shadow_load`] from the slab instead of the heap
+/// image), same write-through stores, same `ops` charges — while the
+/// slab keeps membership, order, and block sizes host-side for
+/// cache-dense walks and O(1) unlink. A two-level occupancy bitmap
+/// tracks which lists are non-empty.
+#[derive(Debug)]
+pub struct TaggedList {
+    inner: ShadowList,
+    sentinels: Vec<Address>,
+    occupancy: ClassBitmap,
+}
+
+impl TaggedList {
+    /// A shadow over `lists` not-yet-initialized sentinel lists.
+    #[must_use]
+    pub fn new(lists: usize) -> Self {
+        TaggedList {
+            inner: ShadowList::new(lists),
+            sentinels: vec![Address::NULL; lists],
+            occupancy: ClassBitmap::new(),
+        }
+    }
+
+    /// Mirrors `layout::list::init_head`: registers `sentinel` as list
+    /// `k`'s head and emits its two self-link stores (write-through via
+    /// the allocator's shared metadata mirror `m`).
+    pub fn init_head(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        m: &mut WordMirror,
+        k: usize,
+        sentinel: Address,
+    ) {
+        self.sentinels[k] = sentinel;
+        let w = word(sentinel);
+        m.store(ctx, sentinel + NEXT_OFF, w);
+        m.store(ctx, sentinel + PREV_OFF, w);
+    }
+
+    /// The sentinel address of list `k`.
+    #[must_use]
+    pub fn sentinel(&self, k: usize) -> Address {
+        self.sentinels[k]
+    }
+
+    /// The heap address a position denotes on list `k`.
+    #[must_use]
+    pub fn addr(&self, k: usize, pos: Pos) -> Address {
+        match pos {
+            Pos::Head => self.sentinels[k],
+            Pos::Node(s) => self.inner.node(s).0,
+        }
+    }
+
+    /// The position denoting heap address `a` on list `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is neither the sentinel nor a current member.
+    #[must_use]
+    pub fn pos_of(&self, k: usize, a: Address) -> Pos {
+        if a == self.sentinels[k] {
+            Pos::Head
+        } else {
+            Pos::Node(self.inner.slot_of(a).expect("address is on the shadowed list"))
+        }
+    }
+
+    /// `(addr, size)` of the member at `slot`.
+    #[must_use]
+    pub fn node(&self, slot: Slot) -> (Address, u32) {
+        self.inner.node(slot)
+    }
+
+    /// Updates the cached size of the member at `slot`.
+    pub fn set_size(&mut self, slot: Slot, size: u32) {
+        self.inner.set_size(slot, size);
+    }
+
+    /// The slab slot of member block `a`, if it is on any list.
+    #[must_use]
+    pub fn slot_of(&self, a: Address) -> Option<Slot> {
+        self.inner.slot_of(a)
+    }
+
+    /// Whether list `k` has no members (pure host query, no emission).
+    #[must_use]
+    pub fn list_is_empty(&self, k: usize) -> bool {
+        self.inner.list_is_empty(k)
+    }
+
+    /// The first non-empty list `>= k`, if any: one find-first-set scan
+    /// of the occupancy bitmap.
+    #[must_use]
+    pub fn first_nonempty_at_least(&self, k: usize) -> Option<usize> {
+        self.occupancy.first_at_least(k)
+    }
+
+    fn note_membership(&mut self, k: usize) {
+        if self.inner.list_is_empty(k) {
+            self.occupancy.clear(k);
+        } else {
+            self.occupancy.set(k);
+        }
+    }
+
+    /// Host-only successor of `pos` on list `k`: the position
+    /// [`Self::next`] would return, with no emission or charge. Walks
+    /// that defer their trace to a [`sim_mem::MemCtx::shadow_load_burst`]
+    /// step with this and collect the link loads via
+    /// [`Self::link_load`].
+    #[must_use]
+    pub fn peek_next(&self, k: usize, pos: Pos) -> Pos {
+        match pos {
+            Pos::Head => self.inner.head(k).map_or(Pos::Head, Pos::Node),
+            Pos::Node(s) => self.inner.next(s).map_or(Pos::Head, Pos::Node),
+        }
+    }
+
+    /// The `(address, value)` of the successor-link load [`Self::next`]
+    /// emits stepping from `pos` to `succ` on list `k`.
+    #[must_use]
+    pub fn link_load(&self, k: usize, pos: Pos, succ: Pos) -> (Address, u32) {
+        (self.addr(k, pos) + NEXT_OFF, word(self.addr(k, succ)))
+    }
+
+    /// Pass one of a two-pass first-fit walk: iterates list `k`
+    /// host-only over the slab from `start`, appending to `out` exactly
+    /// the loads the traced walk performs — `header(size)` at each
+    /// visited member's address, the successor link word at each hop —
+    /// as `(raw address, value)` pairs, until `fits(size)` accepts a
+    /// member or the walk returns to `start`. Returns the accepting
+    /// slot plus the `(visits, hops)` counts; the caller replays `out`
+    /// through [`sim_mem::MemCtx::shadow_load_burst`] and charges the
+    /// walk's `ops` in bulk. Each slab node is fetched once per step
+    /// (carried, with its successor slot, into the next iteration),
+    /// which is the entire point: the walk runs over the cache-dense
+    /// slab instead of pointer-chasing the heap image.
+    #[must_use]
+    pub fn walk_first_fit(
+        &self,
+        k: usize,
+        start: Pos,
+        out: &mut Vec<(u32, u32)>,
+        header: impl Fn(u32) -> u32,
+        mut fits: impl FnMut(u32) -> bool,
+    ) -> (Option<Slot>, u64, u64) {
+        let next_off = u32::try_from(NEXT_OFF).expect("link offset fits in a word");
+        let load = |pos: Pos| match pos {
+            Pos::Head => {
+                (word(self.sentinels[k]), 0, self.inner.head(k).map_or(Pos::Head, Pos::Node))
+            }
+            Pos::Node(s) => {
+                let (addr, size, next) = self.inner.node_with_next(s);
+                (addr, size, next.map_or(Pos::Head, Pos::Node))
+            }
+        };
+        let (mut visits, mut hops) = (0u64, 0u64);
+        let mut pos = start;
+        let (mut addr, mut size, mut succ) = load(start);
+        let hit = loop {
+            if let Pos::Node(slot) = pos {
+                out.push((addr, header(size)));
+                visits += 1;
+                if fits(size) {
+                    break Some(slot);
+                }
+            }
+            let (succ_addr, succ_size, succ_next) = load(succ);
+            out.push((addr + next_off, succ_addr));
+            hops += 1;
+            pos = succ;
+            (addr, size, succ) = (succ_addr, succ_size, succ_next);
+            if pos == start {
+                break None;
+            }
+        };
+        (hit, visits, hops)
+    }
+
+    /// Mirrors `layout::list::next`: emits the successor-link load and
+    /// returns the successor position.
+    pub fn next(&self, ctx: &mut MemCtx<'_>, k: usize, pos: Pos) -> Pos {
+        let succ = self.peek_next(k, pos);
+        let (addr, value) = self.link_load(k, pos, succ);
+        ctx.shadow_load(addr, value);
+        succ
+    }
+
+    /// Mirrors `layout::list::insert_after`: emits one link load and
+    /// four link stores plus `ops(2)`, and records the new member.
+    pub fn insert_after(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        m: &mut WordMirror,
+        k: usize,
+        pos: Pos,
+        new: Address,
+        size: u32,
+    ) {
+        let succ = self.next(ctx, k, pos);
+        let succ_addr = self.addr(k, succ);
+        let pos_addr = self.addr(k, pos);
+        m.store(ctx, new + NEXT_OFF, word(succ_addr));
+        m.store(ctx, new + PREV_OFF, word(pos_addr));
+        m.store(ctx, pos_addr + NEXT_OFF, word(new));
+        m.store(ctx, succ_addr + PREV_OFF, word(new));
+        ctx.ops(2);
+        match pos {
+            Pos::Head => self.inner.push_front(k, new, size),
+            Pos::Node(s) => self.inner.insert_after(k, s, new, size),
+        }
+        self.occupancy.set(k);
+    }
+
+    /// Mirrors `layout::list::unlink`: emits both link loads and the
+    /// two splice stores plus `ops(2)`, removes the member, and returns
+    /// its `(addr, size)`.
+    pub fn unlink(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        m: &mut WordMirror,
+        k: usize,
+        slot: Slot,
+    ) -> (Address, u32) {
+        let node_addr = self.inner.node(slot).0;
+        let succ = self.inner.next(slot).map_or(Pos::Head, Pos::Node);
+        let pred = self.inner.prev(slot).map_or(Pos::Head, Pos::Node);
+        let succ_addr = self.addr(k, succ);
+        let pred_addr = self.addr(k, pred);
+        ctx.shadow_load(node_addr + NEXT_OFF, word(succ_addr));
+        ctx.shadow_load(node_addr + PREV_OFF, word(pred_addr));
+        m.store(ctx, pred_addr + NEXT_OFF, word(succ_addr));
+        m.store(ctx, succ_addr + PREV_OFF, word(pred_addr));
+        ctx.ops(2);
+        let out = self.inner.unlink(k, slot);
+        self.note_membership(k);
+        out
+    }
+
+    /// Mirrors `layout::list::replace`: emits the old member's two link
+    /// loads and four splice stores plus `ops(2)`, and re-keys the slab
+    /// node to the new block in place.
+    pub fn replace(
+        &mut self,
+        ctx: &mut MemCtx<'_>,
+        m: &mut WordMirror,
+        k: usize,
+        slot: Slot,
+        new: Address,
+        size: u32,
+    ) {
+        let old_addr = self.inner.node(slot).0;
+        let succ = self.inner.next(slot).map_or(Pos::Head, Pos::Node);
+        let pred = self.inner.prev(slot).map_or(Pos::Head, Pos::Node);
+        let succ_addr = self.addr(k, succ);
+        let pred_addr = self.addr(k, pred);
+        ctx.shadow_load(old_addr + NEXT_OFF, word(succ_addr));
+        ctx.shadow_load(old_addr + PREV_OFF, word(pred_addr));
+        m.store(ctx, new + NEXT_OFF, word(succ_addr));
+        m.store(ctx, new + PREV_OFF, word(pred_addr));
+        m.store(ctx, pred_addr + NEXT_OFF, word(new));
+        m.store(ctx, succ_addr + PREV_OFF, word(new));
+        ctx.ops(2);
+        self.inner.replace(slot, new, size);
+    }
+}
+
+#[inline]
+fn word(a: Address) -> u32 {
+    u32::try_from(a.raw()).expect("simulated addresses fit in a word")
+}
+
+/// Inverse of [`word`]: widens a raw heap word back to an [`Address`].
+#[inline]
+fn unword(w: u32) -> Address {
+    Address::new(u64::from(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::{HeapImage, InstrCounter, MemCtx, VecSink};
+
+    #[test]
+    fn word_mirror_tracks_stores_and_defaults_to_zero() {
+        let mut heap = HeapImage::new();
+        let mut sink = VecSink::new();
+        let mut instrs = InstrCounter::new();
+        let mut ctx = MemCtx::new(&mut heap, &mut sink, &mut instrs);
+        let base = ctx.sbrk(64).unwrap();
+
+        let mut mirror = WordMirror::new();
+        assert_eq!(mirror.get(base), 0);
+        mirror.store(&mut ctx, base + 8, 0xdead_beef);
+        assert_eq!(mirror.get(base + 8), 0xdead_beef);
+        // A traced load returns the mirror value; debug builds also
+        // assert it matches the heap image (which store wrote through).
+        assert_eq!(mirror.load(&mut ctx, base + 8), 0xdead_beef);
+        assert_eq!(mirror.load(&mut ctx, base), 0);
+    }
+
+    #[test]
+    fn shadow_list_mirrors_order_and_unlinks_in_place() {
+        let a = |n: u64| Address::new(HEAP_BASE + n * 16);
+        let mut l = ShadowList::new(2);
+        assert!(l.is_empty());
+        l.push_front(0, a(1), 16);
+        l.push_front(0, a(2), 24);
+        l.push_back(0, a(3), 32);
+        l.push_back(1, a(9), 48);
+        // List 0 order: a2, a1, a3.
+        let h = l.head(0).unwrap();
+        assert_eq!(l.node(h), (a(2), 24));
+        let s1 = l.next(h).unwrap();
+        assert_eq!(l.node(s1), (a(1), 16));
+        let s3 = l.next(s1).unwrap();
+        assert_eq!(l.node(s3), (a(3), 32));
+        assert!(l.next(s3).is_none());
+
+        // O(1) unlink from the middle.
+        assert_eq!(l.unlink(0, s1), (a(1), 16));
+        let h = l.head(0).unwrap();
+        assert_eq!(l.node(h).0, a(2));
+        assert_eq!(l.node(l.next(h).unwrap()).0, a(3));
+
+        // Address-keyed unlink.
+        assert_eq!(l.unlink_addr(0, a(2)), Some(24));
+        assert_eq!(l.unlink_addr(0, a(7)), None);
+        assert_eq!(l.unlink_addr(1, a(9)), Some(48));
+        assert!(l.list_is_empty(1));
+        assert_eq!(l.len(), 1);
+
+        // insert_after keeps order and tail bookkeeping.
+        let h = l.head(0).unwrap();
+        l.insert_after(0, h, a(5), 64);
+        let s5 = l.next(h).unwrap();
+        assert_eq!(l.node(s5), (a(5), 64));
+        l.set_size(s5, 72);
+        assert_eq!(l.node(s5).1, 72);
+        assert!(l.next(s5).is_none(), "inserted after old tail becomes tail");
+    }
+
+    #[test]
+    fn tagged_list_emits_exactly_what_layout_list_does() {
+        use crate::layout::list;
+
+        // Drive the same op sequence through layout::list on one heap
+        // and TaggedList on another; streams, instruction counts, and
+        // final heap bytes must match word for word. shadow_load's
+        // debug assertions additionally check slab/heap coherence on
+        // every load.
+        fn setup(heap: &mut HeapImage) -> (Address, [Address; 3]) {
+            let head = heap.sbrk(list::SENTINEL_BYTES).unwrap();
+            let a = heap.sbrk(16).unwrap();
+            let b = heap.sbrk(16).unwrap();
+            let c = heap.sbrk(16).unwrap();
+            (head, [a, b, c])
+        }
+
+        let mut heap_ref = HeapImage::new();
+        let mut sink_ref = VecSink::new();
+        let mut instr_ref = InstrCounter::new();
+        let (head, [a, b, c]) = setup(&mut heap_ref);
+        {
+            let ctx = &mut MemCtx::new(&mut heap_ref, &mut sink_ref, &mut instr_ref);
+            list::init_head(ctx, head);
+            list::insert_after(ctx, head, a);
+            list::insert_after(ctx, head, b);
+            list::insert_after(ctx, b, c);
+            assert_eq!(list::next(ctx, head), b);
+            list::unlink(ctx, c);
+            list::replace(ctx, b, c);
+            assert_eq!(list::next(ctx, head), c);
+            assert_eq!(list::next(ctx, c), a);
+            list::unlink(ctx, a);
+            list::unlink(ctx, c);
+            assert!(list::is_empty(ctx, head));
+        }
+
+        let mut heap_new = HeapImage::new();
+        let mut sink_new = VecSink::new();
+        let mut instr_new = InstrCounter::new();
+        let (head2, [a2, b2, c2]) = setup(&mut heap_new);
+        assert_eq!((head, a, b, c), (head2, a2, b2, c2));
+        {
+            let ctx = &mut MemCtx::new(&mut heap_new, &mut sink_new, &mut instr_new);
+            let m = &mut WordMirror::new();
+            let mut l = TaggedList::new(1);
+            l.init_head(ctx, m, 0, head);
+            l.insert_after(ctx, m, 0, Pos::Head, a, 16);
+            l.insert_after(ctx, m, 0, Pos::Head, b, 16);
+            let sb = l.slot_of(b).unwrap();
+            l.insert_after(ctx, m, 0, Pos::Node(sb), c, 16);
+            assert_eq!(l.next(ctx, 0, Pos::Head), Pos::Node(sb));
+            let sc = l.slot_of(c).unwrap();
+            l.unlink(ctx, m, 0, sc);
+            l.replace(ctx, m, 0, sb, c, 16);
+            let sc = l.slot_of(c).unwrap();
+            assert_eq!(l.next(ctx, 0, Pos::Head), Pos::Node(sc));
+            let sa = l.slot_of(a).unwrap();
+            assert_eq!(l.next(ctx, 0, Pos::Node(sc)), Pos::Node(sa));
+            l.unlink(ctx, m, 0, sa);
+            l.unlink(ctx, m, 0, sc);
+            // Mirror list::is_empty — one sentinel next-link load.
+            assert_eq!(l.next(ctx, 0, Pos::Head), Pos::Head);
+            assert!(l.list_is_empty(0));
+            assert_eq!(l.first_nonempty_at_least(0), None);
+        }
+
+        assert_eq!(sink_new.refs, sink_ref.refs, "emitted streams diverge");
+        assert_eq!(instr_new, instr_ref, "instruction charges diverge");
+        let words = (heap_ref.brk() - heap_ref.base()) / 4;
+        for i in 0..words {
+            let at = heap_ref.base() + i * 4;
+            assert_eq!(heap_new.read_u32(at), heap_ref.read_u32(at), "heap diverges at {at}");
+        }
+    }
+
+    #[test]
+    fn class_index_tracks_last_leaver() {
+        let mut ix = ClassIndex::new(128);
+        ix.add(5);
+        ix.add(5);
+        ix.add(64);
+        assert_eq!(ix.first_at_least(0), Some(5));
+        ix.remove(5);
+        assert_eq!(ix.first_at_least(0), Some(5), "one block of class 5 remains");
+        ix.remove(5);
+        assert_eq!(ix.first_at_least(0), Some(64));
+        ix.remove(64);
+        assert_eq!(ix.first_at_least(0), None);
+    }
+
+    #[test]
+    fn class_bitmap_finds_first_set_across_words() {
+        let mut b = ClassBitmap::new();
+        assert_eq!(b.first_at_least(0), None);
+        b.set(3);
+        b.set(70);
+        b.set(4095);
+        assert!(b.is_set(3) && b.is_set(70) && b.is_set(4095));
+        assert_eq!(b.first_at_least(0), Some(3));
+        assert_eq!(b.first_at_least(3), Some(3));
+        assert_eq!(b.first_at_least(4), Some(70));
+        assert_eq!(b.first_at_least(63), Some(70));
+        assert_eq!(b.first_at_least(64), Some(70));
+        assert_eq!(b.first_at_least(71), Some(4095));
+        b.clear(70);
+        assert!(!b.is_set(70));
+        assert_eq!(b.first_at_least(4), Some(4095));
+        b.clear(3);
+        b.clear(4095);
+        assert_eq!(b.first_at_least(0), None);
+    }
+}

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! report_check FILE [--expect N]
+//!              [--write-missrates OUT]
+//!              [--expect-missrates EXPECTED [--tolerance T]]
 //! ```
 //!
 //! Every line must parse as an [`alloc_locality::RunReport`] and pass
@@ -9,19 +11,62 @@
 //! `N` reports. On success the tool prints a one-line summary per
 //! report; any failure names the offending line and exits non-zero,
 //! which is what CI's observability job keys on.
+//!
+//! The miss-rate modes are the fidelity soak: `--write-missrates`
+//! snapshots every cell's per-configuration data-cache miss rate into a
+//! JSON expectations file, and `--expect-missrates` re-checks a later
+//! run against that committed snapshot with an absolute tolerance
+//! (default 0.005). The simulation is deterministic, so the tolerance
+//! only absorbs *intentional* small placement shifts; anything that
+//! bends the paper's figures — a changed allocator decision, a broken
+//! coalesce — moves whole-cell miss rates past it and fails CI.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use alloc_locality::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Default absolute miss-rate tolerance for `--expect-missrates`.
+const DEFAULT_TOLERANCE: f64 = 0.005;
+
+/// One cell of the committed fidelity snapshot: the data-cache miss
+/// rate of a (program, allocator) run at one simulated configuration.
+#[derive(Debug, Serialize, Deserialize)]
+struct ExpectedCell {
+    program: String,
+    allocator: String,
+    /// The configuration's display form, e.g. `16K direct-mapped, 32B
+    /// blocks` — stable across runs because configs are value types.
+    cache: String,
+    miss_rate: f64,
+}
+
+/// The committed expectations file: a scale (miss rates are only
+/// comparable at the same workload scale) plus one entry per cell.
+#[derive(Debug, Serialize, Deserialize)]
+struct Expectations {
+    scale: f64,
+    cells: Vec<ExpectedCell>,
+}
 
 struct Args {
     path: std::path::PathBuf,
     expect: Option<usize>,
+    write_missrates: Option<std::path::PathBuf>,
+    expect_missrates: Option<std::path::PathBuf>,
+    tolerance: f64,
 }
+
+const USAGE: &str = "usage: report_check FILE [--expect N] [--write-missrates OUT] \
+                     [--expect-missrates EXPECTED [--tolerance T]]";
 
 fn parse_args() -> Result<Args, String> {
     let mut path = None;
     let mut expect = None;
+    let mut write_missrates = None;
+    let mut expect_missrates = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -29,21 +74,118 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--expect needs a count")?;
                 expect = Some(v.parse().map_err(|e| format!("bad count {v}: {e}"))?);
             }
-            "--help" | "-h" => {
-                return Err("usage: report_check FILE [--expect N]".into());
+            "--write-missrates" => {
+                let v = args.next().ok_or("--write-missrates needs a path")?;
+                write_missrates = Some(std::path::PathBuf::from(v));
             }
+            "--expect-missrates" => {
+                let v = args.next().ok_or("--expect-missrates needs a path")?;
+                expect_missrates = Some(std::path::PathBuf::from(v));
+            }
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = v.parse().map_err(|e| format!("bad tolerance {v}: {e}"))?;
+                if tolerance.is_nan() || tolerance < 0.0 {
+                    return Err("tolerance must be non-negative".into());
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
             other if path.is_none() => path = Some(std::path::PathBuf::from(other)),
             other => return Err(format!("unexpected argument {other:?}; try --help")),
         }
     }
-    Ok(Args { path: path.ok_or("usage: report_check FILE [--expect N]")?, expect })
+    Ok(Args { path: path.ok_or(USAGE)?, expect, write_missrates, expect_missrates, tolerance })
+}
+
+/// Flattens one report into `(program, allocator, config) → miss rate`
+/// entries, in the result's own configuration order.
+fn cells_of(report: &RunReport) -> impl Iterator<Item = (ExpectedCell, f64)> + '_ {
+    report.result.cache.iter().map(|(cfg, stats)| {
+        let rate = stats.miss_rate();
+        (
+            ExpectedCell {
+                program: report.program.clone(),
+                allocator: report.allocator.clone(),
+                cache: cfg.to_string(),
+                miss_rate: rate,
+            },
+            rate,
+        )
+    })
+}
+
+fn write_missrates(path: &std::path::Path, reports: &[RunReport]) -> Result<(), String> {
+    let scale = reports.first().map(|r| r.scale).unwrap_or(0.0);
+    if let Some(r) = reports.iter().find(|r| r.scale != scale) {
+        return Err(format!(
+            "mixed scales in input ({scale} vs {} for {}/{}); refusing to snapshot",
+            r.scale, r.program, r.allocator
+        ));
+    }
+    let cells = reports.iter().flat_map(|r| cells_of(r).map(|(c, _)| c)).collect();
+    let exp = Expectations { scale, cells };
+    let json = serde_json::to_string_pretty(&exp).expect("serialize expectations");
+    std::fs::write(path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("[wrote {} ({} cells)]", path.display(), exp.cells.len());
+    Ok(())
+}
+
+fn check_missrates(
+    path: &std::path::Path,
+    tolerance: f64,
+    reports: &[RunReport],
+) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let exp: Expectations =
+        serde_json::from_str(&text).map_err(|e| format!("{}: parse: {e}", path.display()))?;
+    let mut actual = BTreeMap::new();
+    for r in reports {
+        if r.scale != exp.scale {
+            return Err(format!(
+                "{}/{} ran at scale {}, expectations are for scale {}",
+                r.program, r.allocator, r.scale, exp.scale
+            ));
+        }
+        for (cell, rate) in cells_of(r) {
+            actual.insert((cell.program, cell.allocator, cell.cache), rate);
+        }
+    }
+    let mut failures = Vec::new();
+    for cell in &exp.cells {
+        let key = (cell.program.clone(), cell.allocator.clone(), cell.cache.clone());
+        match actual.get(&key) {
+            None => failures.push(format!(
+                "{}/{} [{}]: expected cell missing from the run",
+                cell.program, cell.allocator, cell.cache
+            )),
+            Some(&rate) if (rate - cell.miss_rate).abs() > tolerance => failures.push(format!(
+                "{}/{} [{}]: miss rate {:.6} deviates from expected {:.6} by {:+.6} (> ±{tolerance})",
+                cell.program, cell.allocator, cell.cache, rate, cell.miss_rate,
+                rate - cell.miss_rate
+            )),
+            Some(_) => {}
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        return Err(format!(
+            "{} of {} expected miss-rate cells out of tolerance",
+            failures.len(),
+            exp.cells.len()
+        ));
+    }
+    eprintln!("{} miss-rate cells within ±{tolerance} of {}", exp.cells.len(), path.display());
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let text = std::fs::read_to_string(&args.path)
         .map_err(|e| format!("read {}: {e}", args.path.display()))?;
-    let mut count = 0usize;
+    let mut reports = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -61,17 +203,23 @@ fn run() -> Result<(), String> {
             "{:<10} {:<10} mallocs {:<8} mean search {:<6.2} mean coalesce {:.3}",
             report.program, report.allocator, search.count, search.mean, coalesce
         );
-        count += 1;
+        reports.push(report);
     }
     if let Some(expect) = args.expect {
-        if count != expect {
-            return Err(format!("expected {expect} reports, found {count}"));
+        if reports.len() != expect {
+            return Err(format!("expected {expect} reports, found {}", reports.len()));
         }
     }
-    if count == 0 {
+    if reports.is_empty() {
         return Err(format!("{}: no reports found", args.path.display()));
     }
-    eprintln!("{count} report(s) valid");
+    if let Some(out) = &args.write_missrates {
+        write_missrates(out, &reports)?;
+    }
+    if let Some(expected) = &args.expect_missrates {
+        check_missrates(expected, args.tolerance, &reports)?;
+    }
+    eprintln!("{} report(s) valid", reports.len());
     Ok(())
 }
 

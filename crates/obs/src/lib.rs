@@ -29,6 +29,33 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+/// Canonical metric names emitted by the simulation stack.
+///
+/// The dotted-path strings are part of the run-report schema (consumers
+/// key on them in JSONL metrics), so they are defined once here and
+/// referenced by the emitting crates — renaming one is a schema change,
+/// not a refactor.
+pub mod names {
+    /// Freelist nodes visited per `malloc` (histogram).
+    pub const SEARCH_LEN: &str = "alloc.search_len";
+    /// Boundary-tag merges per `free` (histogram).
+    pub const COALESCE_PER_FREE: &str = "alloc.coalesce_per_free";
+    /// Boundary-tag words read (counter).
+    pub const TAG_READS: &str = "alloc.tag_reads";
+    /// Boundary-tag words written (counter).
+    pub const TAG_WRITES: &str = "alloc.tag_writes";
+    /// Occupancy-bitmap probes on the rebuilt search fast paths
+    /// (counter): each find-first-set consultation of a size-class or
+    /// bin bitmap before a walk.
+    pub const BITMAP_PROBE: &str = "alloc.bitmap_probe";
+    /// Array-indexed quicklist fast-path hits on the rebuilt QuickFit
+    /// (counter).
+    pub const QUICK_HIT: &str = "alloc.quick_hit";
+    /// Coalesce merges resolved from mirrored boundary tags on the
+    /// rebuilt allocators (counter).
+    pub const BOUNDARY_COALESCE: &str = "alloc.boundary_coalesce";
+}
+
 /// Sink for metrics emitted while a simulation runs.
 ///
 /// Implementations must be cheap: `add`/`observe` sit on the per-malloc

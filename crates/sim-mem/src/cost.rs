@@ -76,6 +76,7 @@ impl InstrCounter {
     }
 
     /// Charges `n` instructions to the current phase.
+    #[inline]
     pub fn add(&mut self, n: u64) {
         self.counts[self.phase.index()] += n;
     }

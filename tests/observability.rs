@@ -112,6 +112,46 @@ fn extension_allocators_emit_full_reports() {
 }
 
 #[test]
+fn allocator_engine_counters_surface_through_the_recorder() {
+    // The O(1) hot-path machinery must be visible to the recorder — and,
+    // per the test above, invisible to the result. FirstFit probes its
+    // size-class occupancy bitmap once per freelist search (one search
+    // per malloc) and counts every boundary-tag merge.
+    let (result, metrics) = experiment(CacheEngine::Sweep, PipelineMode::Inline)
+        .run_instrumented()
+        .expect("instrumented run");
+    assert_eq!(
+        metrics.counter(obs::names::BITMAP_PROBE),
+        result.alloc_stats.mallocs,
+        "one occupancy-bitmap probe per FirstFit search"
+    );
+    assert_eq!(
+        metrics.counter(obs::names::BOUNDARY_COALESCE),
+        result.alloc_stats.coalesces,
+        "one boundary-coalesce count per merge"
+    );
+    assert!(result.alloc_stats.coalesces > 0, "workload must exercise coalescing");
+
+    // QuickFit pops warm quicklists; the hit counter covers exactly the
+    // warm pops, a subset of the fast-path mallocs in its stats.
+    let exp = Experiment::new(Program::Espresso, AllocChoice::Paper(AllocatorKind::QuickFit))
+        .options(SimOptions {
+            cache_configs: vec![CacheConfig::direct_mapped(16 * 1024, 32)],
+            paging: false,
+            scale: Scale(0.002),
+            ..SimOptions::default()
+        });
+    let (result, metrics) = exp.run_instrumented().expect("QuickFit instrumented run");
+    let quick = metrics.counter(obs::names::QUICK_HIT);
+    assert!(quick > 0, "warm quicklist pops must be counted");
+    assert!(
+        quick <= result.alloc_stats.quick_hits,
+        "warm pops are a subset of fast-path mallocs ({quick} > {})",
+        result.alloc_stats.quick_hits
+    );
+}
+
+#[test]
 fn run_report_round_trips_through_jsonl() {
     let report =
         experiment(CacheEngine::Sweep, PipelineMode::Inline).report().expect("instrumented run");
