@@ -12,11 +12,22 @@
 //! loadgen --addr HOST:PORT [--programs a,b] [--allocators x,y]
 //!         [--scale F] [--cache-kb 16,64] [--no-paging] [--clients N]
 //!         [--dup-rounds N] [--wait-secs N] [--fetch reports.jsonl]
-//!         [--out BENCH_serve.json] [--min-hit-reduction F] [--shutdown]
+//!         [--out BENCH_serve.json] [--min-hit-reduction F]
+//!         [--slo-p99-ms MS] [--shutdown]
 //! ```
 //!
 //! Exits non-zero when the duplicate phase fails to undercut fresh mean
-//! latency by at least `--min-hit-reduction` (default 0.90).
+//! latency by at least `--min-hit-reduction` (default 0.90), or — with
+//! `--slo-p99-ms` — when the fresh phase's p99 latency exceeds the
+//! bound. The SLO check prints the server-measured queue-wait versus
+//! execute split (from each job's span telemetry), so a breach is
+//! immediately attributable to queueing or to the simulation itself.
+//!
+//! Latency percentiles are resolved through [`obs::Hist`]'s log2-bucket
+//! [`percentile`](obs::Hist::percentile) — the same arithmetic the
+//! daemon's own endpoint histograms use — while means stay exact
+//! (computed from the raw durations), since the cache-hit reduction
+//! gate keys on them.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -38,6 +49,7 @@ struct Args {
     fetch: Option<String>,
     out: String,
     min_hit_reduction: f64,
+    slo_p99_ms: Option<f64>,
     shutdown: bool,
 }
 
@@ -56,6 +68,7 @@ impl Default for Args {
             fetch: None,
             out: "BENCH_serve.json".into(),
             min_hit_reduction: 0.90,
+            slo_p99_ms: None,
             shutdown: false,
         }
     }
@@ -66,7 +79,7 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--programs a,b] [--allocators x,y] [--scale F]\n\
          \x20              [--cache-kb 16,64] [--no-paging] [--clients N] [--dup-rounds N]\n\
          \x20              [--wait-secs N] [--fetch PATH] [--out PATH] [--min-hit-reduction F]\n\
-         \x20              [--shutdown]"
+         \x20              [--slo-p99-ms MS] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -120,6 +133,10 @@ fn parse_args() -> Args {
                 out.min_hit_reduction =
                     parse(&flag_value(&mut args, "--min-hit-reduction"), "--min-hit-reduction");
             }
+            "--slo-p99-ms" => {
+                out.slo_p99_ms =
+                    Some(parse(&flag_value(&mut args, "--slo-p99-ms"), "--slo-p99-ms"));
+            }
             "--shutdown" => out.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -147,22 +164,29 @@ struct PhaseStats {
 }
 
 fn phase_stats(latencies: &[Duration]) -> PhaseStats {
-    let mut ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
-    ms.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if ms.is_empty() {
-            return 0.0;
-        }
-        let idx = (p * (ms.len() - 1) as f64).round() as usize;
-        ms[idx.min(ms.len() - 1)]
-    };
+    // Percentiles resolve through the shared log2-bucket histogram (in
+    // microseconds) — identical arithmetic to the daemon's endpoint
+    // histograms, so client-side and server-side p99 are comparable.
+    // The mean stays exact over the raw durations: the cache-hit
+    // latency-reduction gate divides two means, and bucketing them
+    // would slacken that check.
+    let mut hist = obs::Hist::default();
+    let mut sum_ms = 0.0;
+    let mut max_ms = 0.0f64;
+    for d in latencies {
+        let ms = d.as_secs_f64() * 1e3;
+        hist.record(d.as_micros() as u64);
+        sum_ms += ms;
+        max_ms = max_ms.max(ms);
+    }
+    let pct = |p: f64| hist.percentile(p) as f64 / 1e3;
     PhaseStats {
-        requests: ms.len() as u64,
-        mean_ms: if ms.is_empty() { 0.0 } else { ms.iter().sum::<f64>() / ms.len() as f64 },
+        requests: latencies.len() as u64,
+        mean_ms: if latencies.is_empty() { 0.0 } else { sum_ms / latencies.len() as f64 },
         p50_ms: pct(0.50),
         p90_ms: pct(0.90),
         p99_ms: pct(0.99),
-        max_ms: ms.last().copied().unwrap_or(0.0),
+        max_ms,
     }
 }
 
@@ -186,32 +210,49 @@ struct LoadgenReport {
     hit_latency_reduction: f64,
 }
 
+/// One completed job as the client observed it, plus the server's
+/// span-derived telemetry for the job (absent on cache hits and for
+/// servers that predate the tracing schema).
+struct JobRun {
+    spec_idx: usize,
+    latency: Duration,
+    line: String,
+    cached: bool,
+    queue_wait_ns: Option<u64>,
+    execute_ns: Option<u64>,
+}
+
 /// One unit of work: submit the spec, wait until done, fetch the line.
-fn run_job(
-    client: &Client,
-    spec: &JobSpec,
-    wait: Duration,
-) -> Result<(Duration, String, bool), String> {
+fn run_job(client: &Client, spec: &JobSpec, wait: Duration) -> Result<JobRun, String> {
     let start = Instant::now();
     let submitted = client.submit(spec).map_err(|e| e.to_string())?;
     // A cache hit on a finished job answers "done" in the submit itself;
     // polling again would only measure round trips.
+    let (mut queue_wait_ns, mut execute_ns) = (None, None);
     if submitted.status != "done" {
-        client.wait_done(&submitted.id, wait).map_err(|e| e.to_string())?;
+        let status = client.wait_done(&submitted.id, wait).map_err(|e| e.to_string())?;
+        queue_wait_ns = status.queue_wait_ns;
+        execute_ns = status.execute_ns;
     }
     let line = client.fetch_report(&submitted.id).map_err(|e| e.to_string())?;
-    Ok((start.elapsed(), line, submitted.cached))
+    Ok(JobRun {
+        spec_idx: 0,
+        latency: start.elapsed(),
+        line,
+        cached: submitted.cached,
+        queue_wait_ns,
+        execute_ns,
+    })
 }
 
 /// Fans `work` (indices into `specs`) out over `clients` threads.
-/// Returns per-item `(spec index, latency, report line, cached)`.
 fn run_phase(
     addr: SocketAddr,
     specs: &[JobSpec],
     work: &[usize],
     clients: usize,
     wait: Duration,
-) -> Result<Vec<(usize, Duration, String, bool)>, String> {
+) -> Result<Vec<JobRun>, String> {
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -223,7 +264,7 @@ fn run_phase(
                             continue;
                         }
                         let run = run_job(&client, &specs[spec_idx], wait)?;
-                        out.push((spec_idx, run.0, run.1, run.2));
+                        out.push(JobRun { spec_idx, ..run });
                     }
                     Ok::<_, String>(out)
                 })
@@ -297,17 +338,17 @@ fn main() {
         eprintln!("loadgen: duplicate phase failed: {e}");
         std::process::exit(1);
     });
-    let uncached = dup.iter().filter(|(_, _, _, cached)| !cached).count();
+    let uncached = dup.iter().filter(|r| !r.cached).count();
     if uncached > 0 {
         eprintln!("loadgen: {uncached} duplicate submissions missed the cache");
         std::process::exit(1);
     }
 
     // Duplicate fetches must serve bit-identical bytes.
-    for (spec_idx, _, line, _) in &dup {
-        let original = fresh.iter().find(|(i, ..)| i == spec_idx).map(|(_, _, l, _)| l);
-        if original != Some(line) {
-            eprintln!("loadgen: cached report for spec {spec_idx} differs from the original");
+    for run in &dup {
+        let original = fresh.iter().find(|r| r.spec_idx == run.spec_idx).map(|r| &r.line);
+        if original != Some(&run.line) {
+            eprintln!("loadgen: cached report for spec {} differs from the original", run.spec_idx);
             std::process::exit(1);
         }
     }
@@ -317,8 +358,8 @@ fn main() {
         std::process::exit(1);
     });
     let hits_expected = dup.len() as u64;
-    let fresh_stats = phase_stats(&fresh.iter().map(|(_, d, ..)| *d).collect::<Vec<_>>());
-    let dup_stats = phase_stats(&dup.iter().map(|(_, d, ..)| *d).collect::<Vec<_>>());
+    let fresh_stats = phase_stats(&fresh.iter().map(|r| r.latency).collect::<Vec<_>>());
+    let dup_stats = phase_stats(&dup.iter().map(|r| r.latency).collect::<Vec<_>>());
     let reduction =
         if fresh_stats.mean_ms > 0.0 { 1.0 - dup_stats.mean_ms / fresh_stats.mean_ms } else { 0.0 };
     let report = LoadgenReport {
@@ -342,7 +383,7 @@ fn main() {
 
     if let Some(path) = &args.fetch {
         let mut lines: Vec<(usize, &str)> =
-            fresh.iter().map(|(i, _, l, _)| (*i, l.as_str())).collect();
+            fresh.iter().map(|r| (r.spec_idx, r.line.as_str())).collect();
         lines.sort_by_key(|(i, _)| *i);
         let body: String = lines.iter().map(|(_, l)| format!("{l}\n")).collect();
         if let Err(e) = std::fs::write(path, body) {
@@ -385,5 +426,37 @@ fn main() {
             100.0 * args.min_hit_reduction
         );
         std::process::exit(1);
+    }
+
+    if let Some(slo) = args.slo_p99_ms {
+        // Attribute fresh-phase latency with the server's own span
+        // telemetry: how much of each job's wall time sat in the queue
+        // versus executing the simulation.
+        let with_split: Vec<_> =
+            fresh.iter().filter_map(|r| Some((r.queue_wait_ns?, r.execute_ns?))).collect();
+        if with_split.is_empty() {
+            eprintln!("loadgen: note: server reported no queue-wait/execute telemetry");
+        } else {
+            let n = with_split.len() as f64;
+            let queue_ms = with_split.iter().map(|(q, _)| *q as f64 / 1e6).sum::<f64>() / n;
+            let exec_ms = with_split.iter().map(|(_, e)| *e as f64 / 1e6).sum::<f64>() / n;
+            eprintln!(
+                "loadgen: fresh jobs averaged {queue_ms:.1} ms queued vs {exec_ms:.1} ms \
+                 executing ({} of {} jobs reported telemetry)",
+                with_split.len(),
+                fresh.len()
+            );
+        }
+        if report.fresh.p99_ms > slo {
+            eprintln!(
+                "loadgen: FAIL fresh-phase p99 {:.1} ms exceeds the --slo-p99-ms {slo:.1} bound",
+                report.fresh.p99_ms
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "loadgen: fresh-phase p99 {:.1} ms within the {slo:.1} ms SLO",
+            report.fresh.p99_ms
+        );
     }
 }

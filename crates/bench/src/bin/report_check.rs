@@ -1,7 +1,8 @@
 //! `report_check`: validates a JSONL metrics file from `repro --metrics`.
 //!
 //! ```text
-//! report_check FILE [--expect N]
+//! report_check [FILE] [--expect N]
+//!              [--expect-trace TRACE]
 //!              [--write-missrates OUT]
 //!              [--expect-missrates EXPECTED [--tolerance T]]
 //! ```
@@ -11,6 +12,12 @@
 //! `N` reports. On success the tool prints a one-line summary per
 //! report; any failure names the offending line and exits non-zero,
 //! which is what CI's observability job keys on.
+//!
+//! `--expect-trace TRACE` validates an `alloc-locality.trace` v1 JSONL
+//! file (from `repro --trace` or `GET /jobs/{id}/trace`): schema and
+//! version fields, monotone timestamps, every span's parent preceding
+//! and containing it, root spans disjoint and ordered. It works with or
+//! without a report FILE; given alone, `--expect N` counts traces.
 //!
 //! The miss-rate modes are the fidelity soak: `--write-missrates`
 //! snapshots every cell's per-configuration data-cache miss rate into a
@@ -51,19 +58,22 @@ struct Expectations {
 }
 
 struct Args {
-    path: std::path::PathBuf,
+    path: Option<std::path::PathBuf>,
     expect: Option<usize>,
+    expect_trace: Option<std::path::PathBuf>,
     write_missrates: Option<std::path::PathBuf>,
     expect_missrates: Option<std::path::PathBuf>,
     tolerance: f64,
 }
 
-const USAGE: &str = "usage: report_check FILE [--expect N] [--write-missrates OUT] \
+const USAGE: &str = "usage: report_check [FILE] [--expect N] [--expect-trace TRACE] \
+                     [--write-missrates OUT] \
                      [--expect-missrates EXPECTED [--tolerance T]]";
 
 fn parse_args() -> Result<Args, String> {
     let mut path = None;
     let mut expect = None;
+    let mut expect_trace = None;
     let mut write_missrates = None;
     let mut expect_missrates = None;
     let mut tolerance = DEFAULT_TOLERANCE;
@@ -73,6 +83,10 @@ fn parse_args() -> Result<Args, String> {
             "--expect" => {
                 let v = args.next().ok_or("--expect needs a count")?;
                 expect = Some(v.parse().map_err(|e| format!("bad count {v}: {e}"))?);
+            }
+            "--expect-trace" => {
+                let v = args.next().ok_or("--expect-trace needs a path")?;
+                expect_trace = Some(std::path::PathBuf::from(v));
             }
             "--write-missrates" => {
                 let v = args.next().ok_or("--write-missrates needs a path")?;
@@ -94,7 +108,42 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument {other:?}; try --help")),
         }
     }
-    Ok(Args { path: path.ok_or(USAGE)?, expect, write_missrates, expect_missrates, tolerance })
+    if path.is_none() && expect_trace.is_none() {
+        return Err(USAGE.into());
+    }
+    Ok(Args { path, expect, expect_trace, write_missrates, expect_missrates, tolerance })
+}
+
+/// Validates an `alloc-locality.trace` v1 JSONL file: every non-empty
+/// line must parse and pass [`obs::TraceReport::validate`] (schema and
+/// version fields, monotone timestamps, parents preceding and
+/// containing their children, disjoint ordered roots).
+fn check_traces(path: &std::path::Path) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut count = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let trace = obs::TraceReport::parse(line)
+            .map_err(|e| format!("{}:{}: parse: {e}", path.display(), lineno + 1))?;
+        trace
+            .validate()
+            .map_err(|e| format!("{}:{}: invalid trace: {e}", path.display(), lineno + 1))?;
+        println!(
+            "trace {:<40} spans {:<6} roots {:<3} dropped {}",
+            trace.trace_id,
+            trace.spans.len(),
+            trace.roots().count(),
+            trace.dropped_spans
+        );
+        count += 1;
+    }
+    if count == 0 {
+        return Err(format!("{}: no traces found", path.display()));
+    }
+    Ok(count)
 }
 
 /// Flattens one report into `(program, allocator, config) → miss rate`
@@ -183,35 +232,38 @@ fn check_missrates(
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let text = std::fs::read_to_string(&args.path)
-        .map_err(|e| format!("read {}: {e}", args.path.display()))?;
     let mut reports = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    if let Some(path) = &args.path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let report = RunReport::parse(line)
+                .map_err(|e| format!("{}:{}: parse: {e}", path.display(), lineno + 1))?;
+            report
+                .validate()
+                .map_err(|e| format!("{}:{}: invalid: {e}", path.display(), lineno + 1))?;
+            let search = report.metrics.histogram("alloc.search_len").expect("validated");
+            // Absent for free-less programs (ptc): validation only demands
+            // it when the run actually freed.
+            let coalesce =
+                report.metrics.histogram("alloc.coalesce_per_free").map_or(0.0, |h| h.mean);
+            println!(
+                "{:<10} {:<10} mallocs {:<8} mean search {:<6.2} mean coalesce {:.3}",
+                report.program, report.allocator, search.count, search.mean, coalesce
+            );
+            reports.push(report);
         }
-        let report = RunReport::parse(line)
-            .map_err(|e| format!("{}:{}: parse: {e}", args.path.display(), lineno + 1))?;
-        report
-            .validate()
-            .map_err(|e| format!("{}:{}: invalid: {e}", args.path.display(), lineno + 1))?;
-        let search = report.metrics.histogram("alloc.search_len").expect("validated");
-        // Absent for free-less programs (ptc): validation only demands
-        // it when the run actually freed.
-        let coalesce = report.metrics.histogram("alloc.coalesce_per_free").map_or(0.0, |h| h.mean);
-        println!(
-            "{:<10} {:<10} mallocs {:<8} mean search {:<6.2} mean coalesce {:.3}",
-            report.program, report.allocator, search.count, search.mean, coalesce
-        );
-        reports.push(report);
-    }
-    if let Some(expect) = args.expect {
-        if reports.len() != expect {
-            return Err(format!("expected {expect} reports, found {}", reports.len()));
+        if let Some(expect) = args.expect {
+            if reports.len() != expect {
+                return Err(format!("expected {expect} reports, found {}", reports.len()));
+            }
         }
-    }
-    if reports.is_empty() {
-        return Err(format!("{}: no reports found", args.path.display()));
+        if reports.is_empty() {
+            return Err(format!("{}: no reports found", path.display()));
+        }
     }
     if let Some(out) = &args.write_missrates {
         write_missrates(out, &reports)?;
@@ -219,7 +271,21 @@ fn run() -> Result<(), String> {
     if let Some(expected) = &args.expect_missrates {
         check_missrates(expected, args.tolerance, &reports)?;
     }
-    eprintln!("{} report(s) valid", reports.len());
+    if let Some(trace_path) = &args.expect_trace {
+        let count = check_traces(trace_path)?;
+        // With no report file, `--expect` counts traces instead.
+        if args.path.is_none() {
+            if let Some(expect) = args.expect {
+                if count != expect {
+                    return Err(format!("expected {expect} traces, found {count}"));
+                }
+            }
+        }
+        eprintln!("{count} trace(s) valid");
+    }
+    if args.path.is_some() {
+        eprintln!("{} report(s) valid", reports.len());
+    }
     Ok(())
 }
 

@@ -20,8 +20,11 @@
 //! recorder attached and writes one schema-versioned
 //! [`alloc_locality::RunReport`] per cell as a line of `FILE` (JSONL);
 //! when no explicit target accompanies it, only the instrumented sweep
-//! runs. `--verbose` narrates every sweep to stderr, one line per
-//! completed cell with elapsed wall time.
+//! runs. `--trace FILE` does the same with a hierarchical tracer and
+//! writes one `alloc-locality.trace` v1 line per cell; given together,
+//! one traced sweep produces both files (results and metrics are
+//! bit-identical either way). `--verbose` narrates every sweep to
+//! stderr, one line per completed cell with elapsed wall time.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,7 +33,9 @@ use alloc_locality::experiments::{
     conflict_analysis, exec_time_figure, fig1, future_work_table, miss_curves, paging_figure,
     table1, table2, table6, time_table, two_level_study, victim_study,
 };
-use alloc_locality::{run_parallel_instrumented, AllocChoice, Experiment, RunReport, SimOptions};
+use alloc_locality::{
+    run_parallel_instrumented, run_parallel_traced, AllocChoice, Experiment, RunReport, SimOptions,
+};
 use bench::MatrixCache;
 use cache_sim::CacheConfig;
 use serde::Serialize;
@@ -65,6 +70,7 @@ struct Args {
     channel_depth: Option<usize>,
     json_dir: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
     verbose: bool,
     targets: Vec<String>,
 }
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = alloc_locality::default_threads();
     let mut json_dir = None;
     let mut metrics = None;
+    let mut trace = None;
     let mut stream_cache = None;
     let mut stream_cache_bytes = None;
     let mut channel_depth = None;
@@ -103,6 +110,9 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => {
                 metrics = Some(PathBuf::from(args.next().ok_or("--metrics needs a file path")?));
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a file path")?));
+            }
             "--stream-cache" => {
                 stream_cache =
                     Some(PathBuf::from(args.next().ok_or("--stream-cache needs a directory")?));
@@ -128,6 +138,7 @@ fn parse_args() -> Result<Args, String> {
                      [--verbose] [TARGET ...]\n\
                      --threads 0 (or omitted) auto-detects from available_parallelism\n\
                      --metrics FILE writes one instrumented RunReport per 5x5 cell as JSONL\n\
+                     --trace FILE writes one alloc-locality.trace v1 line per 5x5 cell\n\
                      --stream-cache DIR replays captured reference streams across invocations\n\
                      --stream-cache-bytes N bounds the stream cache, evicting oldest-written\n\
                      --channel-depth N sets the sharded pipeline's per-worker queue (default 8)\n\
@@ -141,9 +152,10 @@ fn parse_args() -> Result<Args, String> {
             t => return Err(format!("unknown target {t:?}; try --help")),
         }
     }
-    // `repro --metrics out.jsonl` alone means "just the instrumented
-    // sweep"; naming a target alongside it still runs that target.
-    if targets.is_empty() && metrics.is_none() {
+    // `repro --metrics out.jsonl` (or `--trace out.jsonl`) alone means
+    // "just the instrumented sweep"; naming a target alongside it still
+    // runs that target.
+    if targets.is_empty() && metrics.is_none() && trace.is_none() {
         targets.extend(ALL_TARGETS.iter().map(|s| s.to_string()));
     }
     targets.dedup();
@@ -155,14 +167,14 @@ fn parse_args() -> Result<Args, String> {
         channel_depth,
         json_dir,
         metrics,
+        trace,
         verbose,
         targets,
     })
 }
 
-/// Runs the paper's 5×5 matrix with the recorder attached and writes one
-/// validated [`RunReport`] per cell as a JSONL line of `path`.
-fn emit_metrics(args: &Args, path: &std::path::Path) -> Result<(), String> {
+/// The paper's 5×5 job list under the invocation's shared options.
+fn sweep_jobs(args: &Args) -> Vec<Experiment> {
     let defaults = SimOptions::default();
     let opts = SimOptions {
         scale: Scale(args.scale),
@@ -171,7 +183,7 @@ fn emit_metrics(args: &Args, path: &std::path::Path) -> Result<(), String> {
         channel_depth: args.channel_depth.unwrap_or(defaults.channel_depth),
         ..defaults
     };
-    let jobs: Vec<Experiment> = Program::FIVE
+    Program::FIVE
         .iter()
         .flat_map(|&p| {
             let opts = &opts;
@@ -179,12 +191,40 @@ fn emit_metrics(args: &Args, path: &std::path::Path) -> Result<(), String> {
                 .into_iter()
                 .map(move |c| Experiment::new(p, c).options(opts.clone()))
         })
-        .collect();
+        .collect()
+}
+
+/// Validates and writes one JSONL line per report into `path`.
+fn write_reports(
+    path: &std::path::Path,
+    reports: impl Iterator<Item = RunReport>,
+) -> Result<usize, String> {
+    let mut lines = String::new();
+    let mut count = 0;
+    for report in reports {
+        report
+            .validate()
+            .map_err(|e| format!("{}/{}: invalid report: {e}", report.program, report.allocator))?;
+        lines.push_str(&report.to_jsonl_line());
+        lines.push('\n');
+        count += 1;
+    }
+    std::fs::write(path, lines).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(count)
+}
+
+/// Runs the paper's 5×5 matrix instrumented — with a hierarchical
+/// tracer when `--trace` was given, a flat recorder otherwise — and
+/// writes the requested JSONL artifacts: validated [`RunReport`] lines
+/// to `--metrics`, validated `alloc-locality.trace` v1 lines to
+/// `--trace`. One sweep serves both flags; results and metrics are
+/// bit-identical between the two recorder shapes.
+fn emit_instrumented(args: &Args) -> Result<(), String> {
+    let jobs = sweep_jobs(args);
     let total = jobs.len();
     let start = std::time::Instant::now();
     let verbose = args.verbose;
-    eprintln!("# instrumented {total}-cell sweep at scale {}", args.scale);
-    let pairs = run_parallel_instrumented(jobs, args.threads, move |done, r| {
+    let progress = move |done: usize, r: &alloc_locality::RunResult| {
         if verbose {
             eprintln!(
                 "[{done}/{total}] {}/{} done ({:.1}s elapsed)",
@@ -193,19 +233,38 @@ fn emit_metrics(args: &Args, path: &std::path::Path) -> Result<(), String> {
                 start.elapsed().as_secs_f64()
             );
         }
-    })
-    .map_err(|e| format!("instrumented sweep: {e}"))?;
-    let mut lines = String::new();
-    for (result, metrics) in pairs {
-        let report = RunReport::new(result, metrics);
-        report
-            .validate()
-            .map_err(|e| format!("{}/{}: invalid report: {e}", report.program, report.allocator))?;
-        lines.push_str(&report.to_jsonl_line());
-        lines.push('\n');
+    };
+    if let Some(trace_path) = &args.trace {
+        eprintln!("# traced {total}-cell sweep at scale {}", args.scale);
+        let triples = run_parallel_traced(jobs, args.threads, progress)
+            .map_err(|e| format!("traced sweep: {e}"))?;
+        let mut trace_lines = String::new();
+        for (_, _, trace) in &triples {
+            trace.validate().map_err(|e| format!("{}: invalid trace: {e}", trace.trace_id))?;
+            trace_lines.push_str(&trace.to_json_line());
+            trace_lines.push('\n');
+        }
+        std::fs::write(trace_path, trace_lines)
+            .map_err(|e| format!("write {}: {e}", trace_path.display()))?;
+        eprintln!("[wrote {} ({total} traces)]", trace_path.display());
+        if let Some(metrics_path) = &args.metrics {
+            let count = write_reports(
+                metrics_path,
+                triples.into_iter().map(|(result, metrics, _)| RunReport::new(result, metrics)),
+            )?;
+            eprintln!("[wrote {} ({count} reports)]", metrics_path.display());
+        }
+        return Ok(());
     }
-    std::fs::write(path, lines).map_err(|e| format!("write {}: {e}", path.display()))?;
-    eprintln!("[wrote {} ({total} reports)]", path.display());
+    let path = args.metrics.as_ref().expect("emit_instrumented needs --metrics or --trace");
+    eprintln!("# instrumented {total}-cell sweep at scale {}", args.scale);
+    let pairs = run_parallel_instrumented(jobs, args.threads, progress)
+        .map_err(|e| format!("instrumented sweep: {e}"))?;
+    let count = write_reports(
+        path,
+        pairs.into_iter().map(|(result, metrics)| RunReport::new(result, metrics)),
+    )?;
+    eprintln!("[wrote {} ({count} reports)]", path.display());
     Ok(())
 }
 
@@ -222,8 +281,8 @@ fn emit<T: Serialize>(args: &Args, name: &str, text: &str, value: &T) {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    if let Some(path) = args.metrics.clone() {
-        emit_metrics(&args, &path)?;
+    if args.metrics.is_some() || args.trace.is_some() {
+        emit_instrumented(&args)?;
         if args.targets.is_empty() {
             return Ok(());
         }

@@ -6,13 +6,19 @@
 //! trace-tool replay <trace> [--cache-kb N]... [--paging] [--three-c] [--victim N]
 //! trace-tool export <program> <out.txt> [--scale F]
 //! trace-tool run-app <events.txt> <allocator>
+//! trace-tool chrome <trace.jsonl> <out.json>
+//! trace-tool promlint <exposition.txt>
 //! ```
 //!
-//! Two trace kinds exist: binary **reference** traces (`record`/`info`/
-//! `replay`, ALTR format — what the simulators consume) and text
+//! Three trace kinds exist: binary **reference** traces (`record`/
+//! `info`/`replay`, ALTR format — what the simulators consume), text
 //! **application** traces (`export`/`run-app`, the `workloads::import`
-//! format — what the allocators consume). The latter lets real programs'
-//! allocation behaviour drive the whole laboratory.
+//! format — what the allocators consume), and hierarchical **span**
+//! traces (`chrome`, `alloc-locality.trace` v1 JSONL from
+//! `repro --trace` or `GET /jobs/{id}/trace` — what `chrome://tracing`
+//! and Perfetto open after conversion). `promlint` checks a Prometheus
+//! text exposition (e.g. a scraped `GET /metrics?format=prometheus`
+//! body) for format violations.
 //!
 //! `record` captures the full reference stream of one experiment (the
 //! PIXIE-trace-file workflow the paper's execution-driven setup
@@ -279,8 +285,49 @@ fn run_app(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Converts `alloc-locality.trace` v1 JSONL into one Chrome trace-event
+/// JSON file that `chrome://tracing` and Perfetto open directly. Every
+/// input line is validated first; each trace becomes its own named
+/// process in the timeline.
+fn chrome(args: &[String]) -> Result<(), String> {
+    let [path, out] = args else {
+        return Err("usage: trace-tool chrome <trace.jsonl> <out.json>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reports = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let report =
+            obs::TraceReport::parse(line).map_err(|e| format!("{path} line {}: {e}", i + 1))?;
+        report.validate().map_err(|e| format!("{path} line {}: {e}", i + 1))?;
+        reports.push(report);
+    }
+    if reports.is_empty() {
+        return Err(format!("{path}: no trace lines"));
+    }
+    let spans: usize = reports.iter().map(|r| r.spans.len()).sum();
+    let json = obs::chrome_trace_json(&reports);
+    std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("converted {} trace(s), {spans} span(s) to {out}", reports.len());
+    Ok(())
+}
+
+/// Lints a Prometheus text exposition (as scraped from
+/// `GET /metrics?format=prometheus`).
+fn promlint(args: &[String]) -> Result<(), String> {
+    let [path] = args else { return Err("usage: trace-tool promlint <exposition.txt>".into()) };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let samples = obs::prom::lint(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: ok ({samples} samples)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    const SUBCOMMANDS: &str =
+        "subcommands: record, info, replay, export, run-app, chrome, promlint";
     let result = match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "record" => record(rest),
@@ -288,10 +335,12 @@ fn main() -> ExitCode {
             "replay" => replay(rest),
             "export" => export(rest),
             "run-app" => run_app(rest),
-            "--help" | "-h" => Err("subcommands: record, info, replay, export, run-app".into()),
+            "chrome" => chrome(rest),
+            "promlint" => promlint(rest),
+            "--help" | "-h" => Err(SUBCOMMANDS.into()),
             other => Err(format!("unknown subcommand {other}; try --help")),
         },
-        None => Err("subcommands: record, info, replay, export, run-app".into()),
+        None => Err(SUBCOMMANDS.into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

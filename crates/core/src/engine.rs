@@ -687,6 +687,22 @@ impl Recorder for TeeRecorder<'_> {
             user.span_ns(name, nanos);
         }
     }
+
+    // Hierarchical spans exist only in the caller's recorder (a
+    // `Tracer`, typically); the internal `MemoryRecorder` — and thus
+    // the sidecar snapshot replays reuse — never sees span structure,
+    // so traced and untraced populating runs freeze identical sidecars.
+    fn span_enter(&mut self, name: &'static str) {
+        if let Some(user) = &mut self.user {
+            user.span_enter(name);
+        }
+    }
+
+    fn span_exit(&mut self) {
+        if let Some(user) = &mut self.user {
+            user.span_exit();
+        }
+    }
 }
 
 /// Everything a replay cannot reconstruct from the reference stream
@@ -965,10 +981,12 @@ impl Experiment {
             ctx = ctx.with_recorder(rec);
         }
         ctx.set_phase(Phase::Malloc);
+        ctx.obs_span_enter("engine.alloc_build");
         let mut allocator = self
             .choice
             .build(&mut ctx, &self.source)
             .map_err(|source| EngineError::Alloc { at_event: 0, source })?;
+        ctx.obs_span_exit();
         ctx.set_phase(Phase::App);
 
         let mut objects: HashMap<u64, (Address, u32)> = HashMap::new();
@@ -980,6 +998,7 @@ impl Experiment {
             WorkloadSource::Spec(spec) => Box::new(spec.events(self.opts.scale)),
             WorkloadSource::Events(events) => Box::new(events.iter().copied()),
         };
+        ctx.obs_span_enter("engine.events");
         for (n, event) in events.enumerate() {
             let at_event = n as u64;
             match event {
@@ -1020,6 +1039,7 @@ impl Experiment {
             }
         }
         ctx.flush();
+        ctx.obs_span_exit();
         Ok((frag_curve, *allocator.stats()))
     }
 
@@ -1161,6 +1181,47 @@ impl Experiment {
         Ok((outcome.result, metrics))
     }
 
+    /// Runs the experiment with a hierarchical [`obs::Tracer`] attached
+    /// and returns the result, the frozen flat metrics, and the span
+    /// tree as an [`obs::TraceReport`] (trace id `program/allocator`).
+    ///
+    /// Result and metrics are **bit-identical** to
+    /// [`Experiment::run_instrumented`]: span structure lives outside
+    /// the tracer's flat snapshot, and on a warm replay the populating
+    /// run's sidecar metrics stand in exactly as they do there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    #[allow(clippy::type_complexity)]
+    pub fn run_traced(
+        &self,
+    ) -> Result<(RunResult, obs::MetricsSnapshot, obs::TraceReport), EngineError> {
+        let mut tracer = obs::Tracer::new();
+        let (result, metrics) = self.run_traced_with(&mut tracer)?;
+        let trace_id = format!("{}/{}", self.program_label, self.choice.label());
+        let (_, trace) = tracer.finish(trace_id);
+        Ok((result, metrics, trace))
+    }
+
+    /// [`Experiment::run_traced`] over a caller-owned tracer, so callers
+    /// (the serve daemon) can open their own enclosing spans around the
+    /// run and finish the trace themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] if the allocator reports an error
+    /// (out of simulated memory, invalid free).
+    pub fn run_traced_with(
+        &self,
+        tracer: &mut obs::Tracer,
+    ) -> Result<(RunResult, obs::MetricsSnapshot), EngineError> {
+        let outcome = self.run_inner(Some(tracer), true)?;
+        let metrics = outcome.replay_metrics.unwrap_or_else(|| tracer.metrics_snapshot());
+        Ok((outcome.result, metrics))
+    }
+
     /// Runs the experiment instrumented and wraps the outcome in the
     /// stable JSONL schema of [`crate::run_report`].
     ///
@@ -1189,7 +1250,14 @@ impl Experiment {
         let cache =
             StreamCache::new(self.opts.stream_cache.as_ref().expect("key implies directory"))
                 .with_max_bytes(self.opts.stream_cache_bytes);
-        let lookup_counter = match cache.load(key) {
+        if let Some(rec) = Self::reborrow(&mut recorder) {
+            rec.span_enter("stream_cache.probe");
+        }
+        let lookup = cache.load_recorded(key, Self::reborrow(&mut recorder));
+        if let Some(rec) = Self::reborrow(&mut recorder) {
+            rec.span_exit();
+        }
+        let lookup_counter = match lookup {
             CacheLookup::Hit { stream, memoized } => {
                 if memoized {
                     if let Some(rec) = Self::reborrow(&mut recorder) {
@@ -1284,6 +1352,9 @@ impl Experiment {
         if let Some(rec) = recorder.as_deref_mut() {
             rec.add("stream_cache.hit", 1);
         }
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.span_enter("engine.replay");
+        }
         let replay_sw = Stopwatch::start();
         let shards = self.replay_into_shards(&decoded.runs, self.build_shards(), recorder);
         if let Some(rec) = recorder.as_deref_mut() {
@@ -1293,11 +1364,14 @@ impl Experiment {
                     rec.add(name, refs);
                 }
             }
+            rec.span_exit();
+            rec.span_enter("engine.finalize");
         }
         let finalize_sw = Stopwatch::start();
         let parts = finalize_shards(shards);
         if let Some(rec) = recorder.as_deref_mut() {
             rec.span_ns("engine.finalize", finalize_sw.elapsed_ns());
+            rec.span_exit();
         }
         let result = RunResult {
             program: self.program_label.clone(),
@@ -1408,11 +1482,14 @@ impl Experiment {
         let mut heap = HeapImage::with_limit(self.opts.heap_limit);
         let mut instrs = InstrCounter::new();
         let mut capture = CaptureSink { counting: CountingSink::new(), runs: Vec::new() };
+        tee.span_enter("engine.drive");
         let drive_sw = Stopwatch::start();
         let (frag_curve, alloc_stats) =
             self.drive(&mut heap, &mut instrs, &mut capture, Some(&mut tee))?;
         tee.span_ns("engine.drive", drive_sw.elapsed_ns());
+        tee.span_exit();
 
+        tee.span_enter("engine.replay");
         let replay_sw = Stopwatch::start();
         let shards = {
             let mut recorder: Option<&mut dyn Recorder> = Some(&mut tee);
@@ -1424,9 +1501,12 @@ impl Experiment {
                 tee.add(name, refs);
             }
         }
+        tee.span_exit();
+        tee.span_enter("engine.finalize");
         let finalize_sw = Stopwatch::start();
         let parts = finalize_shards(shards);
         tee.span_ns("engine.finalize", finalize_sw.elapsed_ns());
+        tee.span_exit();
         // Counts the store *attempt*, and does so before the snapshot is
         // frozen so the stored metrics equal what the caller's recorder
         // observed on this run.
@@ -1475,6 +1555,9 @@ impl Experiment {
         let mut instrs = InstrCounter::new();
         let counting = CountingSink::new();
         let shards = self.build_shards();
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.span_enter("engine.drive");
+        }
         let drive_sw = Stopwatch::start();
         let (frag_curve, alloc_stats, shards, counting) = match self.opts.pipeline {
             PipelineMode::Inline => {
@@ -1503,12 +1586,15 @@ impl Experiment {
                     rec.add(name, refs);
                 }
             }
+            rec.span_exit();
+            rec.span_enter("engine.finalize");
         }
 
         let finalize_sw = Stopwatch::start();
         let parts = finalize_shards(shards);
         if let Some(rec) = recorder {
             rec.span_ns("engine.finalize", finalize_sw.elapsed_ns());
+            rec.span_exit();
         }
 
         Ok(RunResult {
@@ -1664,6 +1750,31 @@ pub fn run_parallel_instrumented(
         threads,
         |exp| exp.run_instrumented(),
         |done, pair: &(RunResult, obs::MetricsSnapshot)| progress(done, &pair.0),
+    )
+}
+
+/// Runs every experiment with a hierarchical tracer (one span tree per
+/// cell) on a worker pool, returning `(result, metrics, trace)` triples
+/// in job order and invoking `progress(completed_so_far, result)` per
+/// finished cell. Results and metrics are bit-identical to
+/// [`run_parallel_instrumented`]. Drives `repro --trace`.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] any run produced.
+#[allow(clippy::type_complexity)]
+pub fn run_parallel_traced(
+    jobs: Vec<Experiment>,
+    threads: usize,
+    progress: impl Fn(usize, &RunResult) + Sync,
+) -> Result<Vec<(RunResult, obs::MetricsSnapshot, obs::TraceReport)>, EngineError> {
+    pool_map(
+        jobs,
+        threads,
+        |exp| exp.run_traced(),
+        |done, triple: &(RunResult, obs::MetricsSnapshot, obs::TraceReport)| {
+            progress(done, &triple.0);
+        },
     )
 }
 

@@ -46,7 +46,7 @@ pub mod run_report;
 
 pub use engine::{
     default_threads, profile_from_events, run_parallel, run_parallel_instrumented,
-    run_parallel_progress, run_parallel_with, sample_profile, standard_matrix,
+    run_parallel_progress, run_parallel_traced, run_parallel_with, sample_profile, standard_matrix,
     standard_matrix_with, AllocChoice, CacheEngine, EngineError, Experiment, FragSample, Matrix,
     PipelineMode, RunResult, SimOptions, WorkloadSource,
 };

@@ -29,6 +29,13 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+pub mod prom;
+pub mod tracer;
+
+pub use tracer::{
+    chrome_trace_json, TraceReport, TraceSpan, Tracer, MAX_TRACE_SPANS, TRACE_SCHEMA, TRACE_VERSION,
+};
+
 /// Canonical metric names emitted by the simulation stack.
 ///
 /// The dotted-path strings are part of the run-report schema (consumers
@@ -77,6 +84,21 @@ pub trait Recorder {
 
     /// Accumulates `nanos` of wall time under the phase span `name`.
     fn span_ns(&mut self, name: &'static str, nanos: u64);
+
+    /// Opens a *hierarchical* span named `name`, nested under the
+    /// innermost span still open on this recorder.
+    ///
+    /// Default-implemented as a no-op: flat recorders
+    /// ([`NullRecorder`], [`MemoryRecorder`]) ignore span structure
+    /// entirely, so instrumenting a call site with enter/exit costs
+    /// nothing — not even a clock read — unless a [`tracer::Tracer`] is
+    /// attached. Calls must balance: one [`Recorder::span_exit`] per
+    /// enter, well nested.
+    fn span_enter(&mut self, _name: &'static str) {}
+
+    /// Closes the innermost span opened by [`Recorder::span_enter`].
+    /// Default no-op, mirroring `span_enter`.
+    fn span_exit(&mut self) {}
 }
 
 /// The disabled recorder: every method is an inline empty body, so the
@@ -98,6 +120,12 @@ impl Recorder for NullRecorder {
 
     #[inline(always)]
     fn span_ns(&mut self, _name: &'static str, _nanos: u64) {}
+
+    #[inline(always)]
+    fn span_enter(&mut self, _name: &'static str) {}
+
+    #[inline(always)]
+    fn span_exit(&mut self) {}
 }
 
 /// Forwarding impl so `&mut R` is itself a recorder (mirrors
@@ -122,6 +150,16 @@ impl<R: Recorder + ?Sized> Recorder for &mut R {
     #[inline]
     fn span_ns(&mut self, name: &'static str, nanos: u64) {
         (**self).span_ns(name, nanos);
+    }
+
+    #[inline]
+    fn span_enter(&mut self, name: &'static str) {
+        (**self).span_enter(name);
+    }
+
+    #[inline]
+    fn span_exit(&mut self) {
+        (**self).span_exit();
     }
 }
 
@@ -194,6 +232,19 @@ impl Hist {
         }
     }
 
+    /// The `p`-th percentile (`p` in `0.0..=1.0`), resolved to the
+    /// inclusive lower bound of the log2 bucket holding the rank —
+    /// exact bucket arithmetic, no interpolation, so p50/p90/p99 are
+    /// reproducible from any serialized snapshot. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_of(
+            self.count,
+            self.max,
+            p,
+            self.buckets.iter().enumerate().map(|(i, &n)| (Self::bucket_floor(i), n)),
+        )
+    }
+
     /// Converts to the serializable snapshot form, dropping empty
     /// buckets.
     pub fn snapshot(&self) -> HistSnapshot {
@@ -230,6 +281,33 @@ pub struct HistSnapshot {
     pub mean: f64,
     /// Non-empty log2 buckets, ascending by lower bound.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// [`Hist::percentile`] over the serialized bucket form, so
+    /// consumers of a JSON report resolve the same bucket floors the
+    /// live histogram would.
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile_of(self.count, self.max, p, self.buckets.iter().copied())
+    }
+}
+
+/// Shared percentile walk: the rank of `p` (1-based, ceiling) located
+/// in a cumulative scan of `(bucket_floor, count)` pairs in ascending
+/// floor order.
+fn percentile_of(count: u64, max: u64, p: f64, buckets: impl Iterator<Item = (u64, u64)>) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (floor, n) in buckets {
+        seen += n;
+        if seen >= rank {
+            return floor;
+        }
+    }
+    max
 }
 
 /// Serializable form of an accumulated phase span.
@@ -438,6 +516,59 @@ mod tests {
     fn empty_hist_snapshot_is_zeroed() {
         let s = Hist::default().snapshot();
         assert_eq!(s, HistSnapshot::default());
+    }
+
+    #[test]
+    fn percentile_resolves_bucket_floors() {
+        let mut h = Hist::default();
+        // 90 cheap observations in bucket [8..16), 10 slow in [1024..2048).
+        for _ in 0..90 {
+            h.record(9);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        assert_eq!(h.percentile(0.50), 8);
+        assert_eq!(h.percentile(0.90), 8, "rank 90 is the last cheap observation");
+        assert_eq!(h.percentile(0.91), 1024);
+        assert_eq!(h.percentile(0.99), 1024);
+        assert_eq!(h.percentile(1.0), 1024);
+        assert_eq!(h.percentile(0.0), 8, "p0 clamps to the first rank");
+        // The snapshot resolves identically.
+        let s = h.snapshot();
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(p), h.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(Hist::default().percentile(0.99), 0, "empty histogram");
+        let mut one = Hist::default();
+        one.record(42);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(p), 32, "single value resolves to its bucket floor");
+        }
+        let mut zeros = Hist::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn flat_recorders_ignore_hierarchical_spans() {
+        // The default span_enter/span_exit bodies keep NullRecorder and
+        // MemoryRecorder byte-for-byte indifferent to span structure.
+        let mut null = NullRecorder;
+        null.span_enter("phase");
+        null.span_exit();
+        let mut mem = MemoryRecorder::new();
+        mem.span_enter("phase");
+        mem.add("c", 1);
+        mem.span_exit();
+        let mut plain = MemoryRecorder::new();
+        plain.add("c", 1);
+        assert_eq!(mem.snapshot(), plain.snapshot());
     }
 
     #[test]

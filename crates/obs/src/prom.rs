@@ -1,0 +1,323 @@
+//! Prometheus text exposition (format 0.0.4) for the metrics types.
+//!
+//! Renders counters, gauges, and log2 [`Hist`] buckets into the plain
+//! `# TYPE`-annotated sample lines Prometheus scrapes, and lints that
+//! format back ([`lint`]) so CI can verify a live daemon's exposition
+//! without a real Prometheus binary. Dotted metric names sanitize to
+//! underscore form (`ctx.flush.batches` → `ctx_flush_batches`); log2
+//! buckets become cumulative `le` buckets whose upper bounds are the
+//! buckets' inclusive maxima, closed by the mandatory `+Inf` bucket and
+//! `_sum`/`_count` samples.
+//!
+//! [`Hist`]: crate::Hist
+
+use crate::{HistSnapshot, MetricsSnapshot};
+
+/// Sanitizes a dotted metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), mapping every invalid byte to `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn push_type(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Appends one counter with its `# TYPE` line. `name` must already be
+/// sanitized (counters conventionally end in `_total`).
+pub fn push_counter(out: &mut String, name: &str, value: u64) {
+    push_type(out, name, "counter");
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+/// Appends one gauge with its `# TYPE` line.
+pub fn push_gauge(out: &mut String, name: &str, value: u64) {
+    push_type(out, name, "gauge");
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+fn label_block(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Appends one histogram family: a `# TYPE` line, then for every
+/// `(labels, snapshot)` series its cumulative `_bucket` samples (one
+/// per non-empty log2 bucket, upper-bounded by the bucket's inclusive
+/// maximum), the `+Inf` bucket, and `_sum`/`_count`.
+pub fn push_histogram(out: &mut String, name: &str, series: &[(&[(&str, &str)], HistSnapshot)]) {
+    push_type(out, name, "histogram");
+    for (labels, h) in series {
+        let mut cumulative = 0u64;
+        for &(floor, n) in &h.buckets {
+            cumulative += n;
+            // Bucket holding `floor` covers [floor, 2*floor - 1]; the
+            // zero bucket holds only 0.
+            let le = if floor == 0 { 0 } else { 2 * floor - 1 };
+            let block = label_block(labels, Some(("le", &le.to_string())));
+            out.push_str(&format!("{name}_bucket{block} {cumulative}\n"));
+        }
+        let block = label_block(labels, Some(("le", "+Inf")));
+        out.push_str(&format!("{name}_bucket{block} {}\n", h.count));
+        let plain = label_block(labels, None);
+        out.push_str(&format!("{name}_sum{plain} {}\n", h.sum));
+        out.push_str(&format!("{name}_count{plain} {}\n", h.count));
+    }
+}
+
+/// Renders a whole [`MetricsSnapshot`] under `prefix`: counters as
+/// `<prefix>_<name>_total`, histograms as `<prefix>_<name>` families,
+/// and phase spans as `_ns_total`/`_entries_total` counter pairs.
+pub fn push_snapshot(out: &mut String, prefix: &str, snap: &MetricsSnapshot) {
+    for (name, &value) in &snap.counters {
+        push_counter(out, &format!("{prefix}_{}_total", sanitize(name)), value);
+    }
+    for (name, hist) in &snap.histograms {
+        push_histogram(out, &format!("{prefix}_{}", sanitize(name)), &[(&[], hist.clone())]);
+    }
+    for (name, span) in &snap.spans {
+        let base = format!("{prefix}_{}", sanitize(name));
+        push_counter(out, &format!("{base}_ns_total"), span.total_ns);
+        push_counter(out, &format!("{base}_entries_total"), span.count);
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into (metric name, label block or "", value).
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    let (name_and_labels, value) =
+        line.rsplit_once(' ').ok_or_else(|| format!("no value in sample {line:?}"))?;
+    match name_and_labels.split_once('{') {
+        Some((name, rest)) => {
+            let labels =
+                rest.strip_suffix('}').ok_or_else(|| format!("unclosed labels in {line:?}"))?;
+            Ok((name, labels, value))
+        }
+        None => Ok((name_and_labels, "", value)),
+    }
+}
+
+/// Lints Prometheus text exposition: every line must be a `# TYPE` /
+/// `# HELP` comment or a well-formed sample; sample names must be
+/// declared by a preceding `# TYPE` (histogram samples via their
+/// `_bucket`/`_sum`/`_count` suffixes); no name is declared twice;
+/// every value parses; histogram bucket counts are cumulative and end
+/// with an `le="+Inf"` bucket equal to `_count`. Returns the sample
+/// count on success.
+///
+/// # Errors
+///
+/// Returns `line N: <violation>` for the first offending line.
+pub fn lint(text: &str) -> Result<usize, String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // Histogram series state keyed by (name, labels-minus-le):
+    // (last cumulative, saw +Inf, +Inf value).
+    let mut hist_state: BTreeMap<(String, String), (u64, bool, u64)> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let fail = |msg: String| Err(format!("line {}: {msg}", i + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let words: Vec<&str> = comment.split_whitespace().collect();
+            match words.first() {
+                Some(&"TYPE") => {
+                    let [_, name, kind] = words[..] else {
+                        return fail(format!("malformed TYPE comment {line:?}"));
+                    };
+                    if !valid_name(name) {
+                        return fail(format!("invalid metric name {name:?}"));
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return fail(format!("unknown metric type {kind:?}"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        return fail(format!("duplicate TYPE for {name}"));
+                    }
+                }
+                Some(&"HELP") => {}
+                _ => return fail(format!("comment is neither TYPE nor HELP: {line:?}")),
+            }
+            continue;
+        }
+        let (name, labels, value) = match split_sample(line) {
+            Ok(parts) => parts,
+            Err(msg) => return fail(msg),
+        };
+        if !valid_name(name) {
+            return fail(format!("invalid metric name {name:?}"));
+        }
+        if value != "+Inf" && value.parse::<f64>().is_err() {
+            return fail(format!("unparseable value {value:?}"));
+        }
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let stripped = name.strip_suffix(suffix)?;
+                (types.get(stripped).map(String::as_str) == Some("histogram")).then_some(stripped)
+            })
+            .unwrap_or(name);
+        let Some(kind) = types.get(base) else {
+            return fail(format!("sample {name} has no preceding TYPE"));
+        };
+        samples += 1;
+        if kind == "histogram" && name.ends_with("_bucket") {
+            let mut le = None;
+            let others: Vec<&str> = labels
+                .split(',')
+                .filter(|part| match part.strip_prefix("le=") {
+                    Some(bound) => {
+                        le = Some(bound.trim_matches('"').to_string());
+                        false
+                    }
+                    None => !part.is_empty(),
+                })
+                .collect();
+            let Some(le) = le else {
+                return fail(format!("bucket sample {name} lacks an le label"));
+            };
+            let count: u64 = match value.parse() {
+                Ok(v) => v,
+                Err(_) => return fail(format!("bucket count {value:?} is not an integer")),
+            };
+            let key = (base.to_string(), others.join(","));
+            let entry = hist_state.entry(key).or_insert((0, false, 0));
+            if entry.1 {
+                return fail(format!("{name}: bucket after le=\"+Inf\""));
+            }
+            if count < entry.0 {
+                return fail(format!("{name}: bucket counts not cumulative"));
+            }
+            entry.0 = count;
+            if le == "+Inf" {
+                entry.1 = true;
+                entry.2 = count;
+            }
+        }
+        if kind == "histogram" && name.ends_with("_count") {
+            let key = (base.to_string(), labels.to_string());
+            if let Some(&(_, saw_inf, inf_count)) = hist_state.get(&key) {
+                if !saw_inf {
+                    return fail(format!("{name}: histogram series has no le=\"+Inf\" bucket"));
+                }
+                if value.parse::<u64>().ok() != Some(inf_count) {
+                    return fail(format!("{name}: _count {value} != +Inf bucket {inf_count}"));
+                }
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hist, Recorder};
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(sanitize("ctx.flush.batches"), "ctx_flush_batches");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn rendered_exposition_passes_the_linter() {
+        let mut h = Hist::default();
+        for v in [0, 3, 3, 90, 4000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        push_counter(&mut out, "jobs_done_total", 7);
+        push_gauge(&mut out, "queue_depth", 2);
+        push_histogram(
+            &mut out,
+            "request_duration_us",
+            &[
+                (&[("endpoint", "POST /jobs")], h.snapshot()),
+                (&[("endpoint", "GET /healthz")], Hist::default().snapshot()),
+            ],
+        );
+        let mut sim = crate::MemoryRecorder::new();
+        sim.add("ctx.flush.batches", 3);
+        sim.observe("alloc.search_len", 5);
+        sim.span_ns("engine.drive", 1234);
+        push_snapshot(&mut out, "alloc_sim", &sim.snapshot());
+
+        let samples = lint(&out).expect("rendered exposition lints clean");
+        assert!(samples >= 10, "got {samples} samples:\n{out}");
+        assert!(out.contains("# TYPE jobs_done_total counter"));
+        assert!(out.contains("jobs_done_total 7"));
+        assert!(out.contains("request_duration_us_bucket{endpoint=\"POST /jobs\",le=\"+Inf\"} 5"));
+        assert!(out.contains("request_duration_us_sum{endpoint=\"POST /jobs\"} 4096"));
+        assert!(out.contains("alloc_sim_ctx_flush_batches_total 3"));
+        assert!(out.contains("# TYPE alloc_sim_alloc_search_len histogram"));
+        assert!(out.contains("alloc_sim_engine_drive_ns_total 1234"));
+    }
+
+    #[test]
+    fn bucket_bounds_are_cumulative_inclusive_maxima() {
+        let mut h = Hist::default();
+        for v in [0, 1, 2, 3, 4] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        push_histogram(&mut out, "m", &[(&[], h.snapshot())]);
+        // Buckets {0}, {1}, {2,3}, {4..7} → le 0, 1, 3, 7 cumulative.
+        assert!(out.contains("m_bucket{le=\"0\"} 1\n"));
+        assert!(out.contains("m_bucket{le=\"1\"} 2\n"));
+        assert!(out.contains("m_bucket{le=\"3\"} 4\n"));
+        assert!(out.contains("m_bucket{le=\"7\"} 5\n"));
+        assert!(out.contains("m_bucket{le=\"+Inf\"} 5\n"));
+        assert!(out.contains("m_count 5\n"));
+        lint(&out).unwrap();
+    }
+
+    #[test]
+    fn lint_catches_violations() {
+        assert!(lint("no_type_declared 3\n").unwrap_err().contains("no preceding TYPE"));
+        assert!(lint("# TYPE x counter\nx notanumber\n").unwrap_err().contains("unparseable"));
+        assert!(lint("# TYPE x counter\n# TYPE x counter\nx 1\n")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(lint("# WEIRD comment\n").unwrap_err().contains("neither TYPE nor HELP"));
+        assert!(lint("# TYPE 9bad counter\n").unwrap_err().contains("invalid metric name"));
+        let shrinking = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\n";
+        assert!(lint(shrinking).unwrap_err().contains("cumulative"));
+        let mismatched = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n";
+        assert!(lint(mismatched).unwrap_err().contains("!= +Inf"));
+        assert_eq!(lint("# TYPE ok counter\n# HELP ok fine\nok 1\n"), Ok(1));
+    }
+}

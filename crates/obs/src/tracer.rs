@@ -1,0 +1,562 @@
+//! Hierarchical span tracing behind the [`Recorder`] contract.
+//!
+//! A [`Tracer`] is a recorder that, in addition to the flat metrics any
+//! [`MemoryRecorder`] gathers, turns balanced
+//! [`Recorder::span_enter`]/[`Recorder::span_exit`] calls into a
+//! timestamped span *tree*: every span knows its parent, its start and
+//! end offsets from the tracer's epoch, and the counter deltas recorded
+//! while it was the innermost open span. The finished tree serializes
+//! as the versioned `alloc-locality.trace` artifact ([`TraceReport`]),
+//! a sibling of — never a change to — the `alloc-locality.run-report`
+//! schema, and exports to Chrome trace-event JSON
+//! ([`chrome_trace_json`]) for `chrome://tracing`/Perfetto timelines.
+//!
+//! The zero-overhead story is unchanged: `span_enter`/`span_exit` are
+//! default-implemented no-ops on the trait, so [`NullRecorder`] and
+//! [`MemoryRecorder`] compile to exactly what they did before the
+//! tracer existed. Only an attached `Tracer` reads the clock. And
+//! because the flat metrics a tracer gathers pass through an embedded
+//! `MemoryRecorder` receiving the identical call sequence, a traced
+//! run's [`MetricsSnapshot`] is byte-identical to a plainly
+//! instrumented one — span structure never leaks into flat metrics.
+//!
+//! [`NullRecorder`]: crate::NullRecorder
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MemoryRecorder, MetricsSnapshot, Recorder};
+
+/// Schema tag of the trace artifact.
+pub const TRACE_SCHEMA: &str = "alloc-locality.trace";
+
+/// Current trace artifact version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Hard bound on spans one tracer stores. Per-flush spans scale with
+/// the workload, so an unbounded tree could hold a long-lived daemon's
+/// memory hostage; past the cap, spans are counted
+/// ([`TraceReport::dropped_spans`]) but not stored, and enter/exit
+/// bookkeeping stays balanced.
+pub const MAX_TRACE_SPANS: usize = 65_536;
+
+/// Sentinel id marking an open span that was dropped by the cap.
+const DROPPED: u32 = u32::MAX;
+
+/// One node of a span tree: a named interval with parent linkage and
+/// the counters attributed to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Dense id, assigned in enter order (so ids ascend with
+    /// `start_ns`, and every parent's id precedes its children's).
+    pub id: u32,
+    /// Id of the enclosing span; `None` for roots.
+    #[serde(default)]
+    pub parent: Option<u32>,
+    /// Span name (a dotted phase path, e.g. `engine.drive`).
+    pub name: String,
+    /// Nanoseconds from the tracer's epoch to span entry.
+    pub start_ns: u64,
+    /// Nanoseconds from the tracer's epoch to span exit.
+    pub end_ns: u64,
+    /// Counter deltas recorded while this span was innermost, attached
+    /// at exit.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl TraceSpan {
+    /// Wall time the span covered, in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Bookkeeping for a span that has been entered but not yet exited.
+#[derive(Debug)]
+struct OpenSpan {
+    /// Index into the span list, or [`DROPPED`].
+    id: u32,
+    /// Counter deltas seen while this span is innermost; converted to
+    /// owned names only at exit, so the hot path never allocates
+    /// strings.
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// The span-recording recorder.
+///
+/// Flat metrics (`add`/`observe`/`span_ns`) tee into an embedded
+/// [`MemoryRecorder`]; `span_enter`/`span_exit` build the tree. See the
+/// module docs for the overhead and bit-identity contracts.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    flat: MemoryRecorder,
+    spans: Vec<TraceSpan>,
+    open: Vec<OpenSpan>,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer whose epoch is now.
+    pub fn new() -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            flat: MemoryRecorder::new(),
+            spans: Vec::new(),
+            open: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        let d = self.epoch.elapsed();
+        d.as_secs().saturating_mul(1_000_000_000).saturating_add(u64::from(d.subsec_nanos()))
+    }
+
+    /// Snapshot of the flat metrics gathered so far — identical to what
+    /// a plain [`MemoryRecorder`] would have seen on the same run.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.flat.snapshot()
+    }
+
+    /// Spans closed so far (open spans are not listed until they exit
+    /// or [`Tracer::finish`] closes them).
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// How many spans the [`MAX_TRACE_SPANS`] cap discarded.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Closes any spans still open (at the current clock) and freezes
+    /// the tracer into its two products: the flat metrics snapshot and
+    /// the span tree as a validated-shape [`TraceReport`] labeled
+    /// `trace_id`.
+    pub fn finish(mut self, trace_id: impl Into<String>) -> (MetricsSnapshot, TraceReport) {
+        while !self.open.is_empty() {
+            self.span_exit();
+        }
+        let metrics = self.flat.snapshot();
+        let report = TraceReport {
+            schema: TRACE_SCHEMA.to_string(),
+            version: TRACE_VERSION,
+            trace_id: trace_id.into(),
+            dropped_spans: self.dropped,
+            spans: self.spans,
+        };
+        (metrics, report)
+    }
+}
+
+impl Recorder for Tracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&mut self, name: &'static str, delta: u64) {
+        self.flat.add(name, delta);
+        if let Some(top) = self.open.last_mut() {
+            *top.counters.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64) {
+        self.flat.observe(name, value);
+    }
+
+    fn span_ns(&mut self, name: &'static str, nanos: u64) {
+        self.flat.span_ns(name, nanos);
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        let now = self.elapsed_ns();
+        let id = if self.spans.len() >= MAX_TRACE_SPANS {
+            self.dropped += 1;
+            DROPPED
+        } else {
+            let id = self.spans.len() as u32;
+            let parent = self.open.iter().rev().find(|o| o.id != DROPPED).map(|o| o.id);
+            self.spans.push(TraceSpan {
+                id,
+                parent,
+                name: name.to_string(),
+                start_ns: now,
+                end_ns: now,
+                counters: BTreeMap::new(),
+            });
+            id
+        };
+        self.open.push(OpenSpan { id, counters: BTreeMap::new() });
+    }
+
+    fn span_exit(&mut self) {
+        let Some(top) = self.open.pop() else { return };
+        if top.id == DROPPED {
+            return;
+        }
+        let now = self.elapsed_ns();
+        let span = &mut self.spans[top.id as usize];
+        span.end_ns = now;
+        span.counters = top.counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    }
+}
+
+/// The versioned trace artifact: one span tree per traced run, emitted
+/// as a single JSONL line by `repro --trace` and served by
+/// `GET /jobs/{id}/trace`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Always [`TRACE_SCHEMA`].
+    pub schema: String,
+    /// Always [`TRACE_VERSION`] for freshly produced traces.
+    pub version: u32,
+    /// What was traced: `program/allocator` for engine sweeps, the job
+    /// id for served jobs.
+    pub trace_id: String,
+    /// Spans the [`MAX_TRACE_SPANS`] cap discarded (0 in healthy runs).
+    #[serde(default)]
+    pub dropped_spans: u64,
+    /// The tree, in enter order (see [`TraceSpan::id`]).
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceReport {
+    /// Assembles a report around already-closed spans.
+    pub fn new(trace_id: impl Into<String>, spans: Vec<TraceSpan>) -> Self {
+        TraceReport {
+            schema: TRACE_SCHEMA.to_string(),
+            version: TRACE_VERSION,
+            trace_id: trace_id.into(),
+            dropped_spans: 0,
+            spans,
+        }
+    }
+
+    /// Structural validation of the v1 invariants, all of which hold by
+    /// construction for [`Tracer`]-produced trees:
+    ///
+    /// - schema/version fields route to this decoder;
+    /// - ids are dense and in enter order, so `start_ns` is monotone
+    ///   non-decreasing across the list;
+    /// - every span's parent exists and precedes it, and the child's
+    ///   interval nests inside the parent's;
+    /// - root spans balance: their intervals are disjoint and ordered
+    ///   (a new root can only open after the previous one closed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != TRACE_SCHEMA {
+            return Err(format!("schema {:?} is not {TRACE_SCHEMA:?}", self.schema));
+        }
+        if self.version != TRACE_VERSION {
+            return Err(format!("version {} is not {TRACE_VERSION}", self.version));
+        }
+        if self.spans.is_empty() {
+            return Err("trace holds no spans".into());
+        }
+        let mut last_start = 0u64;
+        let mut last_root_end = 0u64;
+        for (i, span) in self.spans.iter().enumerate() {
+            let at = format!("span {} ({:?})", span.id, span.name);
+            if span.id != i as u32 {
+                return Err(format!("{at}: id out of order at index {i}"));
+            }
+            if span.end_ns < span.start_ns {
+                return Err(format!("{at}: ends before it starts"));
+            }
+            if span.start_ns < last_start {
+                return Err(format!("{at}: start_ns not monotone in id order"));
+            }
+            last_start = span.start_ns;
+            match span.parent {
+                Some(p) => {
+                    if p >= span.id {
+                        return Err(format!("{at}: parent {p} does not precede it"));
+                    }
+                    let parent = &self.spans[p as usize];
+                    if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+                        return Err(format!(
+                            "{at}: interval escapes parent {} ({:?})",
+                            parent.id, parent.name
+                        ));
+                    }
+                }
+                None => {
+                    if span.start_ns < last_root_end {
+                        return Err(format!("{at}: root overlaps the previous root"));
+                    }
+                    last_root_end = span.end_ns;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to one JSON line (the trace artifact's wire form).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("trace report serializes")
+    }
+
+    /// Parses a JSON line produced by [`TraceReport::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON decoder's message for malformed input.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+
+    /// Root spans (no parent), in time order.
+    pub fn roots(&self) -> impl Iterator<Item = &TraceSpan> {
+        self.spans.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// First span with `name`, if any.
+    pub fn span(&self, name: &str) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+}
+
+/// Minimal JSON string escaping for the Chrome export (span names and
+/// trace ids are plain identifiers; this covers the general case
+/// anyway).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Converts trace reports to Chrome trace-event JSON (the
+/// `chrome://tracing` / Perfetto import format): one process per
+/// report, named by its trace id, with every span a complete (`"X"`)
+/// event whose `ts`/`dur` are microseconds from the report's epoch and
+/// whose args carry the span's counters.
+pub fn chrome_trace_json(reports: &[TraceReport]) -> String {
+    let mut events = Vec::new();
+    for (i, report) in reports.iter().enumerate() {
+        let pid = i + 1;
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(&report.trace_id)
+        ));
+        for span in &report.spans {
+            let mut args = String::new();
+            for (name, value) in &span.counters {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":{value}", escape(name)));
+            }
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":1,\"cat\":\"span\",\"name\":\"{}\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{{args}}}}}",
+                escape(&span.name),
+                span.start_ns as f64 / 1_000.0,
+                span.duration_ns() as f64 / 1_000.0,
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tracer exercised through the trait, as instrumented code sees
+    /// it.
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        t.span_enter("engine.drive");
+        t.add("alloc.tag_reads", 3);
+        t.span_enter("engine.alloc_build");
+        t.add("alloc.tag_writes", 2);
+        t.span_exit();
+        t.span_enter("engine.events");
+        t.observe("alloc.search_len", 4);
+        t.span_exit();
+        t.span_exit();
+        t.span_enter("engine.finalize");
+        t.span_exit();
+        t
+    }
+
+    #[test]
+    fn tracer_builds_a_valid_nested_tree() {
+        let (metrics, report) = sample_tracer().finish("espresso/FirstFit");
+        report.validate().expect("tracer trees validate by construction");
+        assert_eq!(report.trace_id, "espresso/FirstFit");
+        assert_eq!(report.spans.len(), 4);
+        assert_eq!(report.roots().count(), 2);
+
+        let drive = report.span("engine.drive").unwrap();
+        assert_eq!(drive.parent, None);
+        let build = report.span("engine.alloc_build").unwrap();
+        assert_eq!(build.parent, Some(drive.id));
+        let events = report.span("engine.events").unwrap();
+        assert_eq!(events.parent, Some(drive.id));
+        assert!(build.end_ns <= events.start_ns, "siblings are ordered");
+
+        // Counters attach to the innermost open span at the add.
+        assert_eq!(drive.counters.get("alloc.tag_reads"), Some(&3));
+        assert_eq!(build.counters.get("alloc.tag_writes"), Some(&2));
+        assert!(!drive.counters.contains_key("alloc.tag_writes"));
+
+        // Flat metrics are what a plain MemoryRecorder would hold.
+        assert_eq!(metrics.counter("alloc.tag_reads"), 3);
+        assert_eq!(metrics.counter("alloc.tag_writes"), 2);
+        assert_eq!(metrics.histogram("alloc.search_len").unwrap().count, 1);
+        assert!(metrics.counters.keys().all(|k| !k.starts_with("trace.")));
+    }
+
+    #[test]
+    fn tracer_flat_metrics_match_a_memory_recorder() {
+        let drive = |rec: &mut dyn Recorder| {
+            rec.span_enter("a");
+            rec.add("c", 1);
+            rec.observe("h", 7);
+            rec.span_ns("s", 10);
+            rec.span_exit();
+        };
+        let mut mem = MemoryRecorder::new();
+        drive(&mut mem);
+        let mut tracer = Tracer::new();
+        drive(&mut tracer);
+        assert_eq!(tracer.metrics_snapshot(), mem.snapshot());
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans() {
+        let mut t = Tracer::new();
+        t.span_enter("outer");
+        t.span_enter("inner");
+        let (_, report) = t.finish("t");
+        report.validate().expect("dangling spans are closed, tree stays valid");
+        assert_eq!(report.spans.len(), 2);
+        let outer = report.span("outer").unwrap();
+        let inner = report.span("inner").unwrap();
+        assert!(inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_harmless() {
+        let mut t = Tracer::new();
+        t.span_exit();
+        t.span_enter("only");
+        t.span_exit();
+        t.span_exit();
+        let (_, report) = t.finish("t");
+        assert_eq!(report.spans.len(), 1);
+        report.validate().unwrap();
+    }
+
+    #[test]
+    fn span_cap_drops_but_stays_balanced() {
+        let mut t = Tracer::new();
+        t.span_enter("root");
+        for _ in 0..MAX_TRACE_SPANS + 10 {
+            t.span_enter("leaf");
+            t.add("c", 1);
+            t.span_exit();
+        }
+        t.span_exit();
+        assert_eq!(t.dropped_spans(), 11, "everything past the cap is counted");
+        let (metrics, report) = t.finish("t");
+        assert_eq!(report.spans.len(), MAX_TRACE_SPANS);
+        assert_eq!(report.dropped_spans, 11);
+        report.validate().unwrap();
+        // Dropped spans still recorded their flat counters.
+        assert_eq!(metrics.counter("c"), (MAX_TRACE_SPANS + 10) as u64);
+    }
+
+    #[test]
+    fn validation_rejects_broken_trees() {
+        let (_, good) = sample_tracer().finish("t");
+
+        let mut wrong_schema = good.clone();
+        wrong_schema.schema = "other".into();
+        assert!(wrong_schema.validate().is_err());
+
+        let mut wrong_version = good.clone();
+        wrong_version.version = TRACE_VERSION + 1;
+        assert!(wrong_version.validate().is_err());
+
+        let mut empty = good.clone();
+        empty.spans.clear();
+        assert!(empty.validate().is_err());
+
+        let mut bad_parent = good.clone();
+        bad_parent.spans[1].parent = Some(9);
+        assert!(bad_parent.validate().unwrap_err().contains("parent"));
+
+        let mut self_parent = good.clone();
+        self_parent.spans[1].parent = Some(1);
+        assert!(self_parent.validate().is_err());
+
+        let mut backwards = good.clone();
+        backwards.spans[2].start_ns = 0;
+        backwards.spans[2].end_ns = 0;
+        assert!(backwards.validate().is_err());
+
+        let mut inverted = good.clone();
+        inverted.spans[0].end_ns = 0;
+        assert!(inverted.validate().is_err());
+
+        let mut escaping = good.clone();
+        escaping.spans[1].end_ns = u64::MAX;
+        assert!(escaping.validate().unwrap_err().contains("parent"));
+    }
+
+    #[test]
+    fn trace_report_round_trips_through_json() {
+        let (_, report) = sample_tracer().finish("round/trip");
+        let line = report.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = TraceReport::parse(&line).expect("parse emitted line");
+        assert_eq!(back, report);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn chrome_export_shapes_complete_events() {
+        let (_, report) = sample_tracer().finish("espresso/FirstFit");
+        let json = chrome_trace_json(std::slice::from_ref(&report));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""), "process metadata event present");
+        assert!(json.contains("\"name\":\"espresso/FirstFit\""));
+        assert!(json.contains("\"ph\":\"X\""), "spans are complete events");
+        assert!(json.contains("\"name\":\"engine.drive\""));
+        assert!(json.contains("\"alloc.tag_writes\":2"), "counters ride in args");
+        // The export is itself valid JSON.
+        let value: std::collections::BTreeMap<String, serde::Value> =
+            serde_json::from_str(&json).expect("export parses as JSON");
+        assert!(value.contains_key("traceEvents"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("tab\there"), "tab\\u0009here");
+    }
+}

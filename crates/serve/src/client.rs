@@ -181,6 +181,42 @@ impl Client {
         }
     }
 
+    /// Fetches the finished job's `alloc-locality.trace` v1 JSON line,
+    /// verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] when the job is unknown, not
+    /// done, or its trace was not retained (restored from disk).
+    pub fn fetch_trace(&self, id: &str) -> Result<String, ClientError> {
+        let response = self.request("GET", &format!("/jobs/{id}/trace"), None)?;
+        if response.status == 200 {
+            Ok(response.body)
+        } else {
+            Err(ClientError::Protocol(format!(
+                "trace for {id} answered HTTP {}: {}",
+                response.status, response.body
+            )))
+        }
+    }
+
+    /// `GET /metrics?format=prometheus` — the text exposition, verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; protocol error on non-200.
+    pub fn metrics_prometheus(&self) -> Result<String, ClientError> {
+        let response = self.request("GET", "/metrics?format=prometheus", None)?;
+        if response.status == 200 {
+            Ok(response.body)
+        } else {
+            Err(ClientError::Protocol(format!(
+                "prometheus metrics answered HTTP {}",
+                response.status
+            )))
+        }
+    }
+
     /// `GET /healthz`.
     ///
     /// # Errors

@@ -24,31 +24,42 @@
 //! subset lives in [`http`]; a blocking client for tests and the load
 //! harness lives in [`client`].
 //!
+//! Every job is traced end to end: submission opens an [`obs::Tracer`]
+//! whose span tree covers cache lookup, queue wait, engine execution
+//! (with the engine's own drive/replay/finalize spans nested inside),
+//! and response serialization. The finished tree is served as a
+//! versioned `alloc-locality.trace` v1 artifact — a *separate* artifact,
+//! so the run-report schema is untouched — and per-endpoint request
+//! latency accumulates into rolling [`obs::Hist`] histograms exposed
+//! both in the JSON metrics body and as Prometheus text exposition.
+//!
 //! Routes:
 //!
 //! | Route                  | Meaning                                       |
 //! |------------------------|-----------------------------------------------|
 //! | `POST /jobs`           | submit a [`JobSpec`]; 202 queued / 200 cached |
-//! | `GET /jobs/{id}`       | job status                                    |
+//! | `GET /jobs/{id}`       | job status + queue-wait/execute telemetry     |
 //! | `GET /jobs/{id}/report`| the finished run-report JSONL line            |
+//! | `GET /jobs/{id}/trace` | the job's span tree (`alloc-locality.trace`)  |
 //! | `GET /healthz`         | liveness + queue gauges                       |
 //! | `GET /metrics`         | server counters + merged simulation metrics   |
+//! | `GET /metrics?format=prometheus` | the same, as Prometheus text        |
 //! | `POST /shutdown`       | stop accepting, drain the queue, exit         |
 
 pub mod client;
 pub mod http;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use alloc_locality::JobSpec;
-use obs::MetricsSnapshot;
+use obs::{Hist, HistSnapshot, MetricsSnapshot, Recorder as _, Tracer};
 use serde::{Deserialize, Serialize};
 
-use http::{read_request, write_response, RecvError, Request};
+use http::{read_request, write_response_with_headers, RecvError, Request};
 
 /// How the daemon is shaped. `Default` suits tests: an OS-assigned port,
 /// two workers, and small-but-real limits.
@@ -115,6 +126,10 @@ enum JobStatus {
     /// literally the same bytes.
     Done {
         line: Arc<String>,
+        /// The job's finished `alloc-locality.trace` v1 line. `None`
+        /// for jobs restored from the on-disk report cache — the trace
+        /// is not persisted, only the report is.
+        trace: Option<Arc<String>>,
     },
     Failed {
         error: String,
@@ -136,6 +151,21 @@ impl JobStatus {
 struct Job {
     spec: JobSpec,
     status: JobStatus,
+    /// The job's in-flight tracer: opened by `submit` (cache-lookup and
+    /// queue-wait spans already recorded), taken by the worker that
+    /// executes the job, absent once the job finishes.
+    tracer: Option<Box<Tracer>>,
+    /// Nanoseconds between submission and a worker picking the job up,
+    /// scraped from the finished trace.
+    queue_wait_ns: Option<u64>,
+    /// Nanoseconds the engine run took, scraped from the finished trace.
+    execute_ns: Option<u64>,
+}
+
+impl Job {
+    fn new(spec: JobSpec, status: JobStatus, tracer: Option<Box<Tracer>>) -> Self {
+        Job { spec, status, tracer, queue_wait_ns: None, execute_ns: None }
+    }
 }
 
 /// Everything behind the mutex.
@@ -151,6 +181,9 @@ struct State {
     done_order: VecDeque<String>,
     /// Simulation metrics merged across completed jobs.
     sim_metrics: MetricsSnapshot,
+    /// Rolling request-latency histograms (microseconds), one per
+    /// normalized endpoint label (`POST /jobs`, `GET /jobs/{id}`, ...).
+    endpoint_latency: BTreeMap<&'static str, Hist>,
     submitted: u64,
     completed: u64,
     failed: u64,
@@ -166,6 +199,9 @@ struct Shared {
     state: Mutex<State>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
+    /// Monotone per-request sequence backing the `X-Trace-Id` response
+    /// header, so client logs and server traces can be correlated.
+    request_seq: AtomicU64,
 }
 
 /// Body of a successful `POST /jobs`.
@@ -190,6 +226,14 @@ pub struct StatusResponse {
     /// The failure message when `status` is `failed`.
     #[serde(default)]
     pub error: Option<String>,
+    /// Nanoseconds the job waited in the queue before a worker picked
+    /// it up. Present once the job finished with a trace.
+    #[serde(default)]
+    pub queue_wait_ns: Option<u64>,
+    /// Nanoseconds the engine run took. Present once the job finished
+    /// with a trace.
+    #[serde(default)]
+    pub execute_ns: Option<u64>,
 }
 
 /// Body of `GET /healthz`.
@@ -232,6 +276,9 @@ pub struct MetricsResponse {
     pub rejected_backpressure: u64,
     /// Submissions refused with 4xx (bad spec or body).
     pub rejected_invalid: u64,
+    /// Request-latency histograms (microseconds) per endpoint label.
+    #[serde(default)]
+    pub endpoints: BTreeMap<String, HistSnapshot>,
     /// Merged [`MetricsSnapshot`] across completed jobs.
     pub simulation: MetricsSnapshot,
 }
@@ -290,6 +337,7 @@ impl Server {
             state: Mutex::new(State::default()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            request_seq: AtomicU64::new(0),
         });
         let workers = (0..shared.cfg.workers)
             .map(|i| {
@@ -385,15 +433,19 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let id = {
+        let picked = {
             let mut state = shared.state.lock().expect("state lock");
             loop {
                 if let Some(id) = state.queue.pop_front() {
                     state.running += 1;
-                    if let Some(job) = state.jobs.get_mut(&id) {
-                        job.status = JobStatus::Running;
-                    }
-                    break Some(id);
+                    let (spec, tracer) = match state.jobs.get_mut(&id) {
+                        Some(job) => {
+                            job.status = JobStatus::Running;
+                            (Some(job.spec.clone()), job.tracer.take())
+                        }
+                        None => (None, None),
+                    };
+                    break Some((id, spec, tracer));
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -407,11 +459,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 state = s;
             }
         };
-        let Some(id) = id else { return };
-        let spec = {
-            let state = shared.state.lock().expect("state lock");
-            state.jobs.get(&id).map(|j| j.spec.clone())
-        };
+        let Some((id, spec, tracer)) = picked else { return };
+        // The submit path opened `serve.queue_wait`; close it now that a
+        // worker owns the job. A missing tracer (never happens on the
+        // submit path) degrades to an empty trace, not a crash.
+        let mut tracer = tracer.unwrap_or_default();
+        tracer.span_exit();
+        tracer.span_enter("serve.execute");
         let outcome =
             spec.ok_or_else(|| "job vanished from the table".to_string()).and_then(|spec| {
                 spec.to_experiment().map_err(|e| e.to_string()).and_then(|exp| {
@@ -421,18 +475,31 @@ fn worker_loop(shared: &Arc<Shared>) {
                             .stream_cache_bytes(shared.cfg.stream_cache_bytes),
                         None => exp,
                     };
-                    exp.report().map_err(|e| e.to_string())
+                    exp.run_traced_with(&mut tracer)
+                        .map(|(result, metrics)| alloc_locality::RunReport::new(result, metrics))
+                        .map_err(|e| e.to_string())
                 })
             });
+        tracer.span_exit();
         // Persist before publishing, outside the lock: a line visible in
         // memory is already on disk (or persistence is off/broken).
         let outcome = outcome.map(|report| {
+            tracer.span_enter("serve.respond");
             let line = report.to_jsonl_line();
             if let Some(dir) = &shared.cfg.report_cache {
                 persist_report(dir, shared.cfg.report_cache_max_bytes, &id, &line);
             }
+            tracer.span_exit();
             (report, line)
         });
+        // Close the `serve.job` root and freeze the trace. Span
+        // structure never feeds the flat metrics, so the report line
+        // above is byte-identical to an untraced run's.
+        tracer.span_exit();
+        let (_, trace_report) = tracer.finish(id.clone());
+        let queue_wait_ns = trace_report.span("serve.queue_wait").map(|s| s.duration_ns());
+        let execute_ns = trace_report.span("serve.execute").map(|s| s.duration_ns());
+        let trace_line = Arc::new(trace_report.to_json_line());
         let mut state = shared.state.lock().expect("state lock");
         state.running -= 1;
         match outcome {
@@ -440,7 +507,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                 state.sim_metrics.merge(&report.metrics);
                 state.completed += 1;
                 if let Some(job) = state.jobs.get_mut(&id) {
-                    job.status = JobStatus::Done { line: Arc::new(line) };
+                    job.status = JobStatus::Done { line: Arc::new(line), trace: Some(trace_line) };
+                    job.queue_wait_ns = queue_wait_ns;
+                    job.execute_ns = execute_ns;
                 }
                 state.remember_done(&id, shared.cfg.result_cache_entries);
             }
@@ -448,6 +517,8 @@ fn worker_loop(shared: &Arc<Shared>) {
                 state.failed += 1;
                 if let Some(job) = state.jobs.get_mut(&id) {
                     job.status = JobStatus::Failed { error };
+                    job.queue_wait_ns = queue_wait_ns;
+                    job.execute_ns = execute_ns;
                 }
             }
         }
@@ -521,12 +592,45 @@ fn load_persisted_report(dir: &std::path::Path, id: &str) -> Option<String> {
     Some(line)
 }
 
+/// One routed response: status, content type, body.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply { status, content_type: "application/json", body }
+    }
+}
+
+/// The normalized label request latency is recorded under — parameters
+/// collapsed so the histogram key set stays small and static.
+fn endpoint_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/jobs") => "POST /jobs",
+        ("GET", "/healthz") => "GET /healthz",
+        ("GET", "/metrics") => "GET /metrics",
+        ("POST", "/shutdown") => "POST /shutdown",
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/report") => "GET /jobs/{id}/report",
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/trace") => "GET /jobs/{id}/trace",
+        ("GET", p) if p.starts_with("/jobs/") => "GET /jobs/{id}",
+        _ => "other",
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let timeout = Duration::from_millis(shared.cfg.read_timeout_ms.max(1));
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
-    let (status, body) = match read_request(&mut stream, shared.cfg.max_body_bytes) {
-        Ok(request) => route(&request, shared),
+    let sw = obs::Stopwatch::start();
+    let trace_id = shared.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let (reply, label) = match read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(request) => {
+            let path = request.path.split('?').next().unwrap_or("").to_string();
+            (route(&request, shared), endpoint_label(&request.method, &path))
+        }
         // The peer went away or sat silent: nothing useful to answer.
         Err(RecvError::Closed) | Err(RecvError::Timeout) | Err(RecvError::Io(_)) => return,
         Err(e @ RecvError::BodyTooLarge { declared, .. }) => {
@@ -534,13 +638,25 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             // the socket does not reset it under the client before the
             // 413 is read.
             drain(&mut stream, declared);
-            (413, json_body(&ErrorResponse::new("too_large", e.to_string())))
+            (Reply::json(413, json_body(&ErrorResponse::new("too_large", e.to_string()))), "other")
         }
         Err(e @ RecvError::Malformed(_)) => {
-            (400, json_body(&ErrorResponse::new("malformed", e.to_string())))
+            (Reply::json(400, json_body(&ErrorResponse::new("malformed", e.to_string()))), "other")
         }
     };
-    let _ = write_response(&mut stream, status, "application/json", body.as_bytes());
+    let trace_header = format!("req-{trace_id}");
+    let _ = write_response_with_headers(
+        &mut stream,
+        reply.status,
+        reply.content_type,
+        &[("X-Trace-Id", &trace_header)],
+        reply.body.as_bytes(),
+    );
+    // Response written: fold the request's wall time into the rolling
+    // per-endpoint histogram (microseconds).
+    if let Ok(mut state) = shared.state.lock() {
+        state.endpoint_latency.entry(label).or_default().record(sw.elapsed_ns() / 1_000);
+    }
 }
 
 /// Reads and discards up to `n` bytes (capped at 1 MiB), best-effort.
@@ -560,33 +676,45 @@ fn json_body<T: Serialize>(value: &T) -> String {
     serde_json::to_string(value).expect("serialize response body")
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
-    let path = request.path.split('?').next().unwrap_or("");
+fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
     match (request.method.as_str(), path) {
         ("POST", "/jobs") => submit(request, shared),
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => metrics(shared),
+        ("GET", "/metrics") => {
+            if query.split('&').any(|kv| kv == "format=prometheus") {
+                metrics_prometheus(shared)
+            } else {
+                metrics(shared)
+            }
+        }
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue_cv.notify_all();
-            (
+            Reply::json(
                 200,
                 json_body(&StatusResponse {
                     id: String::new(),
                     status: "shutting_down".into(),
                     error: None,
+                    queue_wait_ns: None,
+                    execute_ns: None,
                 }),
             )
         }
         ("GET", _) if path.starts_with("/jobs/") => {
             let rest = &path["/jobs/".len()..];
-            match rest.strip_suffix("/report") {
-                Some(id) => job_report(id, shared),
-                None if rest.contains('/') => not_found(path),
-                None => job_status(rest, shared),
+            match (rest.strip_suffix("/report"), rest.strip_suffix("/trace")) {
+                (Some(id), _) => job_report(id, shared),
+                (None, Some(id)) => job_trace(id, shared),
+                (None, None) if rest.contains('/') => not_found(path),
+                (None, None) => job_status(rest, shared),
             }
         }
-        (_, "/jobs" | "/healthz" | "/metrics" | "/shutdown") => (
+        (_, "/jobs" | "/healthz" | "/metrics" | "/shutdown") => Reply::json(
             405,
             json_body(&ErrorResponse::new(
                 "method_not_allowed",
@@ -597,14 +725,14 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
     }
 }
 
-fn not_found(path: &str) -> (u16, String) {
-    (404, json_body(&ErrorResponse::new("not_found", format!("no route for {path}"))))
+fn not_found(path: &str) -> Reply {
+    Reply::json(404, json_body(&ErrorResponse::new("not_found", format!("no route for {path}"))))
 }
 
-fn submit(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
+fn submit(request: &Request, shared: &Arc<Shared>) -> Reply {
     let reject = |state: &mut State, status: u16, err: ErrorResponse| {
         state.rejected_invalid += 1;
-        (status, json_body(&err))
+        Reply::json(status, json_body(&err))
     };
     let parsed: Result<JobSpec, String> = std::str::from_utf8(&request.body)
         .map_err(|_| "body is not UTF-8".to_string())
@@ -625,6 +753,12 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
         return reject(&mut state, 400, ErrorResponse::new("invalid_spec", e.to_string()));
     }
     let id = spec.job_id();
+    // The job's trace starts here: the `serve.job` root opens at
+    // submission so queue wait is attributed to the job itself. A cache
+    // hit abandons the tracer — the stored job already has its trace.
+    let mut tracer = Box::<Tracer>::default();
+    tracer.span_enter("serve.job");
+    tracer.span_enter("serve.cache_lookup");
     let mut state = shared.state.lock().expect("state lock");
     if let Some(job) = state.jobs.get(&id) {
         let status = job.status.label().to_string();
@@ -633,7 +767,7 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
         if done {
             state.remember_done(&id, shared.cfg.result_cache_entries);
         }
-        return (200, json_body(&SubmitResponse { id, status, cached: true }));
+        return Reply::json(200, json_body(&SubmitResponse { id, status, cached: true }));
     }
     // Not in memory — an earlier life of this server (or an evicted
     // entry) may have persisted the report.
@@ -644,20 +778,27 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
         state.report_cache_hits += 1;
         state.jobs.insert(
             id.clone(),
-            Job { spec: spec.normalized(), status: JobStatus::Done { line: Arc::new(line) } },
+            Job::new(
+                spec.normalized(),
+                JobStatus::Done { line: Arc::new(line), trace: None },
+                None,
+            ),
         );
         state.remember_done(&id, shared.cfg.result_cache_entries);
-        return (200, json_body(&SubmitResponse { id, status: "done".into(), cached: true }));
+        return Reply::json(
+            200,
+            json_body(&SubmitResponse { id, status: "done".into(), cached: true }),
+        );
     }
     if shared.shutdown.load(Ordering::SeqCst) {
-        return (
+        return Reply::json(
             503,
             json_body(&ErrorResponse::new("shutting_down", "server is draining; try again later")),
         );
     }
     if state.queue.len() >= shared.cfg.queue_depth {
         state.rejected_backpressure += 1;
-        return (
+        return Reply::json(
             429,
             json_body(&ErrorResponse::new(
                 "queue_full",
@@ -666,43 +807,53 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> (u16, String) {
         );
     }
     state.submitted += 1;
-    state.jobs.insert(id.clone(), Job { spec: spec.normalized(), status: JobStatus::Queued });
+    // The lookup missed: close its span and leave `serve.queue_wait`
+    // open for the worker that picks the job up.
+    tracer.span_exit();
+    tracer.span_enter("serve.queue_wait");
+    state.jobs.insert(id.clone(), Job::new(spec.normalized(), JobStatus::Queued, Some(tracer)));
     state.queue.push_back(id.clone());
     shared.queue_cv.notify_one();
-    (202, json_body(&SubmitResponse { id, status: "queued".into(), cached: false }))
+    Reply::json(202, json_body(&SubmitResponse { id, status: "queued".into(), cached: false }))
 }
 
-fn job_status(id: &str, shared: &Arc<Shared>) -> (u16, String) {
+fn job_status(id: &str, shared: &Arc<Shared>) -> Reply {
     let state = shared.state.lock().expect("state lock");
     match state.jobs.get(id) {
-        None => (404, json_body(&ErrorResponse::new("not_found", format!("no job {id}")))),
+        None => {
+            Reply::json(404, json_body(&ErrorResponse::new("not_found", format!("no job {id}"))))
+        }
         Some(job) => {
             let error = match &job.status {
                 JobStatus::Failed { error } => Some(error.clone()),
                 _ => None,
             };
-            (
+            Reply::json(
                 200,
                 json_body(&StatusResponse {
                     id: id.to_string(),
                     status: job.status.label().to_string(),
                     error,
+                    queue_wait_ns: job.queue_wait_ns,
+                    execute_ns: job.execute_ns,
                 }),
             )
         }
     }
 }
 
-fn job_report(id: &str, shared: &Arc<Shared>) -> (u16, String) {
+fn job_report(id: &str, shared: &Arc<Shared>) -> Reply {
     let state = shared.state.lock().expect("state lock");
     match state.jobs.get(id) {
-        None => (404, json_body(&ErrorResponse::new("not_found", format!("no job {id}")))),
+        None => {
+            Reply::json(404, json_body(&ErrorResponse::new("not_found", format!("no job {id}"))))
+        }
         Some(job) => match &job.status {
-            JobStatus::Done { line } => (200, line.as_ref().clone()),
+            JobStatus::Done { line, .. } => Reply::json(200, line.as_ref().clone()),
             JobStatus::Failed { error } => {
-                (409, json_body(&ErrorResponse::new("failed", error.clone())))
+                Reply::json(409, json_body(&ErrorResponse::new("failed", error.clone())))
             }
-            _ => (
+            _ => Reply::json(
                 409,
                 json_body(&ErrorResponse::new(
                     "not_done",
@@ -713,9 +864,44 @@ fn job_report(id: &str, shared: &Arc<Shared>) -> (u16, String) {
     }
 }
 
-fn healthz(shared: &Arc<Shared>) -> (u16, String) {
+/// `GET /jobs/{id}/trace`: the job's finished span tree as one
+/// `alloc-locality.trace` v1 JSON line. A duplicate submission shares
+/// the original job's entry, so its trace is the original's, verbatim.
+fn job_trace(id: &str, shared: &Arc<Shared>) -> Reply {
     let state = shared.state.lock().expect("state lock");
-    (
+    match state.jobs.get(id) {
+        None => {
+            Reply::json(404, json_body(&ErrorResponse::new("not_found", format!("no job {id}"))))
+        }
+        Some(job) => match &job.status {
+            JobStatus::Done { trace: Some(trace), .. } => Reply::json(200, trace.as_ref().clone()),
+            JobStatus::Done { trace: None, .. } => Reply::json(
+                404,
+                json_body(&ErrorResponse::new(
+                    "not_found",
+                    format!(
+                        "job {id} was answered from the persisted report cache; \
+                         traces are not retained across restarts"
+                    ),
+                )),
+            ),
+            JobStatus::Failed { error } => {
+                Reply::json(409, json_body(&ErrorResponse::new("failed", error.clone())))
+            }
+            _ => Reply::json(
+                409,
+                json_body(&ErrorResponse::new(
+                    "not_done",
+                    format!("job {id} is {}", job.status.label()),
+                )),
+            ),
+        },
+    }
+}
+
+fn healthz(shared: &Arc<Shared>) -> Reply {
+    let state = shared.state.lock().expect("state lock");
+    Reply::json(
         200,
         json_body(&HealthResponse {
             status: "ok".into(),
@@ -729,9 +915,9 @@ fn healthz(shared: &Arc<Shared>) -> (u16, String) {
     )
 }
 
-fn metrics(shared: &Arc<Shared>) -> (u16, String) {
+fn metrics(shared: &Arc<Shared>) -> Reply {
     let state = shared.state.lock().expect("state lock");
-    (
+    Reply::json(
         200,
         json_body(&MetricsResponse {
             jobs_submitted: state.submitted,
@@ -741,7 +927,47 @@ fn metrics(shared: &Arc<Shared>) -> (u16, String) {
             report_cache_hits: state.report_cache_hits,
             rejected_backpressure: state.rejected_backpressure,
             rejected_invalid: state.rejected_invalid,
+            endpoints: state
+                .endpoint_latency
+                .iter()
+                .map(|(label, hist)| (label.to_string(), hist.snapshot()))
+                .collect(),
             simulation: state.sim_metrics.clone(),
         }),
     )
+}
+
+/// `GET /metrics?format=prometheus`: the same counters, gauges, and
+/// histograms as the JSON body, rendered as Prometheus text exposition
+/// (server metrics under `serve_`, merged simulation metrics under
+/// `sim_`).
+fn metrics_prometheus(shared: &Arc<Shared>) -> Reply {
+    let state = shared.state.lock().expect("state lock");
+    let mut out = String::new();
+    obs::prom::push_counter(&mut out, "serve_jobs_submitted_total", state.submitted);
+    obs::prom::push_counter(&mut out, "serve_jobs_completed_total", state.completed);
+    obs::prom::push_counter(&mut out, "serve_jobs_failed_total", state.failed);
+    obs::prom::push_counter(&mut out, "serve_cache_hits_total", state.cache_hits);
+    obs::prom::push_counter(&mut out, "serve_report_cache_hits_total", state.report_cache_hits);
+    obs::prom::push_counter(
+        &mut out,
+        "serve_rejected_backpressure_total",
+        state.rejected_backpressure,
+    );
+    obs::prom::push_counter(&mut out, "serve_rejected_invalid_total", state.rejected_invalid);
+    obs::prom::push_gauge(&mut out, "serve_queue_depth", state.queue.len() as u64);
+    obs::prom::push_gauge(&mut out, "serve_jobs_running", state.running);
+    obs::prom::push_gauge(&mut out, "serve_workers", shared.cfg.workers as u64);
+    let labelled: Vec<([(&str, &str); 1], HistSnapshot)> = state
+        .endpoint_latency
+        .iter()
+        .map(|(label, hist)| ([("endpoint", *label)], hist.snapshot()))
+        .collect();
+    let series: Vec<(&[(&str, &str)], HistSnapshot)> =
+        labelled.iter().map(|(labels, snap)| (&labels[..], snap.clone())).collect();
+    if !series.is_empty() {
+        obs::prom::push_histogram(&mut out, "serve_request_duration_us", &series);
+    }
+    obs::prom::push_snapshot(&mut out, "sim", &state.sim_metrics);
+    Reply { status: 200, content_type: "text/plain; version=0.0.4", body: out }
 }

@@ -353,3 +353,70 @@ fn stream_cached_jobs_replay_after_eviction() {
     drop(server);
     let _ = std::fs::remove_dir_all(&stream_dir);
 }
+
+#[test]
+fn traces_are_served_and_cached_duplicates_return_the_original() {
+    let (server, client) = start(ServerConfig::default());
+    let spec = quick_spec("espresso", "FirstFit");
+    let first = client.submit(&spec).unwrap();
+    let status = client.wait_done(&first.id, WAIT).unwrap();
+
+    // The finished job carries the span-derived telemetry split.
+    assert!(status.queue_wait_ns.is_some(), "queue-wait telemetry present");
+    assert!(status.execute_ns.unwrap_or(0) > 0, "execute telemetry present and non-zero");
+
+    // The trace is a valid v1 artifact rooted at the serve lifecycle,
+    // with the engine's phases nested inside the execute span.
+    let line = client.fetch_trace(&first.id).unwrap();
+    let trace = obs::TraceReport::parse(&line).expect("trace line parses");
+    trace.validate().expect("served trace validates");
+    assert_eq!(trace.trace_id, first.id, "trace id is the job id");
+    let roots: Vec<_> = trace.roots().collect();
+    assert_eq!(roots.len(), 1, "one serve.job root");
+    assert_eq!(roots[0].name, "serve.job");
+    for name in ["serve.cache_lookup", "serve.queue_wait", "serve.execute", "serve.respond"] {
+        let span = trace.span(name).unwrap_or_else(|| panic!("missing span {name}"));
+        assert_eq!(span.parent, Some(roots[0].id), "{name} nests under serve.job");
+    }
+    let execute = trace.span("serve.execute").unwrap();
+    let drive = trace.span("engine.drive").expect("engine spans nested in the serve trace");
+    assert_eq!(drive.parent, Some(execute.id), "engine.drive nests under serve.execute");
+
+    // A cached duplicate answers with the original job's trace, byte
+    // for byte — the duplicate never executed, so it has no trace of
+    // its own.
+    let dup = client.submit(&spec.normalized()).unwrap();
+    assert!(dup.cached);
+    let dup_line = client.fetch_trace(&dup.id).unwrap();
+    assert_eq!(dup_line, line, "cached duplicate must serve the original trace bytes");
+    drop(server);
+}
+
+#[test]
+fn prometheus_exposition_lints_clean_and_reflects_load() {
+    let (server, client) = start(ServerConfig::default());
+    let submitted = client.submit(&quick_spec("gawk", "BSD")).unwrap();
+    client.wait_done(&submitted.id, WAIT).unwrap();
+    client.fetch_report(&submitted.id).unwrap();
+
+    let text = client.metrics_prometheus().unwrap();
+    let samples = obs::prom::lint(&text).unwrap_or_else(|e| panic!("exposition lints: {e}"));
+    assert!(samples > 0, "exposition is non-empty");
+    assert!(text.contains("serve_jobs_completed_total 1"), "completed counter exported:\n{text}");
+    assert!(
+        text.contains("endpoint=\"POST /jobs\""),
+        "per-endpoint latency series labelled:\n{text}"
+    );
+    assert!(
+        text.contains("# TYPE serve_request_duration_us histogram"),
+        "latency histogram typed:\n{text}"
+    );
+    assert!(text.contains("sim_"), "simulation metrics aggregated under the sim prefix:\n{text}");
+
+    // The JSON endpoint still answers, and now carries the endpoint
+    // histograms alongside the counters.
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.jobs_completed, 1);
+    assert!(metrics.endpoints.contains_key("POST /jobs"), "{:?}", metrics.endpoints.keys());
+    drop(server);
+}

@@ -157,10 +157,29 @@ impl<'a> MemCtx<'a> {
         }
     }
 
+    /// Opens a hierarchical span `name` on the attached recorder, if
+    /// any. Flat recorders ignore this; a [`obs::Tracer`] starts a
+    /// child span. Must be balanced by [`MemCtx::obs_span_exit`].
+    #[inline]
+    pub fn obs_span_enter(&mut self, name: &'static str) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.span_enter(name);
+        }
+    }
+
+    /// Closes the innermost span opened by [`MemCtx::obs_span_enter`].
+    #[inline]
+    pub fn obs_span_exit(&mut self) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.span_exit();
+        }
+    }
+
     /// Delivers any buffered references to the sink. A no-op for
     /// unbatched contexts.
     pub fn flush(&mut self) {
         if !self.buf.is_empty() {
+            self.obs_span_enter("ctx.flush");
             if let Some(rec) = self.recorder.as_deref_mut() {
                 // Batch flushes and the RLE compression ratio: `refs`
                 // over `runs` is how much the run compression saved the
@@ -172,6 +191,7 @@ impl<'a> MemCtx<'a> {
             self.sink.record_runs(&self.buf);
             self.buf.clear();
             self.buffered = 0;
+            self.obs_span_exit();
         }
     }
 

@@ -516,6 +516,26 @@ impl StreamCache {
         }
     }
 
+    /// [`StreamCache::load`] with the read + decode wrapped in a
+    /// hierarchical `stream_cache.decode` span on `recorder`. The span
+    /// is *tree-only* (no flat `span_ns` aggregate): flat recorders see
+    /// nothing, so an instrumented run's frozen metrics stay
+    /// byte-identical whether or not the probe was traced — the decode
+    /// duration lives in the trace span's own timestamps. Behaviour is
+    /// identical to `load`; a `None` or disabled recorder costs one
+    /// branch.
+    pub fn load_recorded(&self, key: u64, recorder: Option<&mut dyn obs::Recorder>) -> CacheLookup {
+        match recorder {
+            Some(rec) if rec.enabled() => {
+                rec.span_enter("stream_cache.decode");
+                let lookup = self.load(key);
+                rec.span_exit();
+                lookup
+            }
+            _ => self.load(key),
+        }
+    }
+
     /// Encodes and atomically stores a stream under `key`.
     ///
     /// # Errors

@@ -152,6 +152,74 @@ fn allocator_engine_counters_surface_through_the_recorder() {
 }
 
 #[test]
+fn tracing_is_invisible_in_every_engine_and_pipeline_mode() {
+    // The hierarchical tracer rides the same Recorder contract, so it
+    // inherits contract 1: a traced run must produce bit-identical
+    // results — and, since the tracer embeds a MemoryRecorder, the same
+    // flat metrics an instrumented run yields.
+    for engine in [CacheEngine::PerCache, CacheEngine::Sweep] {
+        for mode in [PipelineMode::Inline, PipelineMode::Sharded] {
+            let exp = experiment(engine, mode);
+            let plain = exp.run().expect("plain run");
+            let (_, plain_metrics) = exp.run_instrumented().expect("instrumented run");
+
+            let (traced, metrics, trace) = exp.run_traced().expect("traced run");
+            assert_eq!(traced, plain, "Tracer perturbed the result under {engine:?}/{mode:?}");
+            // Span *timings* are wall-clock and differ run to run, and
+            // pipeline.send_stalls counts scheduling-dependent
+            // backpressure; the deterministic metric content must not
+            // differ.
+            let deterministic = |m: &obs::MetricsSnapshot| -> Vec<(String, u64)> {
+                m.counters
+                    .iter()
+                    .filter(|(name, _)| name.as_str() != "pipeline.send_stalls")
+                    .map(|(name, &v)| (name.clone(), v))
+                    .collect()
+            };
+            assert_eq!(
+                deterministic(&metrics),
+                deterministic(&plain_metrics),
+                "span structure leaked into counters under {engine:?}/{mode:?}"
+            );
+            assert_eq!(
+                metrics.histograms, plain_metrics.histograms,
+                "span structure leaked into histograms under {engine:?}/{mode:?}"
+            );
+            assert_eq!(
+                metrics.spans.keys().collect::<Vec<_>>(),
+                plain_metrics.spans.keys().collect::<Vec<_>>(),
+                "tracing changed which flat span timers exist under {engine:?}/{mode:?}"
+            );
+
+            // The span tree is a valid v1 artifact...
+            trace.validate().unwrap_or_else(|e| panic!("{engine:?}/{mode:?}: invalid trace: {e}"));
+            assert_eq!(trace.schema, obs::TRACE_SCHEMA);
+            assert_eq!(trace.version, obs::TRACE_VERSION);
+            assert_eq!(trace.dropped_spans, 0, "this workload is far under the span cap");
+
+            // ...with the engine's phases present and correctly nested:
+            // alloc_build and events are children of the drive phase.
+            let drive = trace.span("engine.drive").expect("drive span");
+            for child in ["engine.alloc_build", "engine.events"] {
+                let span = trace
+                    .span(child)
+                    .unwrap_or_else(|| panic!("{engine:?}/{mode:?}: missing span {child}"));
+                assert_eq!(span.parent, Some(drive.id), "{child} must nest under engine.drive");
+            }
+            assert!(trace.span("engine.finalize").is_some(), "finalize phase was traced");
+            assert!(trace.span("ctx.flush").is_some(), "event flushes were traced");
+
+            // The JSON line round-trips losslessly.
+            let line = trace.to_json_line();
+            assert!(!line.contains('\n'));
+            let back = obs::TraceReport::parse(&line).expect("parse trace line");
+            back.validate().expect("parsed trace validates");
+            assert_eq!(back, trace);
+        }
+    }
+}
+
+#[test]
 fn run_report_round_trips_through_jsonl() {
     let report =
         experiment(CacheEngine::Sweep, PipelineMode::Inline).report().expect("instrumented run");
