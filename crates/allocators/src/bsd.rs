@@ -25,13 +25,14 @@ use sim_mem::{Address, MemCtx};
 use crate::shadow::WordMirror;
 use crate::{AllocError, AllocStats, Allocator};
 
-/// Smallest block size class, 2^4 = 16 bytes (12-byte payload).
+/// Smallest block size class in 4.2 BSD, 2^4 = 16 bytes (12-byte
+/// payload).
 pub const MIN_SHIFT: u32 = 4;
 
 /// Largest supported class, 2^27 = 128 MiB.
 pub const MAX_SHIFT: u32 = 27;
 
-/// Number of size classes.
+/// Number of size classes in the 4.2 BSD configuration.
 pub const NBUCKETS: usize = (MAX_SHIFT - MIN_SHIFT + 1) as usize;
 
 /// Granularity of `morecore`: a class obtains at least this many bytes of
@@ -40,11 +41,31 @@ pub const PAGE: u32 = 4096;
 
 const HDR: u64 = 4;
 
+/// Configuration knobs, exposed for the design-space sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BsdConfig {
+    /// log2 of the smallest block size class: requests round up to a
+    /// power of two no smaller than `1 << min_shift`. 4.2 BSD shipped 4
+    /// (16-byte blocks); smaller values waste less on tiny objects,
+    /// larger values trade internal fragmentation for fewer classes.
+    /// Must lie in `3..=MAX_SHIFT`.
+    pub min_shift: u32,
+}
+
+impl Default for BsdConfig {
+    fn default() -> Self {
+        BsdConfig { min_shift: MIN_SHIFT }
+    }
+}
+
 /// Kingsley's BSD allocator. See the module docs.
 #[derive(Debug)]
 pub struct Bsd {
     /// Static area: one list-head word per bucket.
     heads: Address,
+    config: BsdConfig,
+    /// Number of buckets under this configuration.
+    nbuckets: u32,
     stats: AllocStats,
     /// Shared mirror of every metadata word this allocator stores.
     mirror: WordMirror,
@@ -54,32 +75,68 @@ pub struct Bsd {
 }
 
 impl Bsd {
-    /// Creates a BSD allocator, reserving its bucket array in the static
-    /// area at the current heap frontier.
+    /// Creates a BSD allocator in the 4.2 BSD configuration, reserving
+    /// its bucket array in the static area at the current heap frontier.
     ///
     /// # Errors
     ///
     /// Returns [`AllocError::Oom`] if the static area cannot be reserved.
     pub fn new(ctx: &mut MemCtx<'_>) -> Result<Self, AllocError> {
-        let mut mirror = WordMirror::new();
-        let heads = ctx.sbrk(NBUCKETS as u64 * 4)?;
-        for i in 0..NBUCKETS {
-            mirror.store(ctx, heads + i as u64 * 4, 0);
-        }
-        Ok(Bsd { heads, stats: AllocStats::new(), mirror, occupied: 0 })
+        Self::with_config(ctx, BsdConfig::default())
     }
 
-    /// The bucket index serving a payload request of `size` bytes, or
-    /// `None` if the request exceeds the largest class.
+    /// Creates a BSD allocator with explicit knobs. The default config
+    /// reproduces [`Bsd::new`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Oom`] if the static area cannot be reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_shift` lies outside `3..=MAX_SHIFT` (a block must
+    /// hold its header-or-chain word, and at least one class must exist).
+    pub fn with_config(ctx: &mut MemCtx<'_>, config: BsdConfig) -> Result<Self, AllocError> {
+        assert!(
+            (3..=MAX_SHIFT).contains(&config.min_shift),
+            "min_shift {} outside 3..={MAX_SHIFT}",
+            config.min_shift
+        );
+        let nbuckets = MAX_SHIFT - config.min_shift + 1;
+        let mut mirror = WordMirror::new();
+        let heads = ctx.sbrk(u64::from(nbuckets) * 4)?;
+        for i in 0..nbuckets {
+            mirror.store(ctx, heads + u64::from(i) * 4, 0);
+        }
+        Ok(Bsd { heads, config, nbuckets, stats: AllocStats::new(), mirror, occupied: 0 })
+    }
+
+    /// The bucket index serving a payload request of `size` bytes in the
+    /// 4.2 BSD configuration, or `None` if the request exceeds the
+    /// largest class.
     pub fn bucket_for(size: u32) -> Option<u32> {
         let total = u64::from(size) + HDR;
         let shift = total.next_power_of_two().trailing_zeros().max(MIN_SHIFT);
         (shift <= MAX_SHIFT).then_some(shift - MIN_SHIFT)
     }
 
-    /// The block size (header included) of bucket `k`.
+    /// The block size (header included) of bucket `k` in the 4.2 BSD
+    /// configuration.
     pub fn bucket_size(k: u32) -> u32 {
         1 << (k + MIN_SHIFT)
+    }
+
+    /// [`Bsd::bucket_for`] under this instance's rounding classes.
+    fn bucket_index(&self, size: u32) -> Option<u32> {
+        let total = u64::from(size) + HDR;
+        let shift = total.next_power_of_two().trailing_zeros().max(self.config.min_shift);
+        (shift <= MAX_SHIFT).then_some(shift - self.config.min_shift)
+    }
+
+    /// The block size (header included) of bucket `k` under this
+    /// instance's rounding classes.
+    fn block_size(&self, k: u32) -> u32 {
+        1 << (k + self.config.min_shift)
     }
 
     fn head_addr(&self, k: u32) -> Address {
@@ -90,7 +147,7 @@ impl Bsd {
     /// (empty) freelist, touching each new block once — the cold-start
     /// cost of a class.
     fn morecore(&mut self, k: u32, ctx: &mut MemCtx<'_>) -> Result<(), AllocError> {
-        let bsize = Self::bucket_size(k);
+        let bsize = self.block_size(k);
         let grab = bsize.max(PAGE);
         let start = ctx.sbrk(u64::from(grab))?;
         let nblocks = grab / bsize;
@@ -115,7 +172,7 @@ impl Allocator for Bsd {
     }
 
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
-        let k = Self::bucket_for(size).ok_or(AllocError::Unsupported(size))?;
+        let k = self.bucket_index(size).ok_or(AllocError::Unsupported(size))?;
         ctx.ops(4);
         // Advisory probe: the bitmap predicts the morecore decision the
         // head load is about to make.
@@ -140,7 +197,7 @@ impl Allocator for Bsd {
                                                         // per-malloc search-length histogram comparable across
                                                         // allocators (paper finding 1).
         ctx.obs_observe("alloc.search_len", 0);
-        self.stats.note_malloc(size, Self::bucket_size(k));
+        self.stats.note_malloc(size, self.block_size(k));
         Ok(block + HDR)
     }
 
@@ -155,7 +212,7 @@ impl Allocator for Bsd {
             return Err(AllocError::InvalidFree(ptr));
         }
         let k = header & 0xffff;
-        if k >= NBUCKETS as u32 {
+        if k >= self.nbuckets {
             return Err(AllocError::InvalidFree(ptr));
         }
         // Push: block takes the old head in its chain word.
@@ -166,7 +223,7 @@ impl Allocator for Bsd {
         // BSD never coalesces; record the zero so the histogram covers
         // every free.
         ctx.obs_observe("alloc.coalesce_per_free", 0);
-        self.stats.note_free(Self::bucket_size(k));
+        self.stats.note_free(self.block_size(k));
         Ok(())
     }
 
@@ -264,6 +321,29 @@ mod tests {
         // A 33-byte request needs 37 with header → 64-byte class.
         bsd.malloc(33, &mut ctx).unwrap();
         assert_eq!(bsd.stats().live_granted, 64);
+    }
+
+    #[test]
+    fn coarser_rounding_classes_grant_more() {
+        let mut fx = Fx::new();
+        let mut ctx = fx.ctx();
+        // min_shift 6: every class is at least 64 bytes.
+        let mut bsd = Bsd::with_config(&mut ctx, BsdConfig { min_shift: 6 }).unwrap();
+        let a = bsd.malloc(12, &mut ctx).unwrap();
+        assert_eq!(bsd.stats().live_granted, 64);
+        bsd.free(a, &mut ctx).unwrap();
+        // A 40-byte request reuses the same class (44 with header → 64).
+        assert_eq!(bsd.malloc(40, &mut ctx).unwrap(), a);
+    }
+
+    #[test]
+    fn finer_rounding_classes_grant_less() {
+        let mut fx = Fx::new();
+        let mut ctx = fx.ctx();
+        let mut bsd = Bsd::with_config(&mut ctx, BsdConfig { min_shift: 3 }).unwrap();
+        // 4-byte payload + 4-byte header = 8 → the new smallest class.
+        bsd.malloc(4, &mut ctx).unwrap();
+        assert_eq!(bsd.stats().live_granted, 8);
     }
 
     #[test]

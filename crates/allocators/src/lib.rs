@@ -65,14 +65,14 @@ use serde::{Deserialize, Serialize};
 use sim_mem::{Address, MemCtx, OomError};
 
 pub use best_fit::BestFit;
-pub use bsd::Bsd;
+pub use bsd::{Bsd, BsdConfig};
 pub use buddy::Buddy;
 pub use custom::Custom;
 pub use first_fit::FirstFit;
 pub use gnu_gxx::GnuGxx;
 pub use gnu_local::GnuLocal;
-pub use predictive::Predictive;
-pub use quick_fit::QuickFit;
+pub use predictive::{Predictive, PredictiveConfig};
+pub use quick_fit::{QuickFit, QuickFitConfig};
 pub use size_map::{SizeMap, SizeProfile};
 pub use stats::AllocStats;
 

@@ -35,11 +35,26 @@ use crate::{AllocError, AllocStats, Allocator, SizeMap};
 pub const MAX_SITES: u32 = 64;
 
 /// An object freed within this many allocations of its birth counts as
-/// short-lived.
+/// short-lived (the default working-set clock).
 pub const SHORT_AGE: u32 = 5_000;
 
 /// Per-object header: site word + birth word.
 const HEADER: u32 = 8;
+
+/// Configuration knobs, exposed for the design-space sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictiveConfig {
+    /// Working-set clock threshold: an object freed within this many
+    /// allocations of its birth counts as short-lived when the site
+    /// history is updated. Must be positive.
+    pub short_age: u32,
+}
+
+impl Default for PredictiveConfig {
+    fn default() -> Self {
+        PredictiveConfig { short_age: SHORT_AGE }
+    }
+}
 
 /// The lifetime-predicting allocator. See the module docs.
 #[derive(Debug)]
@@ -55,6 +70,7 @@ pub struct Predictive {
     sites: Address,
     /// Allocation clock, for object ages.
     clock: u32,
+    config: PredictiveConfig,
     stats: AllocStats,
     /// Mirror of the site table (exclusively ours). Object headers are
     /// NOT mirrored: their words double as fragment links owned by the
@@ -70,6 +86,22 @@ impl Predictive {
     ///
     /// Returns [`AllocError::Oom`] if the metadata cannot be reserved.
     pub fn new(ctx: &mut MemCtx<'_>) -> Result<Self, AllocError> {
+        Self::with_config(ctx, PredictiveConfig::default())
+    }
+
+    /// Creates a predictive allocator with explicit knobs. The default
+    /// config reproduces [`Predictive::new`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Oom`] if the metadata cannot be reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `short_age` is zero (everything would count long-lived
+    /// before its first birthday).
+    pub fn with_config(ctx: &mut MemCtx<'_>, config: PredictiveConfig) -> Result<Self, AllocError> {
+        assert!(config.short_age > 0, "short_age must be positive");
         let map = SizeMap::bounded_fragmentation(0.25);
         let map_base = map.write_to_heap(ctx)?;
         let mut mirror = WordMirror::new();
@@ -88,6 +120,7 @@ impl Predictive {
             map_base,
             sites,
             clock: 0,
+            config,
             stats: AllocStats::new(),
             mirror,
         })
@@ -115,7 +148,7 @@ impl Predictive {
         let mut shorts = self.mirror.load(ctx, a);
         let mut longs = self.mirror.load(ctx, a + 4);
         ctx.ops(3);
-        if age <= SHORT_AGE {
+        if age <= self.config.short_age {
             shorts += 1;
         } else {
             longs += 1;
@@ -257,6 +290,26 @@ mod tests {
         let short_obj = p.malloc_at(24, 1, &mut ctx).unwrap();
         let chunk = |a: Address| a.raw() / 4096;
         assert_ne!(chunk(long_obj), chunk(short_obj), "pools must segregate");
+    }
+
+    #[test]
+    fn shorter_clock_tenures_sites_sooner() {
+        let mut fx = Fx::new();
+        let mut ctx = fx.ctx();
+        // With a 10-allocation clock, surviving 50 churn cycles already
+        // counts as long-lived.
+        let mut p = Predictive::with_config(&mut ctx, PredictiveConfig { short_age: 10 }).unwrap();
+        let old: Vec<_> = (0..4).map(|_| p.malloc_at(24, 9, &mut ctx).unwrap()).collect();
+        for _ in 0..50 {
+            let t = p.malloc_at(8, 1, &mut ctx).unwrap();
+            p.free(t, &mut ctx).unwrap();
+        }
+        for q in old {
+            p.free(q, &mut ctx).unwrap();
+        }
+        assert!(!p.predict_short(9, &mut ctx), "site 9 should be predicted long");
+        // The default clock would still call those objects short-lived.
+        const { assert!(50 + 8 < SHORT_AGE) };
     }
 
     #[test]

@@ -28,28 +28,43 @@ use crate::layout::{encode, tag_fast, tag_size, F_ALLOC, F_FAST, TAG};
 use crate::shadow::WordMirror;
 use crate::{AllocError, AllocStats, Allocator, GnuGxx};
 
-/// Largest payload (bytes) served by the fast lists.
+/// Largest payload (bytes) served by the fast lists, as the paper
+/// measured it.
 pub const FAST_MAX: u32 = 32;
 
-/// Number of exact-size fast classes (4, 8, ..., 32 bytes).
+/// Number of exact-size fast classes (4, 8, ..., 32 bytes) in the
+/// paper's configuration.
 pub const NCLASSES: usize = (FAST_MAX / 4) as usize;
 
 /// Tail region replenishment size: fresh working storage is grabbed from
 /// the operating system in pages.
 pub const TAIL_CHUNK: u32 = 4096;
 
-/// Offsets within the static area.
-const TAIL_OFF: u64 = NCLASSES as u64 * 4;
-const LIMIT_OFF: u64 = TAIL_OFF + 4;
+/// Configuration knobs, exposed for the design-space sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuickFitConfig {
+    /// Largest payload (bytes) served by the fast lists; one exact-size
+    /// class exists per word multiple up to this bound. Must be a
+    /// positive word multiple no larger than `TAIL_CHUNK - 4` (a fast
+    /// block, tag included, must fit one tail grab).
+    pub fast_max: u32,
+}
+
+impl Default for QuickFitConfig {
+    fn default() -> Self {
+        QuickFitConfig { fast_max: FAST_MAX }
+    }
+}
 
 /// Weinstock & Wulf's QuickFit. See the module docs.
 #[derive(Debug)]
 pub struct QuickFit {
-    /// Static area: `NCLASSES` list-head words, then the tail pointer and
-    /// tail limit words.
+    /// Static area: one list-head word per fast class, then the tail
+    /// pointer and tail limit words.
     statics: Address,
-    /// General allocator for requests above [`FAST_MAX`].
+    /// General allocator for requests above the fast bound.
     general: GnuGxx,
+    config: QuickFitConfig,
     stats: AllocStats,
     /// Mirror of QuickFit's own metadata words (heads, tail, limit, fast
     /// chain words and fast tags). General-side words live in the
@@ -59,25 +74,50 @@ pub struct QuickFit {
 
 impl QuickFit {
     /// Creates a QuickFit allocator (with an embedded GNU G++ for large
-    /// requests), reserving the static area.
+    /// requests) in the paper's configuration, reserving the static area.
     ///
     /// # Errors
     ///
     /// Returns [`AllocError::Oom`] if the static area cannot be reserved.
     pub fn new(ctx: &mut MemCtx<'_>) -> Result<Self, AllocError> {
-        let mut mirror = WordMirror::new();
-        let statics = ctx.sbrk(LIMIT_OFF + 4)?;
-        for i in 0..NCLASSES {
-            mirror.store(ctx, statics + i as u64 * 4, 0);
-        }
-        mirror.store(ctx, statics + TAIL_OFF, 0);
-        mirror.store(ctx, statics + LIMIT_OFF, 0);
-        let general = GnuGxx::new(ctx)?;
-        Ok(QuickFit { statics, general, stats: AllocStats::new(), mirror })
+        Self::with_config(ctx, QuickFitConfig::default())
     }
 
-    /// The fast-class index for a payload request, or `None` if the
-    /// request must go to the general allocator.
+    /// Creates a QuickFit allocator with explicit knobs. The default
+    /// config reproduces [`QuickFit::new`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Oom`] if the static area cannot be reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast_max` is not a positive word multiple that fits a
+    /// tail grab (see [`QuickFitConfig::fast_max`]).
+    pub fn with_config(ctx: &mut MemCtx<'_>, config: QuickFitConfig) -> Result<Self, AllocError> {
+        assert!(
+            config.fast_max >= 4
+                && config.fast_max.is_multiple_of(4)
+                && config.fast_max + TAG as u32 <= TAIL_CHUNK,
+            "fast_max {} is not a word multiple in 4..={}",
+            config.fast_max,
+            TAIL_CHUNK - TAG as u32
+        );
+        let nclasses = (config.fast_max / 4) as u64;
+        let mut mirror = WordMirror::new();
+        let statics = ctx.sbrk((nclasses + 2) * 4)?;
+        for i in 0..nclasses {
+            mirror.store(ctx, statics + i * 4, 0);
+        }
+        mirror.store(ctx, statics + nclasses * 4, 0);
+        mirror.store(ctx, statics + nclasses * 4 + 4, 0);
+        let general = GnuGxx::new(ctx)?;
+        Ok(QuickFit { statics, general, config, stats: AllocStats::new(), mirror })
+    }
+
+    /// The fast-class index for a payload request in the paper's
+    /// configuration, or `None` if the request must go to the general
+    /// allocator.
     pub fn class_for(size: u32) -> Option<usize> {
         let rounded = size.max(1).div_ceil(4) * 4;
         (rounded <= FAST_MAX).then(|| (rounded / 4 - 1) as usize)
@@ -88,6 +128,16 @@ impl QuickFit {
         (idx as u32 + 1) * 4
     }
 
+    /// [`QuickFit::class_for`] under this instance's configured bound.
+    fn class_index(&self, size: u32) -> Option<usize> {
+        let rounded = size.max(1).div_ceil(4) * 4;
+        (rounded <= self.config.fast_max).then(|| (rounded / 4 - 1) as usize)
+    }
+
+    fn tail_off(&self) -> u64 {
+        u64::from(self.config.fast_max / 4) * 4
+    }
+
     fn head_addr(&self, idx: usize) -> Address {
         self.statics + idx as u64 * 4
     }
@@ -96,17 +146,19 @@ impl QuickFit {
     /// growing it by [`TAIL_CHUNK`] when exhausted. Any unusably small
     /// tail remnant is abandoned, as in the original.
     fn carve(&mut self, total: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
-        let tail = self.mirror.load(ctx, self.statics + TAIL_OFF);
-        let limit = self.mirror.load(ctx, self.statics + LIMIT_OFF);
+        let tail_off = self.tail_off();
+        let limit_off = tail_off + 4;
+        let tail = self.mirror.load(ctx, self.statics + tail_off);
+        let limit = self.mirror.load(ctx, self.statics + limit_off);
         ctx.ops(3);
         let tail = if tail + total <= limit {
             tail
         } else {
             let fresh = ctx.sbrk(u64::from(TAIL_CHUNK))?;
-            self.mirror.store(ctx, self.statics + LIMIT_OFF, fresh.raw() as u32 + TAIL_CHUNK);
+            self.mirror.store(ctx, self.statics + limit_off, fresh.raw() as u32 + TAIL_CHUNK);
             fresh.raw() as u32
         };
-        self.mirror.store(ctx, self.statics + TAIL_OFF, tail + total);
+        self.mirror.store(ctx, self.statics + tail_off, tail + total);
         let block = Address::new(u64::from(tail));
         // The boundary tag: size plus the fast-storage marker, written
         // once and never changed (fast blocks do not coalesce).
@@ -122,7 +174,7 @@ impl Allocator for QuickFit {
 
     fn malloc(&mut self, size: u32, ctx: &mut MemCtx<'_>) -> Result<Address, AllocError> {
         ctx.ops(3);
-        if let Some(idx) = Self::class_for(size) {
+        if let Some(idx) = self.class_index(size) {
             let total = Self::class_payload(idx) + TAG as u32;
             let head = self.head_addr(idx);
             let b = self.mirror.load(ctx, head);
@@ -171,7 +223,7 @@ impl Allocator for QuickFit {
         if tag_fast(tag) {
             let total = tag_size(tag);
             let payload = total - TAG as u32;
-            if payload == 0 || payload > FAST_MAX || !payload.is_multiple_of(4) {
+            if payload == 0 || payload > self.config.fast_max || !payload.is_multiple_of(4) {
                 return Err(AllocError::InvalidFree(ptr));
             }
             let idx = (payload / 4 - 1) as usize;
@@ -324,6 +376,34 @@ mod tests {
             let cost = fx.instrs.total() - before;
             assert!(cost < 12, "warm QuickFit malloc took {cost} instructions");
         }
+    }
+
+    #[test]
+    fn wider_fast_bound_serves_larger_requests_exactly() {
+        let mut fx = Fx::new();
+        let mut ctx = fx.ctx();
+        let mut q = QuickFit::with_config(&mut ctx, QuickFitConfig { fast_max: 64 }).unwrap();
+        // 48 bytes is general-allocator territory at the default bound,
+        // but an exact fast class here.
+        let a = q.malloc(48, &mut ctx).unwrap();
+        q.free(a, &mut ctx).unwrap();
+        assert_eq!(q.malloc(48, &mut ctx).unwrap(), a);
+        assert_eq!(q.stats().quick_hits, 2);
+        assert_eq!(q.stats().misc_hits, 0);
+        // 68 bytes still routes to the general allocator.
+        q.malloc(68, &mut ctx).unwrap();
+        assert_eq!(q.stats().misc_hits, 1);
+    }
+
+    #[test]
+    fn narrower_fast_bound_delegates_more() {
+        let mut fx = Fx::new();
+        let mut ctx = fx.ctx();
+        let mut q = QuickFit::with_config(&mut ctx, QuickFitConfig { fast_max: 8 }).unwrap();
+        q.malloc(8, &mut ctx).unwrap();
+        q.malloc(12, &mut ctx).unwrap();
+        assert_eq!(q.stats().quick_hits, 1);
+        assert_eq!(q.stats().misc_hits, 1);
     }
 
     #[test]

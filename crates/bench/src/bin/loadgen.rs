@@ -13,7 +13,7 @@
 //!         [--scale F] [--cache-kb 16,64] [--no-paging] [--clients N]
 //!         [--dup-rounds N] [--wait-secs N] [--fetch reports.jsonl]
 //!         [--out BENCH_serve.json] [--min-hit-reduction F]
-//!         [--slo-p99-ms MS] [--shutdown]
+//!         [--slo-p99-ms MS] [--sweep N] [--shutdown]
 //! ```
 //!
 //! Exits non-zero when the duplicate phase fails to undercut fresh mean
@@ -22,6 +22,16 @@
 //! bound. The SLO check prints the server-measured queue-wait versus
 //! execute split (from each job's span telemetry), so a breach is
 //! immediately attributable to queueing or to the simulation itself.
+//!
+//! `--sweep N` switches the harness from duplicate-heavy traffic to one
+//! `POST /sweeps` submission of ~N *unique* points spread over five
+//! allocator families — every point is fresh work the queue must
+//! execute. The mode polls the sweep to completion, validates the
+//! assembled report, and recovers fresh-phase p50/p90/p99 from each
+//! point's server-measured queue-wait and execute telemetry. `--fetch`
+//! writes the sweep-report JSONL (for `report_check --expect-sweep`),
+//! `--out` the benchmark JSON, and `--slo-p99-ms` bounds per-point
+//! execute p99.
 //!
 //! Latency percentiles are resolved through [`obs::Hist`]'s log2-bucket
 //! [`percentile`](obs::Hist::percentile) — the same arithmetic the
@@ -50,6 +60,7 @@ struct Args {
     out: String,
     min_hit_reduction: f64,
     slo_p99_ms: Option<f64>,
+    sweep: Option<usize>,
     shutdown: bool,
 }
 
@@ -69,6 +80,7 @@ impl Default for Args {
             out: "BENCH_serve.json".into(),
             min_hit_reduction: 0.90,
             slo_p99_ms: None,
+            sweep: None,
             shutdown: false,
         }
     }
@@ -79,7 +91,7 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--programs a,b] [--allocators x,y] [--scale F]\n\
          \x20              [--cache-kb 16,64] [--no-paging] [--clients N] [--dup-rounds N]\n\
          \x20              [--wait-secs N] [--fetch PATH] [--out PATH] [--min-hit-reduction F]\n\
-         \x20              [--slo-p99-ms MS] [--shutdown]"
+         \x20              [--slo-p99-ms MS] [--sweep N] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -137,6 +149,7 @@ fn parse_args() -> Args {
                 out.slo_p99_ms =
                     Some(parse(&flag_value(&mut args, "--slo-p99-ms"), "--slo-p99-ms"));
             }
+            "--sweep" => out.sweep = Some(parse(&flag_value(&mut args, "--sweep"), "--sweep")),
             "--shutdown" => out.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -187,6 +200,181 @@ fn phase_stats(latencies: &[Duration]) -> PhaseStats {
         p90_ms: pct(0.90),
         p99_ms: pct(0.99),
         max_ms,
+    }
+}
+
+/// The `--sweep` mode's benchmark artifact: one many-point sweep
+/// through the daemon, with fresh-phase latency recovered from the
+/// server's per-point span telemetry.
+#[derive(Debug, Serialize)]
+struct SweepLoadReport {
+    addr: String,
+    program: String,
+    scale: f64,
+    cache_kb: Vec<u32>,
+    paging: bool,
+    sweep_id: String,
+    /// Expanded, deduplicated points the sweep fanned into the queue.
+    points: u64,
+    /// Points on the Pareto front of the assembled report.
+    front: u64,
+    /// Client-observed wall time from submission to the last point.
+    wall_secs: f64,
+    points_per_sec: f64,
+    /// Per-point engine execution time (fresh work, no cache hits).
+    execute: PhaseStats,
+    /// Per-point time spent queued before a worker picked it up.
+    queue_wait: PhaseStats,
+}
+
+/// Spreads ~`points` unique configurations across the five tunable
+/// allocator families, one knob axis each, values stepped away from the
+/// paper defaults. Deterministic, so repeated runs hit the daemon's
+/// cache — use a fresh server (or vary `--scale`) for fresh-work runs.
+fn sweep_of(points: usize, args: &Args) -> explore::SweepSpec {
+    let n = points.max(1);
+    let share = n.div_ceil(5);
+    // BSD's shift axis is bounded (3..=12); its shortfall spills onto
+    // the FirstFit axis, which is effectively unbounded.
+    let bsd = share.min(10);
+    let first_fit = share + (share - bsd);
+    let grids = vec![
+        explore::GridSpec {
+            split_threshold: (0..first_fit as u32).map(|i| 8 + 8 * i).collect(),
+            ..explore::GridSpec::baseline("FirstFit")
+        },
+        explore::GridSpec {
+            split_threshold: (0..share as u32).map(|i| 8 + 8 * i).collect(),
+            ..explore::GridSpec::baseline("GNU G++")
+        },
+        explore::GridSpec {
+            fast_max: (0..share as u32).map(|i| 4 + 4 * i).collect(),
+            ..explore::GridSpec::baseline("QuickFit")
+        },
+        explore::GridSpec {
+            min_shift: (0..bsd as u32).map(|i| 3 + i).collect(),
+            ..explore::GridSpec::baseline("BSD")
+        },
+        explore::GridSpec {
+            short_age: (0..share as u32).map(|i| 1_000 * (i + 1)).collect(),
+            ..explore::GridSpec::baseline("Predictive")
+        },
+    ];
+    explore::SweepSpec {
+        cache_kb: args.cache_kb.clone(),
+        paging: Some(args.paging),
+        ..explore::SweepSpec::over(&args.programs[0], args.scale, grids)
+    }
+}
+
+/// The `--sweep` mode: one batch submission of unique points, polled to
+/// completion; validates the assembled report and reports fresh-phase
+/// percentiles from the server's span telemetry.
+fn run_sweep_mode(args: &Args, client: &Client, points: usize) {
+    let fail = |msg: String| -> ! {
+        eprintln!("loadgen: {msg}");
+        std::process::exit(1);
+    };
+    let spec = sweep_of(points, args);
+    if let Err(e) = spec.validate() {
+        fail(format!("bad sweep: {e}"));
+    }
+    let expanded = spec.points().len();
+    let wait = Duration::from_secs(args.wait_secs);
+    eprintln!("loadgen: submitting a {expanded}-point sweep over {:?}", spec.families());
+
+    let start = Instant::now();
+    let submitted = client.submit_sweep(&spec).unwrap_or_else(|e| fail(format!("submit: {e}")));
+    if submitted.fresh != submitted.points {
+        eprintln!(
+            "loadgen: note: only {} of {} points were fresh (server cache was warm)",
+            submitted.fresh, submitted.points
+        );
+    }
+    let status = client
+        .wait_sweep_done(&submitted.id, wait)
+        .unwrap_or_else(|e| fail(format!("sweep never finished: {e}")));
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let body = client
+        .fetch_sweep_report(&submitted.id)
+        .unwrap_or_else(|e| fail(format!("fetch report: {e}")));
+    let report = explore::SweepReport::parse(&body)
+        .unwrap_or_else(|e| fail(format!("served sweep does not parse: {e}")));
+    report.validate().unwrap_or_else(|e| fail(format!("served sweep is invalid: {e}")));
+    if report.points.len() != expanded {
+        fail(format!("expected {expanded} points, server returned {}", report.points.len()));
+    }
+
+    // Fresh-phase latency, from the server's own per-point span split.
+    let mut queue_waits = Vec::new();
+    let mut executes = Vec::new();
+    for row in &report.points {
+        let job = client
+            .request("GET", &format!("/jobs/{}", row.point_id), None)
+            .unwrap_or_else(|e| fail(format!("point status: {e}")));
+        let parsed: serve::StatusResponse =
+            job.json().unwrap_or_else(|e| fail(format!("point status body: {e}")));
+        if let Some(ns) = parsed.queue_wait_ns {
+            queue_waits.push(Duration::from_nanos(ns));
+        }
+        if let Some(ns) = parsed.execute_ns {
+            executes.push(Duration::from_nanos(ns));
+        }
+    }
+    let out = SweepLoadReport {
+        addr: args.addr.clone(),
+        program: args.programs[0].clone(),
+        scale: args.scale,
+        cache_kb: args.cache_kb.clone(),
+        paging: args.paging,
+        sweep_id: submitted.id.clone(),
+        points: status.total,
+        front: report.front.front.len() as u64,
+        wall_secs,
+        points_per_sec: status.total as f64 / wall_secs.max(1e-9),
+        execute: phase_stats(&executes),
+        queue_wait: phase_stats(&queue_waits),
+    };
+
+    if let Some(path) = &args.fetch {
+        if let Err(e) = std::fs::write(path, &body) {
+            fail(format!("cannot write {path}: {e}"));
+        }
+        eprintln!("loadgen: wrote the sweep report ({} lines) to {path}", expanded + 2);
+    }
+    let json = serde_json::to_string_pretty(&out).expect("serialize sweep load report");
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        fail(format!("cannot write {}: {e}", args.out));
+    }
+    println!("{json}");
+    eprintln!(
+        "loadgen: sweep {} finished: {} points in {:.1}s ({:.1}/s), execute p50 {:.1} ms \
+         p90 {:.1} ms p99 {:.1} ms, front {}",
+        out.sweep_id,
+        out.points,
+        out.wall_secs,
+        out.points_per_sec,
+        out.execute.p50_ms,
+        out.execute.p90_ms,
+        out.execute.p99_ms,
+        out.front
+    );
+
+    if args.shutdown {
+        if let Err(e) = client.shutdown() {
+            fail(format!("shutdown request failed: {e}"));
+        }
+        eprintln!("loadgen: shutdown requested");
+    }
+    if let Some(slo) = args.slo_p99_ms {
+        if out.execute.p99_ms > slo {
+            fail(format!(
+                "FAIL per-point execute p99 {:.1} ms exceeds the --slo-p99-ms {slo:.1} bound",
+                out.execute.p99_ms
+            ));
+        }
+        eprintln!("loadgen: execute p99 {:.1} ms within the {slo:.1} ms SLO", out.execute.p99_ms);
     }
 }
 
@@ -303,6 +491,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(points) = args.sweep {
+        run_sweep_mode(&args, &client, points);
+        return;
     }
 
     let specs: Vec<JobSpec> = args

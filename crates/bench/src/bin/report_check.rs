@@ -3,6 +3,7 @@
 //! ```text
 //! report_check [FILE] [--expect N]
 //!              [--expect-trace TRACE]
+//!              [--expect-sweep N]
 //!              [--write-missrates OUT]
 //!              [--expect-missrates EXPECTED [--tolerance T]]
 //! ```
@@ -18,6 +19,14 @@
 //! version fields, monotone timestamps, every span's parent preceding
 //! and containing it, root spans disjoint and ordered. It works with or
 //! without a report FILE; given alone, `--expect N` counts traces.
+//!
+//! `--expect-sweep N` reinterprets FILE as an
+//! `alloc-locality.sweep-report` v1 artifact (from `explore` or
+//! `GET /sweeps/{id}/report`): the header, every point row, and the
+//! Pareto-front row must pass [`explore::SweepReport::validate`] —
+//! which recomputes each point's objectives and the front itself — and
+//! the sweep must hold exactly `N` points. Every embedded point report
+//! is also schema-validated, so the flag subsumes the per-line check.
 //!
 //! The miss-rate modes are the fidelity soak: `--write-missrates`
 //! snapshots every cell's per-configuration data-cache miss rate into a
@@ -61,19 +70,21 @@ struct Args {
     path: Option<std::path::PathBuf>,
     expect: Option<usize>,
     expect_trace: Option<std::path::PathBuf>,
+    expect_sweep: Option<usize>,
     write_missrates: Option<std::path::PathBuf>,
     expect_missrates: Option<std::path::PathBuf>,
     tolerance: f64,
 }
 
 const USAGE: &str = "usage: report_check [FILE] [--expect N] [--expect-trace TRACE] \
-                     [--write-missrates OUT] \
+                     [--expect-sweep N] [--write-missrates OUT] \
                      [--expect-missrates EXPECTED [--tolerance T]]";
 
 fn parse_args() -> Result<Args, String> {
     let mut path = None;
     let mut expect = None;
     let mut expect_trace = None;
+    let mut expect_sweep = None;
     let mut write_missrates = None;
     let mut expect_missrates = None;
     let mut tolerance = DEFAULT_TOLERANCE;
@@ -87,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
             "--expect-trace" => {
                 let v = args.next().ok_or("--expect-trace needs a path")?;
                 expect_trace = Some(std::path::PathBuf::from(v));
+            }
+            "--expect-sweep" => {
+                let v = args.next().ok_or("--expect-sweep needs a point count")?;
+                expect_sweep = Some(v.parse().map_err(|e| format!("bad count {v}: {e}"))?);
             }
             "--write-missrates" => {
                 let v = args.next().ok_or("--write-missrates needs a path")?;
@@ -111,7 +126,55 @@ fn parse_args() -> Result<Args, String> {
     if path.is_none() && expect_trace.is_none() {
         return Err(USAGE.into());
     }
-    Ok(Args { path, expect, expect_trace, write_missrates, expect_missrates, tolerance })
+    if expect_sweep.is_some() && path.is_none() {
+        return Err("--expect-sweep needs the sweep-report FILE".into());
+    }
+    Ok(Args {
+        path,
+        expect,
+        expect_trace,
+        expect_sweep,
+        write_missrates,
+        expect_missrates,
+        tolerance,
+    })
+}
+
+/// Validates an `alloc-locality.sweep-report` v1 file: parse structure
+/// (single header, points, single front row), full semantic validation
+/// (ids, recomputed objectives and Pareto front, every embedded run
+/// report), and the expected point count.
+fn check_sweep(path: &std::path::Path, expect_points: usize) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let report = explore::SweepReport::parse(&text)
+        .map_err(|e| format!("{}: parse: {e}", path.display()))?;
+    report.validate().map_err(|e| format!("{}: invalid sweep: {e}", path.display()))?;
+    if report.points.len() != expect_points {
+        return Err(format!(
+            "{}: expected {expect_points} sweep points, found {}",
+            path.display(),
+            report.points.len()
+        ));
+    }
+    for row in &report.points {
+        println!(
+            "point {:<40} miss {:<8.4} instrs {:<12} peak {:<10} {}",
+            row.allocator,
+            row.objectives.miss_rate,
+            row.objectives.instructions,
+            row.objectives.peak_granted,
+            if row.pareto { "front" } else { "" }
+        );
+    }
+    eprintln!(
+        "sweep {} valid: {} points over {:?}, {} on the Pareto front",
+        report.header.sweep_id,
+        report.points.len(),
+        report.header.families,
+        report.front.front.len()
+    );
+    Ok(())
 }
 
 /// Validates an `alloc-locality.trace` v1 JSONL file: every non-empty
@@ -232,6 +295,10 @@ fn check_missrates(
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if let Some(expect_points) = args.expect_sweep {
+        // FILE is the sweep artifact itself; the other modes don't mix.
+        return check_sweep(args.path.as_deref().expect("checked in parse_args"), expect_points);
+    }
     let mut reports = Vec::new();
     if let Some(path) = &args.path {
         let text =

@@ -8,8 +8,9 @@ use allocators::first_fit::FirstFitConfig;
 use allocators::gnu_gxx::GnuGxxConfig;
 use allocators::gnu_local::GnuLocalConfig;
 use allocators::{
-    AllocError, AllocStats, Allocator, AllocatorKind, BestFit, Buddy, Custom, FirstFit, GnuGxx,
-    GnuLocal, Predictive, SizeMap, SizeProfile,
+    AllocError, AllocStats, Allocator, AllocatorKind, BestFit, Bsd, BsdConfig, Buddy, Custom,
+    FirstFit, GnuGxx, GnuLocal, Predictive, PredictiveConfig, QuickFit, QuickFitConfig, SizeMap,
+    SizeProfile,
 };
 use cache_sim::{
     Cache, CacheConfig, CacheStats, SweepCache, ThreeC, ThreeCAnalyzer, TwoLevelCache,
@@ -177,6 +178,12 @@ pub enum AllocChoice {
     FirstFitTuned(FirstFitConfig),
     /// GNU G++ with explicit knobs.
     GnuGxxTuned(GnuGxxConfig),
+    /// QUICKFIT with an explicit fast-list payload bound.
+    QuickFitTuned(QuickFitConfig),
+    /// BSD with explicit rounding classes.
+    BsdTuned(BsdConfig),
+    /// PREDICTIVE with an explicit working-set clock.
+    PredictiveTuned(PredictiveConfig),
 }
 
 impl AllocChoice {
@@ -201,6 +208,11 @@ impl AllocChoice {
             ),
             AllocChoice::GnuGxxTuned(c) => {
                 format!("GNU G++(split={},coalesce={})", c.split_threshold, c.coalesce)
+            }
+            AllocChoice::QuickFitTuned(c) => format!("QuickFit(fast_max={})", c.fast_max),
+            AllocChoice::BsdTuned(c) => format!("BSD(min_shift={})", c.min_shift),
+            AllocChoice::PredictiveTuned(c) => {
+                format!("Predictive(short_age={})", c.short_age)
             }
         }
     }
@@ -233,6 +245,9 @@ impl AllocChoice {
             )?),
             AllocChoice::FirstFitTuned(cfg) => Box::new(FirstFit::with_config(ctx, *cfg)?),
             AllocChoice::GnuGxxTuned(cfg) => Box::new(GnuGxx::with_config(ctx, *cfg)?),
+            AllocChoice::QuickFitTuned(cfg) => Box::new(QuickFit::with_config(ctx, *cfg)?),
+            AllocChoice::BsdTuned(cfg) => Box::new(Bsd::with_config(ctx, *cfg)?),
+            AllocChoice::PredictiveTuned(cfg) => Box::new(Predictive::with_config(ctx, *cfg)?),
         })
     }
 }
@@ -852,6 +867,27 @@ impl Experiment {
         }
     }
 
+    /// An experiment replaying a shared, already-captured event stream
+    /// without copying it — the design-space sweep path: the workload's
+    /// event sequence is generated once and every sweep point drives the
+    /// same `Arc` through its own allocator. The scale option is ignored
+    /// for event generation (the stream is fixed) but still recorded in
+    /// the result; set it via [`Experiment::scale`] to the scale the
+    /// events were generated at so the run is bit-identical to the same
+    /// experiment built from the program spec directly.
+    pub fn with_shared_events(
+        label: impl Into<String>,
+        events: std::sync::Arc<Vec<AppEvent>>,
+        choice: AllocChoice,
+    ) -> Self {
+        Experiment {
+            source: WorkloadSource::Events(events),
+            program_label: label.into(),
+            choice,
+            opts: SimOptions::default(),
+        }
+    }
+
     /// Sets the workload scale.
     pub fn scale(mut self, scale: Scale) -> Self {
         self.opts.scale = scale;
@@ -1315,7 +1351,12 @@ impl Experiment {
     fn options_fingerprint(&self) -> u64 {
         let o = &self.opts;
         let desc = format!(
-            "{:?}|{:?}|{}|{}|{:?}|{}|{}|{:?}|{}",
+            "{}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{:?}|{}",
+            // The allocator choice label spells out every tuning knob
+            // (split threshold, fast-list bound, rounding classes, ...),
+            // so sidecar metrics recorded for one configuration can
+            // never be reported for another.
+            self.choice.label(),
             o.cache_configs,
             o.cache_engine,
             o.paging,

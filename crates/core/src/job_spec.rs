@@ -14,6 +14,11 @@
 //! to the same experiment constructed by hand (the server adds nothing
 //! to the simulation).
 
+use allocators::bsd::BsdConfig;
+use allocators::first_fit::FirstFitConfig;
+use allocators::gnu_gxx::GnuGxxConfig;
+use allocators::predictive::PredictiveConfig;
+use allocators::quick_fit::QuickFitConfig;
 use cache_sim::CacheConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -34,8 +39,9 @@ pub const MAX_SCALE: f64 = 1.0;
 ///
 /// Optional fields default to the paper's setup: `scale` 0 means
 /// [`DEFAULT_SCALE`], an empty `cache_kb` means the 16K–256K sweep,
-/// `block` 0 means 32-byte lines, and `paging` omitted means on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// `block` 0 means 32-byte lines, `paging` omitted means on, and
+/// `alloc_config` omitted means the paper's allocator parameters.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Program label as the paper prints it ("espresso", "GS", "ptc",
     /// "gawk", "make", "GS-Small", "GS-Medium").
@@ -45,18 +51,286 @@ pub struct JobSpec {
     /// "Buddy", "Custom", "Predictive").
     pub allocator: String,
     /// Workload scale in (0, 1]; 0/omitted selects [`DEFAULT_SCALE`].
-    #[serde(default)]
     pub scale: f64,
     /// Direct-mapped cache sizes to sweep, in KB; empty/omitted selects
     /// the paper's 16K–256K sweep.
-    #[serde(default)]
     pub cache_kb: Vec<u32>,
     /// Cache block size in bytes; 0/omitted selects the paper's 32.
-    #[serde(default)]
     pub block: u32,
     /// Whether to run the LRU stack-distance pager; omitted means true.
-    #[serde(default)]
     pub paging: Option<bool>,
+    /// Allocator tuning knobs; omitted means the paper's parameters for
+    /// the chosen allocator. Serialized only when present, so every
+    /// spec that predates the field keeps its exact canonical line and
+    /// therefore its [`JobSpec::job_id`].
+    pub alloc_config: Option<AllocConfig>,
+}
+
+/// Allocator tuning knobs carried by a [`JobSpec`].
+///
+/// Every knob is optional; an absent knob means the paper's value for
+/// the chosen allocator. Each knob applies only to the families that
+/// expose it — [`JobSpec::validate`] rejects the rest:
+///
+/// | knob | allocators |
+/// |---|---|
+/// | `split_threshold` | FirstFit, GNU G++ |
+/// | `coalesce` | FirstFit, GNU G++ |
+/// | `roving` | FirstFit |
+/// | `fast_max` | QuickFit |
+/// | `min_shift` | BSD |
+/// | `short_age` | Predictive |
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocConfig {
+    /// Minimum remainder payload for a split (FirstFit, GNU G++).
+    pub split_threshold: Option<u32>,
+    /// Whether `free` coalesces adjacent blocks (FirstFit, GNU G++).
+    pub coalesce: Option<bool>,
+    /// Whether the search pointer roves (FirstFit).
+    pub roving: Option<bool>,
+    /// Largest payload served from the exact-size fast lists (QuickFit).
+    pub fast_max: Option<u32>,
+    /// log2 of the smallest rounding class (BSD).
+    pub min_shift: Option<u32>,
+    /// Working-set clock: frees younger than this are "short" (Predictive).
+    pub short_age: Option<u32>,
+}
+
+/// Largest accepted `split_threshold`, in bytes.
+pub const MAX_SPLIT_THRESHOLD: u32 = 4096;
+
+/// Largest accepted QuickFit fast-list payload bound, in bytes.
+pub const MAX_FAST_MAX: u32 = 1024;
+
+/// Largest accepted BSD `min_shift` (2^12 = one page).
+pub const MAX_MIN_SHIFT: u32 = 12;
+
+impl AllocConfig {
+    /// True when no knob is set.
+    pub fn is_empty(&self) -> bool {
+        *self == AllocConfig::default()
+    }
+
+    /// Drops knobs equal to the paper's value for `allocator` — and the
+    /// whole config when nothing remains — so an explicitly-defaulted
+    /// config hashes identically to no config at all.
+    pub fn normalized_for(&self, allocator: &str) -> Option<AllocConfig> {
+        fn drop_eq<T: PartialEq>(knob: &mut Option<T>, default: T) {
+            if knob.as_ref() == Some(&default) {
+                *knob = None;
+            }
+        }
+        let mut c = *self;
+        match allocator {
+            "FirstFit" => {
+                let d = FirstFitConfig::default();
+                drop_eq(&mut c.split_threshold, d.split_threshold);
+                drop_eq(&mut c.coalesce, d.coalesce);
+                drop_eq(&mut c.roving, d.roving);
+            }
+            "GNU G++" => {
+                let d = GnuGxxConfig::default();
+                drop_eq(&mut c.split_threshold, d.split_threshold);
+                drop_eq(&mut c.coalesce, d.coalesce);
+            }
+            "QuickFit" => drop_eq(&mut c.fast_max, QuickFitConfig::default().fast_max),
+            "BSD" => drop_eq(&mut c.min_shift, BsdConfig::default().min_shift),
+            "Predictive" => drop_eq(&mut c.short_age, PredictiveConfig::default().short_age),
+            _ => {}
+        }
+        if c.is_empty() {
+            None
+        } else {
+            Some(c)
+        }
+    }
+
+    /// Checks every set knob against the family that owns it and its
+    /// accepted range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first rejected knob.
+    pub fn validate_for(&self, allocator: &str) -> Result<(), SpecError> {
+        let allowed: &[&str] = match allocator {
+            "FirstFit" => &["split_threshold", "coalesce", "roving"],
+            "GNU G++" => &["split_threshold", "coalesce"],
+            "QuickFit" => &["fast_max"],
+            "BSD" => &["min_shift"],
+            "Predictive" => &["short_age"],
+            _ => &[],
+        };
+        let set = [
+            ("split_threshold", self.split_threshold.is_some()),
+            ("coalesce", self.coalesce.is_some()),
+            ("roving", self.roving.is_some()),
+            ("fast_max", self.fast_max.is_some()),
+            ("min_shift", self.min_shift.is_some()),
+            ("short_age", self.short_age.is_some()),
+        ];
+        for (name, present) in set {
+            if present && !allowed.contains(&name) {
+                return Err(SpecError::new(format!(
+                    "knob {name:?} does not apply to allocator {allocator:?}"
+                )));
+            }
+        }
+        if let Some(t) = self.split_threshold {
+            if t > MAX_SPLIT_THRESHOLD {
+                return Err(SpecError::new(format!(
+                    "split_threshold {t} exceeds {MAX_SPLIT_THRESHOLD}"
+                )));
+            }
+        }
+        if let Some(m) = self.fast_max {
+            if !(4..=MAX_FAST_MAX).contains(&m) || m % 4 != 0 {
+                return Err(SpecError::new(format!(
+                    "fast_max {m} is not a multiple of 4 in 4..={MAX_FAST_MAX}"
+                )));
+            }
+        }
+        if let Some(s) = self.min_shift {
+            if !(3..=MAX_MIN_SHIFT).contains(&s) {
+                return Err(SpecError::new(format!("min_shift {s} outside 3..={MAX_MIN_SHIFT}")));
+            }
+        }
+        if self.short_age == Some(0) {
+            return Err(SpecError::new("short_age must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The tuned [`AllocChoice`] this config selects for `allocator`;
+    /// unset knobs take the paper's value. `None` for families with no
+    /// tunable knobs.
+    pub fn to_choice(&self, allocator: &str) -> Option<AllocChoice> {
+        match allocator {
+            "FirstFit" => {
+                let d = FirstFitConfig::default();
+                Some(AllocChoice::FirstFitTuned(FirstFitConfig {
+                    split_threshold: self.split_threshold.unwrap_or(d.split_threshold),
+                    coalesce: self.coalesce.unwrap_or(d.coalesce),
+                    roving: self.roving.unwrap_or(d.roving),
+                }))
+            }
+            "GNU G++" => {
+                let d = GnuGxxConfig::default();
+                Some(AllocChoice::GnuGxxTuned(GnuGxxConfig {
+                    split_threshold: self.split_threshold.unwrap_or(d.split_threshold),
+                    coalesce: self.coalesce.unwrap_or(d.coalesce),
+                }))
+            }
+            "QuickFit" => Some(AllocChoice::QuickFitTuned(QuickFitConfig {
+                fast_max: self.fast_max.unwrap_or(QuickFitConfig::default().fast_max),
+            })),
+            "BSD" => Some(AllocChoice::BsdTuned(BsdConfig {
+                min_shift: self.min_shift.unwrap_or(BsdConfig::default().min_shift),
+            })),
+            "Predictive" => Some(AllocChoice::PredictiveTuned(PredictiveConfig {
+                short_age: self.short_age.unwrap_or(PredictiveConfig::default().short_age),
+            })),
+            _ => None,
+        }
+    }
+}
+
+// `JobSpec` and `AllocConfig` serialize by hand rather than by derive:
+// the derive emits every field, and a permanent `"alloc_config":null`
+// in the canonical line would silently renumber every pre-existing job
+// id (cold-starting persisted report caches). Omitting the field when
+// `None` keeps old specs byte-stable.
+impl Serialize for JobSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("program".to_string(), self.program.to_value()),
+            ("allocator".to_string(), self.allocator.to_value()),
+            ("scale".to_string(), self.scale.to_value()),
+            ("cache_kb".to_string(), self.cache_kb.to_value()),
+            ("block".to_string(), self.block.to_value()),
+            ("paging".to_string(), self.paging.to_value()),
+        ];
+        if let Some(cfg) = &self.alloc_config {
+            fields.push(("alloc_config".to_string(), cfg.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for JobSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields =
+            v.as_object().ok_or_else(|| serde::Error::custom("JobSpec: expected an object"))?;
+        fn required<T: Deserialize>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match serde::__find_field(fields, name) {
+                Some(v) => T::from_value(v),
+                None => Err(serde::Error::custom(format!("JobSpec: missing field `{name}`"))),
+            }
+        }
+        fn defaulted<T: Deserialize + Default>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match serde::__find_field(fields, name) {
+                Some(v) => T::from_value(v),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(JobSpec {
+            program: required(fields, "program")?,
+            allocator: required(fields, "allocator")?,
+            scale: defaulted(fields, "scale")?,
+            cache_kb: defaulted(fields, "cache_kb")?,
+            block: defaulted(fields, "block")?,
+            paging: defaulted(fields, "paging")?,
+            alloc_config: defaulted(fields, "alloc_config")?,
+        })
+    }
+}
+
+impl Serialize for AllocConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = Vec::new();
+        let mut push = |name: &str, v: Option<serde::Value>| {
+            if let Some(v) = v {
+                fields.push((name.to_string(), v));
+            }
+        };
+        push("split_threshold", self.split_threshold.map(|v| v.to_value()));
+        push("coalesce", self.coalesce.map(|v| v.to_value()));
+        push("roving", self.roving.map(|v| v.to_value()));
+        push("fast_max", self.fast_max.map(|v| v.to_value()));
+        push("min_shift", self.min_shift.map(|v| v.to_value()));
+        push("short_age", self.short_age.map(|v| v.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for AllocConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("alloc_config: expected an object"))?;
+        fn knob<T: Deserialize>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match serde::__find_field(fields, name) {
+                Some(v) => Option::<T>::from_value(v),
+                None => Ok(None),
+            }
+        }
+        Ok(AllocConfig {
+            split_threshold: knob(fields, "split_threshold")?,
+            coalesce: knob(fields, "coalesce")?,
+            roving: knob(fields, "roving")?,
+            fast_max: knob(fields, "fast_max")?,
+            min_shift: knob(fields, "min_shift")?,
+            short_age: knob(fields, "short_age")?,
+        })
+    }
 }
 
 /// Why a [`JobSpec`] was rejected.
@@ -72,7 +346,8 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 impl SpecError {
-    fn new(msg: impl Into<String>) -> Self {
+    /// A rejection with the given human-readable reason.
+    pub fn new(msg: impl Into<String>) -> Self {
         SpecError(msg.into())
     }
 }
@@ -129,6 +404,7 @@ impl JobSpec {
             cache_kb: Vec::new(),
             block: 0,
             paging: None,
+            alloc_config: None,
         }
     }
 
@@ -146,6 +422,10 @@ impl JobSpec {
             },
             block: if self.block == 0 { CacheConfig::PAPER_BLOCK } else { self.block },
             paging: Some(self.paging.unwrap_or(true)),
+            alloc_config: self
+                .alloc_config
+                .as_ref()
+                .and_then(|c| c.normalized_for(&self.allocator)),
         }
     }
 
@@ -169,6 +449,9 @@ impl JobSpec {
                 n.allocator,
                 SERVABLE_ALLOCATORS.join(", ")
             )));
+        }
+        if let Some(cfg) = &n.alloc_config {
+            cfg.validate_for(&n.allocator)?;
         }
         if !(n.scale > 0.0 && n.scale <= MAX_SCALE && n.scale.is_finite()) {
             return Err(SpecError::new(format!("scale {} outside (0, {MAX_SCALE}]", n.scale)));
@@ -226,17 +509,31 @@ impl JobSpec {
         format!("{hash:016x}")
     }
 
-    /// Builds the experiment this spec describes.
+    /// The allocator (tuned when `alloc_config` is set) this spec selects.
     ///
     /// # Errors
     ///
     /// Returns the same [`SpecError`] as [`JobSpec::validate`].
-    pub fn to_experiment(&self) -> Result<Experiment, SpecError> {
+    pub fn to_choice(&self) -> Result<AllocChoice, SpecError> {
         self.validate()?;
         let n = self.normalized();
-        let program = program_by_label(&n.program).expect("validated");
-        let choice = allocator_by_label(&n.allocator).expect("validated");
-        let opts = SimOptions {
+        Ok(match &n.alloc_config {
+            Some(cfg) => cfg.to_choice(&n.allocator).expect("validated"),
+            None => allocator_by_label(&n.allocator).expect("validated"),
+        })
+    }
+
+    /// The simulation options this spec selects. Shared by
+    /// [`JobSpec::to_experiment`] and the sweep executor's shared-trace
+    /// path, so both construct structurally identical runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`SpecError`] as [`JobSpec::validate`].
+    pub fn to_options(&self) -> Result<SimOptions, SpecError> {
+        self.validate()?;
+        let n = self.normalized();
+        Ok(SimOptions {
             cache_configs: n
                 .cache_kb
                 .iter()
@@ -245,7 +542,18 @@ impl JobSpec {
             paging: n.paging.unwrap_or(true),
             scale: Scale(n.scale),
             ..SimOptions::default()
-        };
+        })
+    }
+
+    /// Builds the experiment this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`SpecError`] as [`JobSpec::validate`].
+    pub fn to_experiment(&self) -> Result<Experiment, SpecError> {
+        let choice = self.to_choice()?;
+        let opts = self.to_options()?;
+        let program = program_by_label(&self.normalized().program).expect("validated");
         Ok(Experiment::new(program, choice).options(opts))
     }
 }
@@ -275,6 +583,7 @@ mod tests {
             cache_kb: vec![16, 32, 64, 128, 256],
             block: 32,
             paging: Some(true),
+            alloc_config: None,
         };
         assert_eq!(implicit.job_id(), explicit.job_id());
         assert_ne!(implicit.job_id(), JobSpec::cell("make", "BSD", 0.0).job_id());
@@ -331,5 +640,103 @@ mod tests {
         assert_eq!(spec.allocator, "GNU local");
         assert_eq!(spec.scale, 0.01);
         spec.validate().expect("valid");
+    }
+
+    #[test]
+    fn specs_without_alloc_config_keep_their_pre_field_canonical_line() {
+        // The exact bytes canonical_line() produced before alloc_config
+        // existed. A change here renumbers every persisted job id.
+        let spec = JobSpec::cell("espresso", "FirstFit", 0.0);
+        assert_eq!(
+            spec.canonical_line(),
+            r#"{"program":"espresso","allocator":"FirstFit","scale":0.02,"cache_kb":[16,32,64,128,256],"block":32,"paging":true}"#
+        );
+        assert!(!spec.canonical_line().contains("alloc_config"));
+    }
+
+    #[test]
+    fn explicit_default_knobs_hash_like_no_config_at_all() {
+        let plain = JobSpec::cell("espresso", "FirstFit", 0.0);
+        let defaulted = JobSpec {
+            alloc_config: Some(AllocConfig {
+                split_threshold: Some(24),
+                coalesce: Some(true),
+                roving: Some(true),
+                ..AllocConfig::default()
+            }),
+            ..plain.clone()
+        };
+        assert_eq!(plain.job_id(), defaulted.job_id());
+        let tuned = JobSpec {
+            alloc_config: Some(AllocConfig { split_threshold: Some(16), ..AllocConfig::default() }),
+            ..plain.clone()
+        };
+        assert_ne!(plain.job_id(), tuned.job_id());
+    }
+
+    #[test]
+    fn alloc_config_round_trips_and_parses_from_json() {
+        let line = r#"{"program":"gawk","allocator":"QuickFit","alloc_config":{"fast_max":64}}"#;
+        let spec: JobSpec = serde_json::from_str(line).expect("parse");
+        assert_eq!(spec.alloc_config.unwrap().fast_max, Some(64));
+        spec.validate().expect("valid");
+        let reparsed: JobSpec = serde_json::from_str(&spec.canonical_line()).expect("reparse");
+        assert_eq!(reparsed.job_id(), spec.job_id());
+        assert_eq!(reparsed.alloc_config.unwrap().fast_max, Some(64));
+    }
+
+    #[test]
+    fn knobs_foreign_to_the_family_are_rejected() {
+        let with = |cfg: AllocConfig, alloc: &str| {
+            let mut s = JobSpec::cell("espresso", alloc, 0.002);
+            s.alloc_config = Some(cfg);
+            s.validate()
+        };
+        let fast = AllocConfig { fast_max: Some(64), ..AllocConfig::default() };
+        assert!(with(fast, "QuickFit").is_ok());
+        assert!(with(fast, "FirstFit").unwrap_err().to_string().contains("fast_max"));
+        assert!(with(fast, "BSD").unwrap_err().to_string().contains("fast_max"));
+        let split = AllocConfig { split_threshold: Some(48), ..AllocConfig::default() };
+        assert!(with(split, "FirstFit").is_ok());
+        assert!(with(split, "GNU G++").is_ok());
+        assert!(with(split, "Predictive").unwrap_err().to_string().contains("split_threshold"));
+        let roving = AllocConfig { roving: Some(false), ..AllocConfig::default() };
+        assert!(with(roving, "FirstFit").is_ok());
+        assert!(with(roving, "GNU G++").unwrap_err().to_string().contains("roving"));
+    }
+
+    #[test]
+    fn out_of_range_knobs_are_rejected() {
+        let with = |cfg: AllocConfig, alloc: &str| {
+            let mut s = JobSpec::cell("espresso", alloc, 0.002);
+            s.alloc_config = Some(cfg);
+            s.validate().unwrap_err().to_string()
+        };
+        let c = |f: fn(&mut AllocConfig)| {
+            let mut cfg = AllocConfig::default();
+            f(&mut cfg);
+            cfg
+        };
+        assert!(with(c(|c| c.fast_max = Some(30)), "QuickFit").contains("multiple of 4"));
+        assert!(with(c(|c| c.fast_max = Some(2048)), "QuickFit").contains("multiple of 4"));
+        assert!(with(c(|c| c.min_shift = Some(2)), "BSD").contains("min_shift"));
+        assert!(with(c(|c| c.min_shift = Some(13)), "BSD").contains("min_shift"));
+        assert!(with(c(|c| c.short_age = Some(0)), "Predictive").contains("short_age"));
+        assert!(with(c(|c| c.split_threshold = Some(8192)), "FirstFit").contains("split_threshold"));
+    }
+
+    #[test]
+    fn tuned_spec_builds_the_tuned_experiment() {
+        let mut spec = JobSpec { cache_kb: vec![16], ..JobSpec::cell("make", "BSD", 0.002) };
+        spec.alloc_config = Some(AllocConfig { min_shift: Some(6), ..AllocConfig::default() });
+        let r = spec.to_experiment().unwrap().run().unwrap();
+        assert_eq!(r.allocator, "BSD(min_shift=6)");
+        // Coarser classes grant strictly more than the paper's BSD.
+        let base = JobSpec { cache_kb: vec![16], ..JobSpec::cell("make", "BSD", 0.002) }
+            .to_experiment()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(r.alloc_stats.peak_granted > base.alloc_stats.peak_granted);
     }
 }

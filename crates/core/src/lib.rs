@@ -50,6 +50,6 @@ pub use engine::{
     standard_matrix_with, AllocChoice, CacheEngine, EngineError, Experiment, FragSample, Matrix,
     PipelineMode, RunResult, SimOptions, WorkloadSource,
 };
-pub use job_spec::{JobSpec, SpecError};
+pub use job_spec::{AllocConfig, JobSpec, SpecError};
 pub use model::{estimated_cycles, estimated_seconds, CLOCK_HZ, MISS_PENALTY_CYCLES};
 pub use run_report::{RunReport, RUN_REPORT_SCHEMA, RUN_REPORT_VERSION};

@@ -1,0 +1,241 @@
+//! `explore`: offline design-space sweeps over allocator configurations.
+//!
+//! ```text
+//! explore --spec SWEEP.json [--out REPORT.jsonl] [--threads N] [--quiet]
+//!         [--bench [--bench-out BENCH_explore.json] [--gate F]]
+//! ```
+//!
+//! The spec file is a [`SweepSpec`] in JSON: a workload cell plus one
+//! parameter grid per allocator family. The sweep captures the
+//! workload's event sequence once and drives every point off the shared
+//! trace; the finished `alloc-locality.sweep-report` v1 JSONL goes to
+//! `--out` (default stdout) and a Pareto-front table to stderr.
+//!
+//! `--bench` additionally re-runs the identical sweep through the naive
+//! executor (every point regenerating its own events), asserts the two
+//! reports are byte-identical, and writes a JSON benchmark artifact
+//! with the shared-trace speedup. `--gate F` exits non-zero when the
+//! speedup falls below `F` — the CI regression gate for the executor's
+//! headline saving.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use explore::{run_sweep, run_sweep_naive, SweepReport, SweepSpec};
+use serde::Serialize;
+
+const USAGE: &str = "usage: explore --spec SWEEP.json [--out REPORT.jsonl] [--threads N] \
+                     [--quiet] [--bench [--bench-out FILE] [--gate F]]";
+
+struct Args {
+    spec: PathBuf,
+    out: Option<PathBuf>,
+    threads: usize,
+    quiet: bool,
+    bench: bool,
+    bench_out: PathBuf,
+    gate: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec = None;
+    let mut out = None;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut quiet = false;
+    let mut bench = false;
+    let mut bench_out = PathBuf::from("BENCH_explore.json");
+    let mut gate = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--spec" => {
+                let v = args.next().ok_or("--spec needs a path")?;
+                spec = Some(PathBuf::from(v));
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a path")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a count")?;
+                threads = v.parse().map_err(|e| format!("bad thread count {v}: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--quiet" => quiet = true,
+            "--bench" => bench = true,
+            "--bench-out" => {
+                let v = args.next().ok_or("--bench-out needs a path")?;
+                bench_out = PathBuf::from(v);
+            }
+            "--gate" => {
+                let v = args.next().ok_or("--gate needs a ratio")?;
+                let g: f64 = v.parse().map_err(|e| format!("bad gate {v}: {e}"))?;
+                if g.is_nan() || g <= 0.0 {
+                    return Err("gate must be a positive ratio".into());
+                }
+                gate = Some(g);
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unexpected argument {other:?}; try --help")),
+        }
+    }
+    let spec = spec.ok_or(USAGE)?;
+    Ok(Args { spec, out, threads, quiet, bench, bench_out, gate })
+}
+
+/// The committed benchmark artifact (`BENCH_explore.json`): the
+/// shared-trace sweep executor against naive per-point regeneration on
+/// the same sweep.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    program: String,
+    scale: f64,
+    /// Allocator families the sweep's grids cover.
+    families: Vec<String>,
+    /// Expanded, deduplicated sweep points.
+    points: usize,
+    threads: usize,
+    /// One event-generation pass, shared by every point.
+    shared_secs: f64,
+    /// Every point regenerating its own event stream.
+    naive_secs: f64,
+    /// `naive_secs / shared_secs` — the event-trace-reuse saving.
+    speedup: f64,
+    /// Finished points per second through the shared-trace executor.
+    points_per_sec: f64,
+    /// Whether the two executors emitted byte-identical sweep reports.
+    identical_results: bool,
+}
+
+fn progress_printer(
+    total: usize,
+    quiet: bool,
+) -> impl Fn(usize, &alloc_locality::RunResult) + Sync {
+    move |done, result| {
+        if !quiet {
+            eprintln!("[{done}/{total}] {} / {}", result.program, result.allocator);
+        }
+    }
+}
+
+/// Renders the Pareto front as an aligned stderr table, best miss rate
+/// first, so a terminal run ends with the configurations worth keeping.
+fn print_front(report: &SweepReport) {
+    eprintln!(
+        "sweep {}: {} points, {} on the Pareto front",
+        report.header.sweep_id,
+        report.points.len(),
+        report.front.front.len()
+    );
+    eprintln!(
+        "{:<40} {:>10} {:>14} {:>14}",
+        "allocator", "miss rate", "instructions", "peak bytes"
+    );
+    let mut rows: Vec<_> = report.front_rows().collect();
+    rows.sort_by(|a, b| {
+        a.objectives
+            .miss_rate
+            .partial_cmp(&b.objectives.miss_rate)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for row in rows {
+        eprintln!(
+            "{:<40} {:>10.4} {:>14} {:>14}",
+            row.allocator,
+            row.objectives.miss_rate,
+            row.objectives.instructions,
+            row.objectives.peak_granted
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.spec)
+        .map_err(|e| format!("read {}: {e}", args.spec.display()))?;
+    let spec: SweepSpec =
+        serde_json::from_str(&text).map_err(|e| format!("{}: parse: {e}", args.spec.display()))?;
+    spec.validate().map_err(|e| e.to_string())?;
+    let total = spec.points().len();
+    if !args.quiet {
+        eprintln!(
+            "sweep {}: {total} points over {:?}, {} threads",
+            spec.sweep_id(),
+            spec.families(),
+            args.threads
+        );
+    }
+
+    let started = Instant::now();
+    let report = run_sweep(&spec, args.threads, progress_printer(total, args.quiet))
+        .map_err(|e| e.to_string())?;
+    let shared_secs = started.elapsed().as_secs_f64();
+    report.validate().map_err(|e| format!("fresh sweep report failed validation: {e}"))?;
+
+    let jsonl = report.to_jsonl();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("write {}: {e}", path.display()))?
+        }
+        None => print!("{jsonl}"),
+    }
+    print_front(&report);
+
+    if args.bench {
+        if !args.quiet {
+            eprintln!("bench: re-running {total} points through the naive executor");
+        }
+        let started = Instant::now();
+        let naive = run_sweep_naive(&spec, args.threads, progress_printer(total, args.quiet))
+            .map_err(|e| e.to_string())?;
+        let naive_secs = started.elapsed().as_secs_f64();
+        let identical = naive.to_jsonl() == jsonl;
+        if !identical {
+            return Err("naive executor diverged from the shared-trace report".into());
+        }
+        let bench = BenchReport {
+            program: report.header.program.clone(),
+            scale: report.header.scale,
+            families: report.header.families.clone(),
+            points: total,
+            threads: args.threads,
+            shared_secs,
+            naive_secs,
+            speedup: naive_secs / shared_secs,
+            points_per_sec: total as f64 / shared_secs,
+            identical_results: identical,
+        };
+        let json = serde_json::to_string_pretty(&bench).expect("serialize bench report");
+        std::fs::write(&args.bench_out, json + "\n")
+            .map_err(|e| format!("write {}: {e}", args.bench_out.display()))?;
+        eprintln!(
+            "bench: shared {shared_secs:.2}s, naive {naive_secs:.2}s, speedup {:.2}x, \
+             {:.1} points/s -> {}",
+            bench.speedup,
+            bench.points_per_sec,
+            args.bench_out.display()
+        );
+        if let Some(gate) = args.gate {
+            if bench.speedup < gate {
+                return Err(format!(
+                    "event-trace-reuse speedup {:.2}x below the {gate:.2}x gate",
+                    bench.speedup
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

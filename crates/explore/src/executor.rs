@@ -1,0 +1,115 @@
+//! The sweep executor: capture the workload once, simulate every point.
+//!
+//! Every point of a sweep shares one workload cell, so the expensive
+//! part of a naive point-by-point run — regenerating the application's
+//! allocation event sequence — is pure waste. [`run_sweep`] generates
+//! the event stream once, wraps it in an [`Arc`], and drives every
+//! point's experiment off the shared trace through the engine's worker
+//! pool; each point pays only its own allocator simulation and sinks.
+//!
+//! Replayed streams are bit-identical to generated ones (the generator
+//! is deterministic and the engine's drive loop is source-agnostic), so
+//! each point's [`RunReport`] is byte-identical to a direct run of the
+//! same [`JobSpec`] — the invariant the bit-identity tests and the
+//! `explore --bench` gate enforce against [`run_sweep_naive`].
+
+use std::sync::Arc;
+
+use alloc_locality::job_spec::program_by_label;
+use alloc_locality::{
+    run_parallel_instrumented, EngineError, Experiment, RunReport, RunResult, SpecError,
+};
+use workloads::{AppEvent, Scale};
+
+use crate::report::SweepReport;
+use crate::sweep::SweepSpec;
+
+/// Why a sweep failed.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The sweep (or one of its points) was rejected.
+    Spec(SpecError),
+    /// A point's simulation failed.
+    Engine(EngineError),
+    /// The finished results could not be assembled into a report.
+    Report(String),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Spec(e) => write!(f, "invalid sweep: {e}"),
+            ExploreError::Engine(e) => write!(f, "sweep point failed: {e}"),
+            ExploreError::Report(e) => write!(f, "assembling sweep report: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<SpecError> for ExploreError {
+    fn from(e: SpecError) -> Self {
+        ExploreError::Spec(e)
+    }
+}
+
+impl From<EngineError> for ExploreError {
+    fn from(e: EngineError) -> Self {
+        ExploreError::Engine(e)
+    }
+}
+
+/// Runs every point of a sweep off one shared event trace and returns
+/// the assembled [`SweepReport`]. `progress` is called after each
+/// finished point with the completed count and that point's result.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Spec`] for an invalid sweep and
+/// [`ExploreError::Engine`] for the first simulation failure.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    threads: usize,
+    progress: impl Fn(usize, &RunResult) + Sync,
+) -> Result<SweepReport, ExploreError> {
+    spec.validate()?;
+    let n = spec.normalized();
+    let points = n.points();
+    let program = program_by_label(&n.program).expect("validated");
+    // The tentpole saving: one generator pass, shared by every point.
+    let events: Arc<Vec<AppEvent>> = Arc::new(program.spec().events(Scale(n.scale)).collect());
+    let jobs = points
+        .iter()
+        .map(|point| {
+            let choice = point.to_choice().expect("validated");
+            let opts = point.to_options().expect("validated");
+            Experiment::with_shared_events(program.label(), Arc::clone(&events), choice)
+                .options(opts)
+        })
+        .collect();
+    let results = run_parallel_instrumented(jobs, threads, progress)?;
+    let reports = results.into_iter().map(|(r, m)| RunReport::new(r, m)).collect();
+    SweepReport::assemble(&n, reports).map_err(ExploreError::Report)
+}
+
+/// The naive executor: every point builds its experiment directly from
+/// the job spec, regenerating the event stream from scratch. Produces a
+/// report byte-identical to [`run_sweep`]'s; exists as the baseline the
+/// `explore --bench` speedup gate measures against.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Spec`] for an invalid sweep and
+/// [`ExploreError::Engine`] for the first simulation failure.
+pub fn run_sweep_naive(
+    spec: &SweepSpec,
+    threads: usize,
+    progress: impl Fn(usize, &RunResult) + Sync,
+) -> Result<SweepReport, ExploreError> {
+    spec.validate()?;
+    let n = spec.normalized();
+    let jobs = n.points().iter().map(|point| point.to_experiment().expect("validated")).collect();
+    let results = run_parallel_instrumented(jobs, threads, progress)?;
+    let reports = results.into_iter().map(|(r, m)| RunReport::new(r, m)).collect();
+    SweepReport::assemble(&n, reports).map_err(ExploreError::Report)
+}

@@ -1,0 +1,136 @@
+//! `alloc-locality-explore`: design-space exploration over allocator
+//! configurations.
+//!
+//! The paper tunes its allocators by hand — one split threshold, one
+//! fast-list bound, one set of rounding classes. This crate sweeps
+//! those knobs systematically:
+//!
+//! * [`SweepSpec`] declares parameter grids over the allocator configs
+//!   the engine already exposes (`FirstFitConfig`, `GnuGxxConfig`,
+//!   `QuickFitConfig`, `BsdConfig`, `PredictiveConfig`), expanded
+//!   deterministically into content-hashed [`JobSpec`] points.
+//! * [`run_sweep`] captures the workload's event sequence **once** and
+//!   drives every point off the shared trace through the engine's
+//!   worker pool — each point pays only allocator simulation and sinks,
+//!   never workload regeneration.
+//! * [`pareto_front`] scores each point on miss rate × instruction
+//!   cost × memory overhead and prunes the dominated ones.
+//! * [`SweepReport`] is the versioned `alloc-locality.sweep-report` v1
+//!   JSONL artifact: header, per-point rows (each embedding the point's
+//!   run report, byte-identical to a direct run), and the Pareto front.
+//!
+//! The serve daemon exposes the same machinery as `POST /sweeps`; the
+//! `explore` binary runs sweeps offline and benchmarks the shared-trace
+//! executor against naive regeneration.
+//!
+//! [`JobSpec`]: alloc_locality::JobSpec
+
+pub mod executor;
+pub mod pareto;
+pub mod report;
+pub mod sweep;
+
+pub use executor::{run_sweep, run_sweep_naive, ExploreError};
+pub use pareto::{pareto_front, Objectives};
+pub use report::{
+    SweepFrontRow, SweepHeader, SweepPointRow, SweepReport, SWEEP_REPORT_SCHEMA,
+    SWEEP_REPORT_VERSION,
+};
+pub use sweep::{GridSpec, SweepSpec, MAX_SWEEP_POINTS};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> SweepSpec {
+        SweepSpec {
+            cache_kb: vec![16],
+            paging: Some(false),
+            ..SweepSpec::over(
+                "espresso",
+                0.002,
+                vec![
+                    GridSpec { split_threshold: vec![8, 24], ..GridSpec::baseline("FirstFit") },
+                    GridSpec { fast_max: vec![16, 64], ..GridSpec::baseline("QuickFit") },
+                    GridSpec { min_shift: vec![4, 6], ..GridSpec::baseline("BSD") },
+                ],
+            )
+        }
+    }
+
+    #[test]
+    fn sweep_runs_assemble_and_validate() {
+        let spec = tiny_sweep();
+        let report = run_sweep(&spec, 2, |_, _| {}).expect("sweep runs");
+        assert_eq!(report.points.len(), 6);
+        assert_eq!(report.header.sweep_id, spec.sweep_id());
+        assert_eq!(report.header.families, vec!["FirstFit", "QuickFit", "BSD"]);
+        report.validate().expect("fresh report validates");
+        assert!(!report.front.front.is_empty(), "some point is undominated");
+        // Round trip through the JSONL wire form.
+        let text = report.to_jsonl();
+        let back = SweepReport::parse(&text).expect("parse");
+        assert_eq!(back, report);
+        back.validate().expect("parsed report validates");
+    }
+
+    #[test]
+    fn sweep_points_are_byte_identical_to_direct_runs() {
+        // The tentpole contract: a point driven off the shared event
+        // trace emits exactly the bytes a direct spec-built run does —
+        // after normalize_report zeroes both runs' span wall-times, the
+        // one field that is execution telemetry rather than simulation
+        // output.
+        let spec = tiny_sweep();
+        let report = run_sweep(&spec, 2, |_, _| {}).expect("sweep runs");
+        for row in &report.points {
+            let mut direct =
+                row.spec.to_experiment().expect("point builds").report().expect("runs");
+            assert_eq!(row.report.result, direct.result, "simulation output diverged");
+            assert_eq!(row.report.metrics.counters, direct.metrics.counters);
+            assert_eq!(row.report.metrics.histograms, direct.metrics.histograms);
+            report::normalize_report(&mut direct);
+            assert_eq!(
+                row.report.to_jsonl_line(),
+                direct.to_jsonl_line(),
+                "sweep point {} diverged from its direct run",
+                row.allocator
+            );
+        }
+    }
+
+    #[test]
+    fn shared_and_naive_executors_agree() {
+        let spec = tiny_sweep();
+        let shared = run_sweep(&spec, 2, |_, _| {}).expect("shared");
+        let naive = run_sweep_naive(&spec, 2, |_, _| {}).expect("naive");
+        assert_eq!(shared.to_jsonl(), naive.to_jsonl());
+    }
+
+    #[test]
+    fn validate_rejects_tampered_reports() {
+        let report = run_sweep(&tiny_sweep(), 2, |_, _| {}).expect("sweep runs");
+
+        let mut bad = report.clone();
+        bad.header.points += 1;
+        assert!(bad.validate().unwrap_err().contains("points"));
+
+        let mut bad = report.clone();
+        bad.points[0].point_id = "0000000000000000".into();
+        assert!(bad.validate().unwrap_err().contains("content address"));
+
+        let mut bad = report.clone();
+        bad.points[0].objectives.instructions += 1;
+        assert!(bad.validate().unwrap_err().contains("objectives"));
+
+        let mut bad = report.clone();
+        bad.front.front.clear();
+        assert!(bad.validate().unwrap_err().contains("Pareto front"));
+
+        let mut bad = report.clone();
+        for p in &mut bad.points {
+            p.sweep_id = "ffffffffffffffff".into();
+        }
+        assert!(bad.validate().unwrap_err().contains("sweep_id"));
+    }
+}

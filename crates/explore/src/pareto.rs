@@ -1,0 +1,122 @@
+//! Pareto analysis over sweep results.
+//!
+//! Every sweep point is scored on three minimized objectives — the
+//! paper's axes of allocator quality:
+//!
+//! * **miss rate**: data-cache miss rate at the sweep's first cache
+//!   configuration (locality, the paper's headline metric),
+//! * **instructions**: total simulated instructions (the allocator's
+//!   §3 instruction cost plus the application's own),
+//! * **peak granted**: peak bytes the allocator granted (memory
+//!   overhead — internal fragmentation and metadata).
+//!
+//! A point is *dominated* when another point is no worse on every
+//! objective and strictly better on at least one; the Pareto front is
+//! the set of undominated points — the configurations a tuner would
+//! actually choose among.
+
+use std::cmp::Ordering;
+
+use alloc_locality::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point's scores on the three minimized objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// Data-cache miss rate at the sweep's first cache configuration.
+    pub miss_rate: f64,
+    /// Total simulated instructions (application + allocator).
+    pub instructions: u64,
+    /// Peak bytes granted by the allocator.
+    pub peak_granted: u64,
+}
+
+impl Objectives {
+    /// Scores a finished run; `None` when the run simulated no caches
+    /// (the miss-rate objective would be undefined).
+    pub fn of(result: &RunResult) -> Option<Objectives> {
+        let (_, stats) = result.cache.first()?;
+        Some(Objectives {
+            miss_rate: stats.miss_rate(),
+            instructions: result.instrs.total(),
+            peak_granted: result.alloc_stats.peak_granted,
+        })
+    }
+
+    /// True when `self` is no worse than `other` on every objective and
+    /// strictly better on at least one. Equal points do not dominate
+    /// each other (both stay on the front).
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        self.miss_rate <= other.miss_rate
+            && self.instructions <= other.instructions
+            && self.peak_granted <= other.peak_granted
+            && (self.miss_rate < other.miss_rate
+                || self.instructions < other.instructions
+                || self.peak_granted < other.peak_granted)
+    }
+
+    fn lex_cmp(&self, other: &Objectives) -> Ordering {
+        self.miss_rate
+            .partial_cmp(&other.miss_rate)
+            .unwrap_or(Ordering::Equal)
+            .then(self.instructions.cmp(&other.instructions))
+            .then(self.peak_granted.cmp(&other.peak_granted))
+    }
+}
+
+/// Indices of the Pareto-optimal points, ascending.
+///
+/// Candidates are visited in lexicographic objective order, so any
+/// dominator of a point precedes it; each candidate is then checked
+/// against the accepted front only — O(n·f + n log n) for a front of
+/// size f, rather than the brute-force O(n²) all-pairs scan (which the
+/// property tests use as the oracle).
+pub fn pareto_front(objectives: &[Objectives]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..objectives.len()).collect();
+    order.sort_by(|&a, &b| objectives[a].lex_cmp(&objectives[b]).then(a.cmp(&b)));
+    let mut front: Vec<usize> = Vec::new();
+    for &i in &order {
+        if !front.iter().any(|&j| objectives[j].dominates(&objectives[i])) {
+            front.push(i);
+        }
+    }
+    front.sort_unstable();
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(miss_rate: f64, instructions: u64, peak_granted: u64) -> Objectives {
+        Objectives { miss_rate, instructions, peak_granted }
+    }
+
+    #[test]
+    fn dominance_requires_a_strict_improvement() {
+        let a = obj(0.1, 100, 100);
+        assert!(!a.dominates(&a), "equal points do not dominate");
+        assert!(obj(0.1, 99, 100).dominates(&a));
+        assert!(obj(0.05, 100, 100).dominates(&a));
+        assert!(!obj(0.05, 101, 100).dominates(&a), "a trade-off is not dominance");
+    }
+
+    #[test]
+    fn front_keeps_exactly_the_undominated_points() {
+        let pts = [
+            obj(0.10, 100, 100), // dominated by [3] (same miss/instrs, more memory)
+            obj(0.20, 50, 100),  // front (trades miss for instructions)
+            obj(0.20, 60, 100),  // dominated by [1]
+            obj(0.10, 100, 90),  // front
+            obj(0.30, 200, 200), // dominated by everything
+            obj(0.10, 100, 90),  // duplicate of [3]: both stay
+        ];
+        assert_eq!(pareto_front(&pts), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[obj(0.5, 1, 1)]), vec![0]);
+    }
+}

@@ -1,0 +1,408 @@
+//! [`SweepSpec`]: a declarative grid over allocator configurations.
+//!
+//! A sweep names one workload cell (program, scale, cache geometry —
+//! the same optional fields as a [`JobSpec`], with the same defaults)
+//! and a list of [`GridSpec`]s, one per allocator family. Each grid
+//! lists candidate values for the knobs its family exposes; the cross
+//! product of those lists, unioned across grids, is the sweep's point
+//! set. Every point is an ordinary [`JobSpec`] — content-addressed by
+//! [`JobSpec::job_id`], validated by [`JobSpec::validate`] — so a sweep
+//! point run anywhere (the `explore` binary, the serve daemon, a direct
+//! `repro` invocation) produces byte-identical results.
+//!
+//! Like job specs, sweeps are normalized before hashing: knob lists are
+//! sorted and deduplicated, workload defaults are filled in, and points
+//! that normalize to the same job (for example an explicitly-default
+//! knob next to an absent one) collapse to one.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use alloc_locality::job_spec::{program_by_label, SERVABLE_ALLOCATORS};
+use alloc_locality::{AllocConfig, JobSpec, SpecError};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on the number of points one sweep may expand to
+/// (counted before deduplication, so the bound is spelling-independent).
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
+/// Candidate knob values for one allocator family.
+///
+/// An empty (or omitted) list leaves that knob at the paper's default —
+/// it contributes a single "unset" slot to the cross product, not zero
+/// points. A grid with every list empty is the family's paper
+/// configuration as a single point, which is how untunable baselines
+/// ("GNU local", "BestFit", "Buddy") join a sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Allocator label, as [`JobSpec::allocator`].
+    pub allocator: String,
+    /// Candidate split thresholds (FirstFit, GNU G++).
+    #[serde(default)]
+    pub split_threshold: Vec<u32>,
+    /// Candidate coalescing settings (FirstFit, GNU G++).
+    #[serde(default)]
+    pub coalesce: Vec<bool>,
+    /// Candidate roving-pointer settings (FirstFit).
+    #[serde(default)]
+    pub roving: Vec<bool>,
+    /// Candidate fast-list payload bounds (QuickFit).
+    #[serde(default)]
+    pub fast_max: Vec<u32>,
+    /// Candidate minimum rounding-class shifts (BSD).
+    #[serde(default)]
+    pub min_shift: Vec<u32>,
+    /// Candidate working-set clocks (Predictive).
+    #[serde(default)]
+    pub short_age: Vec<u32>,
+}
+
+impl GridSpec {
+    /// A grid holding the family's single paper configuration.
+    pub fn baseline(allocator: &str) -> GridSpec {
+        GridSpec { allocator: allocator.to_string(), ..GridSpec::default() }
+    }
+
+    /// Number of points this grid expands to (before deduplication).
+    pub fn point_count(&self) -> usize {
+        let axis = |len: usize| len.max(1);
+        axis(self.split_threshold.len())
+            * axis(self.coalesce.len())
+            * axis(self.roving.len())
+            * axis(self.fast_max.len())
+            * axis(self.min_shift.len())
+            * axis(self.short_age.len())
+    }
+
+    /// The grid with every knob list sorted and deduplicated, so
+    /// equivalent spellings serialize — and hash — identically.
+    pub fn normalized(&self) -> GridSpec {
+        fn canon<T: Ord + Copy>(vals: &[T]) -> Vec<T> {
+            let mut v = vals.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        GridSpec {
+            allocator: self.allocator.clone(),
+            split_threshold: canon(&self.split_threshold),
+            coalesce: canon(&self.coalesce),
+            roving: canon(&self.roving),
+            fast_max: canon(&self.fast_max),
+            min_shift: canon(&self.min_shift),
+            short_age: canon(&self.short_age),
+        }
+    }
+
+    /// The cross product of the knob lists, in knob-declaration order
+    /// (an empty list contributes one unset slot). `None` entries are
+    /// all-default combinations.
+    fn configs(&self) -> Vec<Option<AllocConfig>> {
+        fn axis<T: Copy>(vals: &[T]) -> Vec<Option<T>> {
+            if vals.is_empty() {
+                vec![None]
+            } else {
+                vals.iter().copied().map(Some).collect()
+            }
+        }
+        let mut out = Vec::with_capacity(self.point_count());
+        for &split_threshold in &axis(&self.split_threshold) {
+            for &coalesce in &axis(&self.coalesce) {
+                for &roving in &axis(&self.roving) {
+                    for &fast_max in &axis(&self.fast_max) {
+                        for &min_shift in &axis(&self.min_shift) {
+                            for &short_age in &axis(&self.short_age) {
+                                let cfg = AllocConfig {
+                                    split_threshold,
+                                    coalesce,
+                                    roving,
+                                    fast_max,
+                                    min_shift,
+                                    short_age,
+                                };
+                                out.push(if cfg.is_empty() { None } else { Some(cfg) });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A parameter sweep over allocator configurations: one workload cell
+/// shared by every point, plus per-family knob grids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Program label, as [`JobSpec::program`].
+    pub program: String,
+    /// Workload scale; 0/omitted means the engine default.
+    #[serde(default)]
+    pub scale: f64,
+    /// Cache sizes in KB; empty/omitted means the paper's sweep.
+    #[serde(default)]
+    pub cache_kb: Vec<u32>,
+    /// Cache block size in bytes; 0/omitted means the paper's 32.
+    #[serde(default)]
+    pub block: u32,
+    /// Whether to simulate paging; omitted means on.
+    #[serde(default)]
+    pub paging: Option<bool>,
+    /// One grid per allocator family to explore.
+    pub grids: Vec<GridSpec>,
+}
+
+impl SweepSpec {
+    /// A sweep over the given grids with every workload option defaulted.
+    pub fn over(program: &str, scale: f64, grids: Vec<GridSpec>) -> SweepSpec {
+        SweepSpec {
+            program: program.to_string(),
+            scale,
+            cache_kb: Vec::new(),
+            block: 0,
+            paging: None,
+            grids,
+        }
+    }
+
+    /// The workload cell shared by every point, as a [`JobSpec`] with
+    /// the given allocator and no tuning.
+    fn cell(&self, allocator: &str) -> JobSpec {
+        JobSpec {
+            program: self.program.clone(),
+            allocator: allocator.to_string(),
+            scale: self.scale,
+            cache_kb: self.cache_kb.clone(),
+            block: self.block,
+            paging: self.paging,
+            alloc_config: None,
+        }
+    }
+
+    /// The spec with workload defaults filled in and every grid's knob
+    /// lists canonicalized, so equivalent sweeps hash identically.
+    pub fn normalized(&self) -> SweepSpec {
+        let cell = self.cell("FirstFit").normalized();
+        SweepSpec {
+            program: cell.program,
+            scale: cell.scale,
+            cache_kb: cell.cache_kb,
+            block: cell.block,
+            paging: cell.paging,
+            grids: self.grids.iter().map(GridSpec::normalized).collect(),
+        }
+    }
+
+    /// Distinct allocator families, in grid order.
+    pub fn families(&self) -> Vec<String> {
+        let mut seen = HashSet::new();
+        self.grids
+            .iter()
+            .filter(|g| seen.insert(g.allocator.clone()))
+            .map(|g| g.allocator.clone())
+            .collect()
+    }
+
+    /// Expands the sweep into its point set: deterministic order (grids
+    /// in declaration order, knobs in field order), normalized, and
+    /// deduplicated by [`JobSpec::job_id`].
+    pub fn points(&self) -> Vec<JobSpec> {
+        let n = self.normalized();
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for grid in &n.grids {
+            for cfg in grid.configs() {
+                let mut point = n.cell(&grid.allocator);
+                point.alloc_config = cfg;
+                let point = point.normalized();
+                if seen.insert(point.job_id()) {
+                    out.push(point);
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the workload cell, every grid, and every expanded point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first rejected field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.grids.is_empty() {
+            return Err(SpecError::new("sweep declares no grids"));
+        }
+        if program_by_label(&self.normalized().program).is_none() {
+            return Err(SpecError::new(format!("unknown program {:?}", self.program)));
+        }
+        let mut total = 0usize;
+        for grid in &self.grids {
+            if !SERVABLE_ALLOCATORS.contains(&grid.allocator.as_str()) {
+                return Err(SpecError::new(format!(
+                    "unknown allocator {:?} in grid",
+                    grid.allocator
+                )));
+            }
+            // Custom profiles itself on the workload *source*, which
+            // differs between spec-generated and replayed streams, so it
+            // cannot keep the sweep's bit-identity contract.
+            if grid.allocator == "Custom" {
+                return Err(SpecError::new(
+                    "allocator \"Custom\" cannot be swept: its size profile depends on \
+                     the workload source",
+                ));
+            }
+            total = total.saturating_add(grid.point_count());
+            if total > MAX_SWEEP_POINTS {
+                return Err(SpecError::new(format!(
+                    "sweep expands to more than {MAX_SWEEP_POINTS} points"
+                )));
+            }
+        }
+        for point in self.points() {
+            point.validate().map_err(|e| {
+                SpecError::new(format!("point {}/{}: {e}", point.program, point.allocator))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The canonical single-line JSON of the normalized sweep — the
+    /// bytes [`SweepSpec::sweep_id`] covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which for this in-memory struct
+    /// would be a serializer bug.
+    pub fn canonical_line(&self) -> String {
+        serde_json::to_string(&self.normalized()).expect("serialize sweep spec")
+    }
+
+    /// Content-addressed sweep id: FNV-1a over a domain tag plus
+    /// [`SweepSpec::canonical_line`], printed as 16 hex digits. The tag
+    /// keeps sweep ids out of the job-id namespace.
+    pub fn sweep_id(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in b"sweep\n".iter().copied().chain(self.canonical_line().bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        format!("{hash:016x}")
+    }
+}
+
+impl fmt::Display for SweepSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} over [{}]",
+            self.program,
+            self.normalized().scale,
+            self.families().join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SweepSpec {
+        SweepSpec {
+            cache_kb: vec![16],
+            ..SweepSpec::over(
+                "espresso",
+                0.002,
+                vec![
+                    GridSpec {
+                        split_threshold: vec![8, 24],
+                        coalesce: vec![true, false],
+                        ..GridSpec::baseline("FirstFit")
+                    },
+                    GridSpec { fast_max: vec![16, 32, 64], ..GridSpec::baseline("QuickFit") },
+                    GridSpec { min_shift: vec![4, 6], ..GridSpec::baseline("BSD") },
+                ],
+            )
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_cross_product_union() {
+        let spec = demo();
+        spec.validate().expect("demo sweep is valid");
+        let points = spec.points();
+        // 2*2 + 3 + 2 points declared; all normalize to distinct jobs.
+        assert_eq!(points.len(), 9);
+        let ids: HashSet<String> = points.iter().map(JobSpec::job_id).collect();
+        assert_eq!(ids.len(), 9);
+        // The all-default combinations collapse to untuned specs.
+        assert!(points.iter().any(|p| p.allocator == "QuickFit" && p.alloc_config.is_none()));
+        assert_eq!(spec.families(), vec!["FirstFit", "QuickFit", "BSD"]);
+    }
+
+    #[test]
+    fn equivalent_spellings_share_a_sweep_id() {
+        let spec = demo();
+        let mut shuffled = spec.clone();
+        shuffled.grids[0].split_threshold = vec![24, 8, 24];
+        shuffled.grids[1].fast_max = vec![64, 16, 32];
+        assert_eq!(spec.sweep_id(), shuffled.sweep_id());
+        assert_eq!(spec.points(), shuffled.points());
+        let mut other = spec.clone();
+        other.grids[2].min_shift = vec![4, 5];
+        assert_ne!(spec.sweep_id(), other.sweep_id());
+    }
+
+    #[test]
+    fn default_knobs_dedupe_against_the_baseline_point() {
+        // split_threshold 24 is FirstFit's default, so {24} ∪ {unset}
+        // collapses: the grid declares 2 points but only one survives.
+        let spec = SweepSpec {
+            cache_kb: vec![16],
+            ..SweepSpec::over(
+                "make",
+                0.002,
+                vec![
+                    GridSpec { split_threshold: vec![24], ..GridSpec::baseline("FirstFit") },
+                    GridSpec::baseline("FirstFit"),
+                ],
+            )
+        };
+        assert_eq!(spec.points().len(), 1);
+        assert!(spec.points()[0].alloc_config.is_none());
+    }
+
+    #[test]
+    fn bad_sweeps_are_rejected_with_reasons() {
+        let bad = |f: fn(&mut SweepSpec)| {
+            let mut s = demo();
+            f(&mut s);
+            s.validate().unwrap_err().to_string()
+        };
+        assert!(bad(|s| s.grids.clear()).contains("no grids"));
+        assert!(bad(|s| s.program = "tetris".into()).contains("unknown program"));
+        assert!(bad(|s| s.grids[0].allocator = "jemalloc".into()).contains("unknown allocator"));
+        assert!(bad(|s| s.grids[0].allocator = "Custom".into()).contains("Custom"));
+        assert!(bad(|s| s.grids[1].fast_max = vec![30]).contains("multiple of 4"));
+        assert!(bad(|s| s.grids[0].fast_max = vec![32]).contains("does not apply"));
+        assert!(bad(|s| s.grids[2].min_shift = (0..5000).map(|i| i % 10 + 3).collect())
+            .contains("points"));
+    }
+
+    #[test]
+    fn sweep_spec_round_trips_through_json() {
+        let spec = demo();
+        let line = spec.canonical_line();
+        let back: SweepSpec = serde_json::from_str(&line).expect("parse");
+        assert_eq!(back, spec.normalized());
+        assert_eq!(back.sweep_id(), spec.sweep_id());
+        // Omitted knob lists parse as empty.
+        let terse = r#"{"program":"gawk","grids":[{"allocator":"BSD","min_shift":[4,5]}]}"#;
+        let spec: SweepSpec = serde_json::from_str(terse).expect("parse terse");
+        spec.validate().expect("valid");
+        assert_eq!(spec.points().len(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the Pareto front and the sweep executor's
+//! bit-identity contract across pipeline modes.
+
+use std::sync::Arc;
+
+use alloc_locality::job_spec::program_by_label;
+use alloc_locality::{Experiment, JobSpec, PipelineMode};
+use explore::report::normalize_report;
+use explore::{pareto_front, Objectives};
+use proptest::prelude::*;
+use workloads::{AppEvent, Scale};
+
+/// The brute-force oracle: a point is on the front iff no *other* point
+/// dominates it — O(n²) all-pairs, trivially correct by definition.
+fn oracle_front(objectives: &[Objectives]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.dominates(&objectives[i]))
+        })
+        .collect()
+}
+
+/// Objective vectors drawn from small discrete grids, so ties,
+/// duplicates, and dominance chains all occur often.
+fn objectives_strategy() -> impl Strategy<Value = Vec<Objectives>> {
+    proptest::collection::vec((0u8..6, 0u64..6, 0u64..6), 0..64).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(m, i, p)| Objectives {
+                miss_rate: f64::from(m) * 0.05,
+                instructions: i * 1_000,
+                peak_granted: p * 4_096,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The sorted-candidate front matches the brute-force oracle
+    /// exactly: nothing dominated survives, nothing undominated is
+    /// pruned.
+    #[test]
+    fn pareto_front_equals_the_brute_force_oracle(objectives in objectives_strategy()) {
+        prop_assert_eq!(pareto_front(&objectives), oracle_front(&objectives));
+    }
+
+    /// Front membership is internally consistent: no front point
+    /// dominates another, and every pruned point has a dominator on the
+    /// front (dominance is transitive, so a dominator off the front
+    /// would imply one on it).
+    #[test]
+    fn front_points_are_mutually_undominated(objectives in objectives_strategy()) {
+        let front = pareto_front(&objectives);
+        for &i in &front {
+            for &j in &front {
+                prop_assert!(!objectives[i].dominates(&objectives[j]),
+                    "front point {i} dominates front point {j}");
+            }
+        }
+        for pruned in (0..objectives.len()).filter(|i| !front.contains(i)) {
+            prop_assert!(
+                front.iter().any(|&f| objectives[f].dominates(&objectives[pruned])),
+                "pruned point {pruned} has no dominator on the front"
+            );
+        }
+    }
+}
+
+/// The tentpole bit-identity contract, exercised in *both* pipeline
+/// modes: a tuned sweep point driven off a shared event trace emits the
+/// same report line as a direct spec-built run, whether sinks consume
+/// the stream inline or through the sharded pipeline. Span wall-times —
+/// execution telemetry, not simulation output — are zeroed on both
+/// sides, exactly as sweep-report assembly does.
+#[test]
+fn shared_trace_points_match_direct_runs_in_both_pipeline_modes() {
+    let spec: JobSpec = serde_json::from_str(
+        r#"{"program":"espresso","allocator":"FirstFit","scale":0.002,
+            "cache_kb":[16],"paging":false,
+            "alloc_config":{"split_threshold":8,"roving":false}}"#,
+    )
+    .expect("spec parses");
+    spec.validate().expect("spec is valid");
+    let program = program_by_label(&spec.normalized().program).expect("known program");
+    let events: Arc<Vec<AppEvent>> =
+        Arc::new(program.spec().events(Scale(spec.normalized().scale)).collect());
+
+    for mode in [PipelineMode::Inline, PipelineMode::Sharded] {
+        let direct = spec
+            .to_experiment()
+            .expect("direct experiment builds")
+            .pipeline(mode)
+            .report()
+            .expect("direct run");
+        let shared = Experiment::with_shared_events(
+            program.label(),
+            Arc::clone(&events),
+            spec.to_choice().expect("choice builds"),
+        )
+        .options(spec.to_options().expect("options build"))
+        .pipeline(mode)
+        .report()
+        .expect("shared-trace run");
+        let (mut direct, mut shared) = (direct, shared);
+        normalize_report(&mut direct);
+        normalize_report(&mut shared);
+        assert_eq!(
+            shared.to_jsonl_line(),
+            direct.to_jsonl_line(),
+            "shared-trace point diverged from the direct run in {mode:?} mode"
+        );
+    }
+}

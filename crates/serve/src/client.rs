@@ -10,8 +10,12 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use alloc_locality::JobSpec;
+use explore::SweepSpec;
 
-use crate::{HealthResponse, MetricsResponse, StatusResponse, SubmitResponse};
+use crate::{
+    HealthResponse, MetricsResponse, StatusResponse, SubmitResponse, SweepStatusResponse,
+    SweepSubmitResponse,
+};
 
 /// One parsed response.
 #[derive(Debug, Clone)]
@@ -160,6 +164,96 @@ impl Client {
                 )));
             }
             std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Submits a sweep spec to `POST /sweeps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; returns [`ClientError::Protocol`]
+    /// with the server's error body on a non-2xx status (including 429
+    /// when the sweep's fresh points do not fit the queue).
+    pub fn submit_sweep(&self, spec: &SweepSpec) -> Result<SweepSubmitResponse, ClientError> {
+        let body = serde_json::to_string(spec).expect("serialize sweep spec");
+        let response = self.request("POST", "/sweeps", Some(&body))?;
+        if response.status == 200 || response.status == 202 {
+            response.json()
+        } else {
+            Err(ClientError::Protocol(format!(
+                "sweep submit answered HTTP {}: {}",
+                response.status, response.body
+            )))
+        }
+    }
+
+    /// `GET /sweeps/{id}` — per-point progress counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; protocol error on non-200.
+    pub fn sweep_status(&self, id: &str) -> Result<SweepStatusResponse, ClientError> {
+        let response = self.request("GET", &format!("/sweeps/{id}"), None)?;
+        if response.status == 200 {
+            response.json()
+        } else {
+            Err(ClientError::Protocol(format!(
+                "sweep status for {id} answered HTTP {}: {}",
+                response.status, response.body
+            )))
+        }
+    }
+
+    /// Polls `GET /sweeps/{id}` until every point is done, or the
+    /// deadline passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::DeadlineExceeded`] on timeout,
+    /// [`ClientError::Protocol`] when any point failed.
+    pub fn wait_sweep_done(
+        &self,
+        id: &str,
+        deadline: Duration,
+    ) -> Result<SweepStatusResponse, ClientError> {
+        let start = Instant::now();
+        loop {
+            let status = self.sweep_status(id)?;
+            match status.status.as_str() {
+                "done" => return Ok(status),
+                "failed" => {
+                    return Err(ClientError::Protocol(format!(
+                        "sweep {id}: {} of {} points failed",
+                        status.failed, status.total
+                    )))
+                }
+                _ => {}
+            }
+            if start.elapsed() > deadline {
+                return Err(ClientError::DeadlineExceeded(format!(
+                    "sweep {id} still {}/{} done after {deadline:?}",
+                    status.done, status.total
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Fetches the assembled sweep-report JSONL, verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Protocol`] when the sweep is unknown or
+    /// has unfinished points.
+    pub fn fetch_sweep_report(&self, id: &str) -> Result<String, ClientError> {
+        let response = self.request("GET", &format!("/sweeps/{id}/report"), None)?;
+        if response.status == 200 {
+            Ok(response.body)
+        } else {
+            Err(ClientError::Protocol(format!(
+                "sweep report for {id} answered HTTP {}: {}",
+                response.status, response.body
+            )))
         }
     }
 

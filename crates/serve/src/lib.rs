@@ -41,6 +41,9 @@
 //! | `GET /jobs/{id}`       | job status + queue-wait/execute telemetry     |
 //! | `GET /jobs/{id}/report`| the finished run-report JSONL line            |
 //! | `GET /jobs/{id}/trace` | the job's span tree (`alloc-locality.trace`)  |
+//! | `POST /sweeps`         | submit a [`SweepSpec`]; points fan into the job queue |
+//! | `GET /sweeps/{id}`     | per-point progress counts                     |
+//! | `GET /sweeps/{id}/report` | the assembled sweep-report JSONL (409 until done) |
 //! | `GET /healthz`         | liveness + queue gauges                       |
 //! | `GET /metrics`         | server counters + merged simulation metrics   |
 //! | `GET /metrics?format=prometheus` | the same, as Prometheus text        |
@@ -56,6 +59,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use alloc_locality::JobSpec;
+use explore::{SweepReport, SweepSpec};
 use obs::{Hist, HistSnapshot, MetricsSnapshot, Recorder as _, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -168,6 +172,20 @@ impl Job {
     }
 }
 
+/// One registered sweep: the normalized spec plus its points' job ids
+/// in expansion order (the order [`SweepReport::assemble`] expects).
+/// Points are ordinary content-addressed jobs — shared with direct
+/// submissions and with other sweeps — so a sweep adds no execution
+/// machinery, only bookkeeping. Entries are a spec and an id list, tiny
+/// next to the reports themselves, so the map is unbounded.
+struct Sweep {
+    spec: SweepSpec,
+    point_ids: Vec<String>,
+    /// The assembled report, memoized on first fetch so duplicate
+    /// fetches hand out literally the same bytes.
+    report: Option<Arc<String>>,
+}
+
 /// Everything behind the mutex.
 #[derive(Default)]
 struct State {
@@ -176,6 +194,8 @@ struct State {
     /// Every live job, keyed by content address. Finished entries beyond
     /// [`ServerConfig::result_cache_entries`] are evicted LRU-first.
     jobs: HashMap<String, Job>,
+    /// Registered sweeps, keyed by sweep content address.
+    sweeps: HashMap<String, Sweep>,
     /// `done` job ids, least recently used first. A cache hit moves the
     /// id to the back; eviction pops the front.
     done_order: VecDeque<String>,
@@ -185,6 +205,7 @@ struct State {
     /// normalized endpoint label (`POST /jobs`, `GET /jobs/{id}`, ...).
     endpoint_latency: BTreeMap<&'static str, Hist>,
     submitted: u64,
+    sweeps_submitted: u64,
     completed: u64,
     failed: u64,
     cache_hits: u64,
@@ -236,6 +257,42 @@ pub struct StatusResponse {
     pub execute_ns: Option<u64>,
 }
 
+/// Body of a successful `POST /sweeps`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSubmitResponse {
+    /// Content-addressed sweep id ([`SweepSpec::sweep_id`]).
+    pub id: String,
+    /// `done` when every point was already finished, else `queued`.
+    pub status: String,
+    /// Expanded, deduplicated points in the sweep.
+    pub points: u64,
+    /// The subset of `points` newly enqueued by this submission; the
+    /// rest were answered by the result or report cache.
+    pub fresh: u64,
+    /// True when the sweep id was already registered.
+    pub cached: bool,
+}
+
+/// Body of `GET /sweeps/{id}`: per-point progress counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStatusResponse {
+    /// Content-addressed sweep id.
+    pub id: String,
+    /// `done` once every point finished, `failed` if any point failed,
+    /// else `running`.
+    pub status: String,
+    /// Points in the sweep.
+    pub total: u64,
+    /// Points waiting in the queue.
+    pub queued: u64,
+    /// Points currently executing.
+    pub running: u64,
+    /// Points finished successfully.
+    pub done: u64,
+    /// Points that failed in the engine.
+    pub failed: u64,
+}
+
 /// Body of `GET /healthz`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HealthResponse {
@@ -261,6 +318,9 @@ pub struct HealthResponse {
 pub struct MetricsResponse {
     /// Jobs accepted (cache hits not included).
     pub jobs_submitted: u64,
+    /// Sweeps registered via `POST /sweeps`.
+    #[serde(default)]
+    pub sweeps_submitted: u64,
     /// Jobs finished successfully.
     pub jobs_completed: u64,
     /// Jobs that failed in the engine.
@@ -613,9 +673,14 @@ fn endpoint_label(method: &str, path: &str) -> &'static str {
         ("GET", "/healthz") => "GET /healthz",
         ("GET", "/metrics") => "GET /metrics",
         ("POST", "/shutdown") => "POST /shutdown",
+        ("POST", "/sweeps") => "POST /sweeps",
         ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/report") => "GET /jobs/{id}/report",
         ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/trace") => "GET /jobs/{id}/trace",
         ("GET", p) if p.starts_with("/jobs/") => "GET /jobs/{id}",
+        ("GET", p) if p.starts_with("/sweeps/") && p.ends_with("/report") => {
+            "GET /sweeps/{id}/report"
+        }
+        ("GET", p) if p.starts_with("/sweeps/") => "GET /sweeps/{id}",
         _ => "other",
     }
 }
@@ -683,6 +748,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
     };
     match (request.method.as_str(), path) {
         ("POST", "/jobs") => submit(request, shared),
+        ("POST", "/sweeps") => submit_sweep(request, shared),
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => {
             if query.split('&').any(|kv| kv == "format=prometheus") {
@@ -714,7 +780,15 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Reply {
                 (None, None) => job_status(rest, shared),
             }
         }
-        (_, "/jobs" | "/healthz" | "/metrics" | "/shutdown") => Reply::json(
+        ("GET", _) if path.starts_with("/sweeps/") => {
+            let rest = &path["/sweeps/".len()..];
+            match rest.strip_suffix("/report") {
+                Some(id) => sweep_report(id, shared),
+                None if rest.contains('/') => not_found(path),
+                None => sweep_status(rest, shared),
+            }
+        }
+        (_, "/jobs" | "/sweeps" | "/healthz" | "/metrics" | "/shutdown") => Reply::json(
             405,
             json_body(&ErrorResponse::new(
                 "method_not_allowed",
@@ -815,6 +889,290 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> Reply {
     state.queue.push_back(id.clone());
     shared.queue_cv.notify_one();
     Reply::json(202, json_body(&SubmitResponse { id, status: "queued".into(), cached: false }))
+}
+
+/// `POST /sweeps`: registers a [`SweepSpec`] and fans its points into
+/// the job queue as ordinary content-addressed jobs. Points already in
+/// the result table (from direct submissions, earlier sweeps, or the
+/// persisted report cache) are reused; only genuinely fresh points take
+/// queue slots, and the whole batch is refused with 429 when they do
+/// not all fit — nothing is partially enqueued. A sweep whose fresh
+/// points exceed the queue bound can still be driven to completion by
+/// resubmitting it after earlier points drain: finished points count as
+/// cached on the next attempt.
+fn submit_sweep(request: &Request, shared: &Arc<Shared>) -> Reply {
+    let reject = |state: &mut State, status: u16, err: ErrorResponse| {
+        state.rejected_invalid += 1;
+        Reply::json(status, json_body(&err))
+    };
+    let parsed: Result<SweepSpec, String> = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()));
+    let spec = match parsed {
+        Ok(spec) => spec,
+        Err(detail) => {
+            let mut state = shared.state.lock().expect("state lock");
+            return reject(
+                &mut state,
+                400,
+                ErrorResponse::new("malformed", format!("body is not a sweep spec: {detail}")),
+            );
+        }
+    };
+    if let Err(e) = spec.validate() {
+        let mut state = shared.state.lock().expect("state lock");
+        return reject(&mut state, 400, ErrorResponse::new("invalid_spec", e.to_string()));
+    }
+    let n = spec.normalized();
+    let id = n.sweep_id();
+    let points = n.points();
+    let mut state = shared.state.lock().expect("state lock");
+    let cached = state.sweeps.contains_key(&id);
+    // Classify every point: already in the result table, restorable from
+    // the persisted report cache, or genuinely fresh.
+    let mut fresh: Vec<(String, JobSpec)> = Vec::new();
+    let mut restored: Vec<(String, JobSpec, String)> = Vec::new();
+    for point in &points {
+        let pid = point.job_id();
+        if state.jobs.contains_key(&pid) {
+            state.cache_hits += 1;
+            continue;
+        }
+        match shared.cfg.report_cache.as_deref().and_then(|dir| load_persisted_report(dir, &pid)) {
+            Some(line) => {
+                state.cache_hits += 1;
+                state.report_cache_hits += 1;
+                restored.push((pid, point.clone(), line));
+            }
+            None => fresh.push((pid, point.clone())),
+        }
+    }
+    if !fresh.is_empty() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Reply::json(
+                503,
+                json_body(&ErrorResponse::new(
+                    "shutting_down",
+                    "server is draining; try again later",
+                )),
+            );
+        }
+        if state.queue.len() + fresh.len() > shared.cfg.queue_depth {
+            state.rejected_backpressure += 1;
+            return Reply::json(
+                429,
+                json_body(&ErrorResponse::new(
+                    "queue_full",
+                    format!(
+                        "sweep needs {} queue slots but {} of {} are free; retry later",
+                        fresh.len(),
+                        shared.cfg.queue_depth - state.queue.len().min(shared.cfg.queue_depth),
+                        shared.cfg.queue_depth
+                    ),
+                )),
+            );
+        }
+    }
+    let fresh_count = fresh.len() as u64;
+    for (pid, point, line) in restored {
+        state.jobs.insert(
+            pid.clone(),
+            Job::new(point, JobStatus::Done { line: Arc::new(line), trace: None }, None),
+        );
+        state.remember_done(&pid, shared.cfg.result_cache_entries);
+    }
+    for (pid, point) in fresh {
+        state.submitted += 1;
+        // Same span structure as a direct submission, so every point's
+        // trace and queue-wait telemetry read identically.
+        let mut tracer = Box::<Tracer>::default();
+        tracer.span_enter("serve.job");
+        tracer.span_enter("serve.cache_lookup");
+        tracer.span_exit();
+        tracer.span_enter("serve.queue_wait");
+        state.jobs.insert(pid.clone(), Job::new(point, JobStatus::Queued, Some(tracer)));
+        state.queue.push_back(pid);
+    }
+    if !cached {
+        state.sweeps_submitted += 1;
+        state.sweeps.insert(
+            id.clone(),
+            Sweep {
+                spec: n,
+                point_ids: points.iter().map(JobSpec::job_id).collect(),
+                report: None,
+            },
+        );
+    }
+    shared.queue_cv.notify_all();
+    let sweep = state.sweeps.get(&id).expect("just inserted");
+    let (queued, running, done, failed) = sweep_counts(&state, sweep);
+    let all_done = done == sweep.point_ids.len() as u64 && queued + running + failed == 0;
+    let (status, label) = if all_done { (200, "done") } else { (202, "queued") };
+    Reply::json(
+        status,
+        json_body(&SweepSubmitResponse {
+            id,
+            status: label.into(),
+            points: points.len() as u64,
+            fresh: fresh_count,
+            cached,
+        }),
+    )
+}
+
+/// Per-point progress of one sweep. A point missing from the job table
+/// counts as done: only `done` entries are ever LRU-evicted, so absence
+/// after registration means the point finished and was dropped.
+fn sweep_counts(state: &State, sweep: &Sweep) -> (u64, u64, u64, u64) {
+    let (mut queued, mut running, mut done, mut failed) = (0, 0, 0, 0);
+    for pid in &sweep.point_ids {
+        match state.jobs.get(pid).map(|job| &job.status) {
+            Some(JobStatus::Queued) => queued += 1,
+            Some(JobStatus::Running) => running += 1,
+            Some(JobStatus::Done { .. }) | None => done += 1,
+            Some(JobStatus::Failed { .. }) => failed += 1,
+        }
+    }
+    (queued, running, done, failed)
+}
+
+fn sweep_status(id: &str, shared: &Arc<Shared>) -> Reply {
+    let state = shared.state.lock().expect("state lock");
+    match state.sweeps.get(id) {
+        None => {
+            Reply::json(404, json_body(&ErrorResponse::new("not_found", format!("no sweep {id}"))))
+        }
+        Some(sweep) => {
+            let (queued, running, done, failed) = sweep_counts(&state, sweep);
+            let total = sweep.point_ids.len() as u64;
+            let status = if failed > 0 {
+                "failed"
+            } else if done == total {
+                "done"
+            } else {
+                "running"
+            };
+            Reply::json(
+                200,
+                json_body(&SweepStatusResponse {
+                    id: id.to_string(),
+                    status: status.into(),
+                    total,
+                    queued,
+                    running,
+                    done,
+                    failed,
+                }),
+            )
+        }
+    }
+}
+
+/// `GET /sweeps/{id}/report`: the assembled `alloc-locality.sweep-report`
+/// v1 JSONL. 409 until every point is done; the per-point report lines
+/// are then parsed back, scored, and assembled exactly as the offline
+/// executor does it — the resulting bytes match an `explore` run of the
+/// same spec. Assembly happens outside the state lock and the result is
+/// memoized on the sweep.
+fn sweep_report(id: &str, shared: &Arc<Shared>) -> Reply {
+    let (spec, lines) = {
+        let state = shared.state.lock().expect("state lock");
+        let Some(sweep) = state.sweeps.get(id) else {
+            return Reply::json(
+                404,
+                json_body(&ErrorResponse::new("not_found", format!("no sweep {id}"))),
+            );
+        };
+        if let Some(report) = &sweep.report {
+            return Reply {
+                status: 200,
+                content_type: "application/x-ndjson",
+                body: report.as_ref().clone(),
+            };
+        }
+        let mut lines: Vec<Arc<String>> = Vec::with_capacity(sweep.point_ids.len());
+        for pid in &sweep.point_ids {
+            match state.jobs.get(pid).map(|job| &job.status) {
+                Some(JobStatus::Done { line, .. }) => lines.push(Arc::clone(line)),
+                Some(JobStatus::Failed { error }) => {
+                    return Reply::json(
+                        409,
+                        json_body(&ErrorResponse::new(
+                            "failed",
+                            format!("sweep point {pid} failed: {error}"),
+                        )),
+                    )
+                }
+                Some(status) => {
+                    return Reply::json(
+                        409,
+                        json_body(&ErrorResponse::new(
+                            "not_done",
+                            format!("sweep point {pid} is {}", status.label()),
+                        )),
+                    )
+                }
+                // Evicted after finishing; the persisted line (when
+                // configured) still has the bytes.
+                None => match shared
+                    .cfg
+                    .report_cache
+                    .as_deref()
+                    .and_then(|dir| load_persisted_report(dir, pid))
+                {
+                    Some(line) => lines.push(Arc::new(line)),
+                    None => {
+                        return Reply::json(
+                            404,
+                            json_body(&ErrorResponse::new(
+                                "not_found",
+                                format!(
+                                    "sweep point {pid} was evicted from the result cache and \
+                                     no persisted copy exists; resubmit the sweep"
+                                ),
+                            )),
+                        )
+                    }
+                },
+            }
+        }
+        (sweep.spec.clone(), lines)
+    };
+    let mut reports = Vec::with_capacity(lines.len());
+    for line in &lines {
+        match alloc_locality::RunReport::parse(line) {
+            Ok(report) => reports.push(report),
+            Err(e) => {
+                return Reply::json(
+                    500,
+                    json_body(&ErrorResponse::new(
+                        "internal",
+                        format!("stored sweep point no longer parses: {e}"),
+                    )),
+                )
+            }
+        }
+    }
+    let text = match SweepReport::assemble(&spec, reports) {
+        Ok(report) => report.to_jsonl(),
+        Err(e) => {
+            return Reply::json(
+                500,
+                json_body(&ErrorResponse::new("internal", format!("assembling sweep: {e}"))),
+            )
+        }
+    };
+    let mut state = shared.state.lock().expect("state lock");
+    let body = match state.sweeps.get_mut(id) {
+        Some(sweep) => {
+            // First assembly wins; a racing fetch reuses its bytes.
+            let stored = sweep.report.get_or_insert_with(|| Arc::new(text));
+            Arc::clone(stored)
+        }
+        None => Arc::new(text),
+    };
+    Reply { status: 200, content_type: "application/x-ndjson", body: body.as_ref().clone() }
 }
 
 fn job_status(id: &str, shared: &Arc<Shared>) -> Reply {
@@ -921,6 +1279,7 @@ fn metrics(shared: &Arc<Shared>) -> Reply {
         200,
         json_body(&MetricsResponse {
             jobs_submitted: state.submitted,
+            sweeps_submitted: state.sweeps_submitted,
             jobs_completed: state.completed,
             jobs_failed: state.failed,
             cache_hits: state.cache_hits,
@@ -945,6 +1304,7 @@ fn metrics_prometheus(shared: &Arc<Shared>) -> Reply {
     let state = shared.state.lock().expect("state lock");
     let mut out = String::new();
     obs::prom::push_counter(&mut out, "serve_jobs_submitted_total", state.submitted);
+    obs::prom::push_counter(&mut out, "serve_sweeps_submitted_total", state.sweeps_submitted);
     obs::prom::push_counter(&mut out, "serve_jobs_completed_total", state.completed);
     obs::prom::push_counter(&mut out, "serve_jobs_failed_total", state.failed);
     obs::prom::push_counter(&mut out, "serve_cache_hits_total", state.cache_hits);

@@ -420,3 +420,137 @@ fn prometheus_exposition_lints_clean_and_reflects_load() {
     assert!(metrics.endpoints.contains_key("POST /jobs"), "{:?}", metrics.endpoints.keys());
     drop(server);
 }
+
+/// A four-point sweep small enough for a debug-build test: two FirstFit
+/// split thresholds and two QuickFit fast-list bounds over the
+/// `quick_spec` workload cell.
+fn quick_sweep() -> explore::SweepSpec {
+    explore::SweepSpec {
+        cache_kb: vec![16],
+        paging: Some(false),
+        ..explore::SweepSpec::over(
+            "espresso",
+            0.002,
+            vec![
+                explore::GridSpec {
+                    split_threshold: vec![8, 24],
+                    ..explore::GridSpec::baseline("FirstFit")
+                },
+                explore::GridSpec {
+                    fast_max: vec![16, 64],
+                    ..explore::GridSpec::baseline("QuickFit")
+                },
+            ],
+        )
+    }
+}
+
+#[test]
+fn served_sweeps_match_the_offline_executor_byte_for_byte() {
+    let (server, client) = start(ServerConfig::default());
+    let spec = quick_sweep();
+    let submitted = client.submit_sweep(&spec).unwrap();
+    assert_eq!(submitted.id, spec.sweep_id());
+    assert_eq!(submitted.points, 4);
+    assert_eq!(submitted.fresh, 4);
+    assert!(!submitted.cached);
+
+    let status = client.wait_sweep_done(&submitted.id, WAIT).unwrap();
+    assert_eq!((status.done, status.failed), (4, 0));
+
+    // The daemon's assembled artifact is exactly what the offline
+    // shared-trace executor emits for the same spec.
+    let served = client.fetch_sweep_report(&submitted.id).unwrap();
+    let offline = explore::run_sweep(&spec, 2, |_, _| {}).expect("offline sweep");
+    assert_eq!(served, offline.to_jsonl(), "served sweep diverged from the offline executor");
+    let parsed = explore::SweepReport::parse(&served).expect("served sweep parses");
+    parsed.validate().expect("served sweep validates");
+
+    // Each point is an ordinary job whose report the sweep embeds
+    // verbatim, modulo the zeroed span wall-times.
+    let point = &parsed.points[0];
+    let direct = client.fetch_report(&point.point_id).unwrap();
+    let mut direct = RunReport::parse(&direct).expect("point report parses");
+    explore::report::normalize_report(&mut direct);
+    assert_eq!(point.report.to_jsonl_line(), direct.to_jsonl_line());
+
+    // Resubmitting is a cache hit: same id, nothing fresh.
+    let again = client.submit_sweep(&spec).unwrap();
+    assert!(again.cached);
+    assert_eq!(again.fresh, 0);
+    assert_eq!(again.status, "done");
+    assert_eq!(client.fetch_sweep_report(&again.id).unwrap(), served);
+
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.sweeps_submitted, 1);
+    drop(server);
+}
+
+#[test]
+fn sweep_backpressure_refuses_the_whole_batch() {
+    let cfg = ServerConfig { workers: 0, queue_depth: 2, ..ServerConfig::default() };
+    let (server, client) = start(cfg);
+    let err = client.submit_sweep(&quick_sweep()).unwrap_err();
+    assert!(err.to_string().contains("429"), "four fresh points exceed two slots: {err}");
+    // Nothing was partially enqueued.
+    let health = client.healthz().unwrap();
+    assert_eq!(health.queued, 0, "the refused batch left no points behind");
+    drop(server);
+}
+
+#[test]
+fn sweep_points_are_shared_with_direct_jobs() {
+    let (server, client) = start(ServerConfig::default());
+    // The QuickFit default point, submitted directly first.
+    let direct = client.submit(&quick_spec("espresso", "QuickFit")).unwrap();
+    client.wait_done(&direct.id, WAIT).unwrap();
+
+    // `fast_max: 32` is the family default, so that grid slot
+    // normalizes to the point just computed.
+    let sweep = quick_sweep();
+    let sweep = explore::SweepSpec {
+        grids: vec![explore::GridSpec {
+            fast_max: vec![16, 32],
+            ..explore::GridSpec::baseline("QuickFit")
+        }],
+        ..sweep
+    };
+    let submitted = client.submit_sweep(&sweep).unwrap();
+    assert_eq!(submitted.points, 2);
+    assert_eq!(submitted.fresh, 1, "the default point was already cached");
+    client.wait_sweep_done(&submitted.id, WAIT).unwrap();
+    let report = client.fetch_sweep_report(&submitted.id).unwrap();
+    explore::SweepReport::parse(&report).unwrap().validate().expect("shared-point sweep validates");
+    drop(server);
+}
+
+#[test]
+fn sweep_errors_are_structured() {
+    let cfg = ServerConfig { workers: 0, ..ServerConfig::default() };
+    let (server, client) = start(cfg);
+
+    // Unknown ids are 404s on both sweep routes.
+    for path in ["/sweeps/feedfacefeedface", "/sweeps/feedfacefeedface/report"] {
+        let response = client.request("GET", path, None).unwrap();
+        assert_eq!(response.status, 404, "{path}: {}", response.body);
+    }
+
+    // A sweep over an unknown allocator family is a 400 naming it.
+    let response = client
+        .request(
+            "POST",
+            "/sweeps",
+            Some(r#"{"program":"espresso","grids":[{"allocator":"SlabFit"}]}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.body.contains("SlabFit"), "{}", response.body);
+
+    // With no workers the points never finish: the report is a 409.
+    let submitted = client.submit_sweep(&quick_sweep()).unwrap();
+    let response =
+        client.request("GET", &format!("/sweeps/{}/report", submitted.id), None).unwrap();
+    assert_eq!(response.status, 409, "{}", response.body);
+    assert!(response.body.contains("not_done"), "{}", response.body);
+    drop(server);
+}
