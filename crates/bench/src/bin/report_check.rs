@@ -21,12 +21,14 @@
 //! without a report FILE; given alone, `--expect N` counts traces.
 //!
 //! `--expect-sweep N` reinterprets FILE as an
-//! `alloc-locality.sweep-report` v1 artifact (from `explore` or
+//! `alloc-locality.sweep-report` artifact — v1 or v2 (from `explore` or
 //! `GET /sweeps/{id}/report`): the header, every point row, and the
 //! Pareto-front row must pass [`explore::SweepReport::validate`] —
-//! which recomputes each point's objectives and the front itself — and
-//! the sweep must hold exactly `N` points. Every embedded point report
-//! is also schema-validated, so the flag subsumes the per-line check.
+//! which recomputes each point's objectives and the front itself, and
+//! cross-checks the v2 additions (workload axes, stream-cache tallies,
+//! exploration mode and adaptive metadata) — and the sweep must hold
+//! exactly `N` points. Every embedded point report is also
+//! schema-validated, so the flag subsumes the per-line check.
 //!
 //! The miss-rate modes are the fidelity soak: `--write-missrates`
 //! snapshots every cell's per-configuration data-cache miss rate into a
@@ -140,10 +142,12 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-/// Validates an `alloc-locality.sweep-report` v1 file: parse structure
-/// (single header, points, single front row), full semantic validation
-/// (ids, recomputed objectives and Pareto front, every embedded run
-/// report), and the expected point count.
+/// Validates an `alloc-locality.sweep-report` file (v1 or v2): parse
+/// structure (single header, points, single front row), full semantic
+/// validation (ids, recomputed objectives and Pareto front, every
+/// embedded run report, v2 axis/telemetry consistency), and the
+/// expected point count. v2-only header fields are summarized when
+/// present and silently absent for v1 artifacts.
 fn check_sweep(path: &std::path::Path, expect_points: usize) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -168,12 +172,28 @@ fn check_sweep(path: &std::path::Path, expect_points: usize) -> Result<(), Strin
         );
     }
     eprintln!(
-        "sweep {} valid: {} points over {:?}, {} on the Pareto front",
+        "sweep {} valid (v{}): {} points over {:?}, {} on the Pareto front",
         report.header.sweep_id,
+        report.header.version,
         report.points.len(),
         report.header.families,
         report.front.front.len()
     );
+    let h = &report.header;
+    if !h.programs.is_empty() || !h.scales.is_empty() {
+        eprintln!("  workload axes: programs {:?}, scales {:?}", h.programs, h.scales);
+    }
+    if h.stream_hits + h.stream_misses > 0 {
+        eprintln!("  stream cache: {} hits, {} misses", h.stream_hits, h.stream_misses);
+    }
+    if h.mode == "adaptive" {
+        eprintln!(
+            "  adaptive: {} of {} exhaustive points evaluated in {} iterations (budget {})",
+            h.adaptive_evaluated, h.adaptive_exhaustive, h.adaptive_iterations, h.adaptive_budget
+        );
+    } else if !h.mode.is_empty() {
+        eprintln!("  mode: {}", h.mode);
+    }
     Ok(())
 }
 

@@ -21,7 +21,9 @@ use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
-use sim_mem::stream::{fnv1a, CacheLookup, Fnv64, StreamCache, STREAM_FORMAT_VERSION};
+use sim_mem::stream::{
+    fnv1a, CacheLookup, Fnv64, SidecarLookup, StreamCache, STREAM_FORMAT_VERSION,
+};
 use sim_mem::{
     AccessSink, Address, CountingSink, HeapImage, InstrCounter, MemCtx, MemRef, Phase, RefRun,
     TraceStats,
@@ -747,6 +749,13 @@ struct StreamSidecar {
     alloc_stats: AllocStats,
     /// The populating run's full frozen metrics.
     metrics: obs::MetricsSnapshot,
+    /// The populating run's complete finalized result. Like `metrics`,
+    /// it depends on the sink configuration, so it is only reused when
+    /// `options_fp` matches — and then it answers the whole run from the
+    /// sidecar alone, with neither the stream body decoded nor the
+    /// sinks rebuilt.
+    #[serde(default)]
+    result: Option<RunResult>,
 }
 
 /// Sink results reassembled from finalized shards, in canonical order.
@@ -827,6 +836,11 @@ pub struct Experiment {
     program_label: String,
     choice: AllocChoice,
     opts: SimOptions,
+    /// Stream-cache provenance for a fixed event stream: the workload
+    /// spec the events were generated from, when the caller knows it
+    /// (see [`Experiment::stream_source`]). `None` for spec-sourced runs
+    /// (the source itself is the provenance) and for imported traces.
+    provenance: Option<WorkloadSpec>,
 }
 
 impl Experiment {
@@ -837,6 +851,7 @@ impl Experiment {
             program_label: program.label().to_string(),
             choice,
             opts: SimOptions::default(),
+            provenance: None,
         }
     }
 
@@ -848,6 +863,7 @@ impl Experiment {
             program_label: label,
             choice,
             opts: SimOptions::default(),
+            provenance: None,
         }
     }
 
@@ -864,6 +880,7 @@ impl Experiment {
             program_label: label.into(),
             choice,
             opts: SimOptions::default(),
+            provenance: None,
         }
     }
 
@@ -885,7 +902,23 @@ impl Experiment {
             program_label: label.into(),
             choice,
             opts: SimOptions::default(),
+            provenance: None,
         }
+    }
+
+    /// Declares the workload spec a fixed event stream was generated
+    /// from, giving the run the *same* stream-cache identity as a
+    /// spec-built run of that workload. Only meaningful together with
+    /// [`Experiment::stream_cache`] on an
+    /// [`Experiment::with_shared_events`] run whose events really are
+    /// `spec.events(scale)` — the shared-trace executors' invariant —
+    /// in which case a populating run stores a stream that later
+    /// spec-built (or provenance-declared) runs replay, and a warm run
+    /// replays without touching the shared events at all. Ignored for
+    /// spec-sourced runs.
+    pub fn stream_source(mut self, spec: WorkloadSpec) -> Self {
+        self.provenance = Some(spec);
+        self
     }
 
     /// Sets the workload scale.
@@ -1289,6 +1322,34 @@ impl Experiment {
         if let Some(rec) = Self::reborrow(&mut recorder) {
             rec.span_enter("stream_cache.probe");
         }
+        // Stored-result fast path: when the sidecar alone already
+        // answers this run (same options fingerprint, finalized result
+        // stored), the stream body — routinely hundreds of megabytes —
+        // is never decoded and no sinks are built. Runs recording a
+        // reference trace file always replay instead: the file is a
+        // side effect a stored result cannot reproduce.
+        if self.opts.record_trace.is_none() {
+            if let SidecarLookup::Hit(bytes) = cache.load_sidecar(key) {
+                if let Ok(sidecar) = std::str::from_utf8(&bytes)
+                    .map_err(|_| ())
+                    .and_then(|text| serde_json::from_str::<StreamSidecar>(text).map_err(|_| ()))
+                {
+                    if sidecar.options_fp == self.options_fingerprint() {
+                        if let Some(result) = sidecar.result {
+                            if let Some(rec) = Self::reborrow(&mut recorder) {
+                                rec.add("stream_cache.hit", 1);
+                                rec.add("stream_cache.result_fastpath", 1);
+                                rec.span_exit();
+                            }
+                            return Ok(RunOutcome {
+                                result,
+                                replay_metrics: need_metrics.then_some(sidecar.metrics),
+                            });
+                        }
+                    }
+                }
+            }
+        }
         let lookup = cache.load_recorded(key, Self::reborrow(&mut recorder));
         if let Some(rec) = Self::reborrow(&mut recorder) {
             rec.span_exit();
@@ -1322,12 +1383,17 @@ impl Experiment {
     /// scale, heap limit, fragmentation sampling — plus the format
     /// version, so a format bump cold-starts the cache. `None` when no
     /// cache directory is configured or the workload is a fixed event
-    /// stream (already imported; nothing to skip regenerating is known
-    /// about its provenance, so it is never cached).
+    /// stream of unknown provenance (an imported trace: nothing to skip
+    /// regenerating is known about it, so it is never cached). A fixed
+    /// stream *with* declared provenance ([`Experiment::stream_source`])
+    /// keys exactly as the spec-built run would, so shared-trace sweep
+    /// points populate — and replay — the same cache entries as direct
+    /// runs.
     fn stream_key(&self) -> Option<u64> {
         self.opts.stream_cache.as_ref()?;
-        let WorkloadSource::Spec(spec) = &self.source else {
-            return None;
+        let spec = match &self.source {
+            WorkloadSource::Spec(spec) => spec,
+            WorkloadSource::Events(_) => self.provenance.as_ref()?,
         };
         let spec_json = serde_json::to_string(spec).expect("workload spec serializes");
         let mut h = Fnv64::new();
@@ -1342,6 +1408,22 @@ impl Experiment {
         h.write_u64(self.opts.heap_limit);
         h.write_u64(self.opts.frag_sample_every);
         Some(h.finish())
+    }
+
+    /// Predicts whether this run would find its stream in the cache:
+    /// `None` when the stream cache does not apply to it at all (no
+    /// directory configured, or a fixed stream without provenance),
+    /// otherwise whether the keyed stream file exists right now. A
+    /// metadata-only probe — nothing is read, decoded, or validated —
+    /// so the answer is telemetry (sweep-level hit/miss counts), not a
+    /// replay guarantee: a corrupt or sidecar-mismatched entry still
+    /// probes `Some(true)` and the run quietly falls back to generating.
+    pub fn stream_cached(&self) -> Option<bool> {
+        let key = self.stream_key()?;
+        let cache =
+            StreamCache::new(self.opts.stream_cache.as_ref().expect("key implies directory"))
+                .with_max_bytes(self.opts.stream_cache_bytes);
+        Some(cache.contains(key))
     }
 
     /// Fingerprint of the *sink-side* options: everything a run's
@@ -1555,18 +1637,6 @@ impl Experiment {
 
         let trace = capture.counting.stats();
         let heap_high_water = heap.high_water();
-        let sidecar = StreamSidecar {
-            options_fp: self.options_fingerprint(),
-            instrs,
-            trace,
-            frag_curve: frag_curve.clone(),
-            heap_high_water,
-            alloc_stats,
-            metrics: tee.mem.snapshot(),
-        };
-        let sidecar_json = serde_json::to_string(&sidecar).expect("sidecar serializes");
-        let _ = cache.store(key, sidecar_json.as_bytes(), &capture.runs);
-
         let result = RunResult {
             program: self.program_label.clone(),
             allocator: self.choice.label(),
@@ -1582,6 +1652,18 @@ impl Experiment {
             heap_high_water,
             alloc_stats,
         };
+        let sidecar = StreamSidecar {
+            options_fp: self.options_fingerprint(),
+            instrs,
+            trace,
+            frag_curve: result.frag_curve.clone(),
+            heap_high_water,
+            alloc_stats,
+            metrics: tee.mem.snapshot(),
+            result: Some(result.clone()),
+        };
+        let sidecar_json = serde_json::to_string(&sidecar).expect("sidecar serializes");
+        let _ = cache.store(key, sidecar_json.as_bytes(), &capture.runs);
         Ok(RunOutcome { result, replay_metrics: None })
     }
 

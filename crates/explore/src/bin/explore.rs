@@ -2,112 +2,296 @@
 //!
 //! ```text
 //! explore --spec SWEEP.json [--out REPORT.jsonl] [--threads N] [--quiet]
+//!         [--stream-cache DIR [--stream-cache-bytes N]]
 //!         [--bench [--bench-out BENCH_explore.json] [--gate F]]
+//!         [--warm [--warm-out REPORT.jsonl] [--warm-gate F]]
+//!         [--adaptive [--budget N] [--iterations N]
+//!                     [--check-front REPORT.jsonl] [--max-fraction F]]
 //! ```
 //!
-//! The spec file is a [`SweepSpec`] in JSON: a workload cell plus one
-//! parameter grid per allocator family. The sweep captures the
-//! workload's event sequence once and drives every point off the shared
-//! trace; the finished `alloc-locality.sweep-report` v1 JSONL goes to
-//! `--out` (default stdout) and a Pareto-front table to stderr.
+//! The spec file is a [`SweepSpec`] in JSON: a workload cell —
+//! optionally with program/scale axes — plus one parameter grid per
+//! allocator family. The sweep captures each workload cell's event
+//! sequence once and drives every point off the shared trace; the
+//! finished `alloc-locality.sweep-report` JSONL goes to `--out`
+//! (default stdout) and a Pareto-front table to stderr. `--threads 0`
+//! auto-detects the worker count, like `repro`.
 //!
-//! `--bench` additionally re-runs the identical sweep through the naive
-//! executor (every point regenerating its own events), asserts the two
-//! reports are byte-identical, and writes a JSON benchmark artifact
-//! with the shared-trace speedup. `--gate F` exits non-zero when the
-//! speedup falls below `F` — the CI regression gate for the executor's
-//! headline saving.
+//! `--stream-cache` routes every point through the engine's persistent
+//! stream cache: points whose streams are already stored replay without
+//! generation or allocator simulation, the rest populate the cache for
+//! the next run. `--warm` then re-runs the identical sweep against the
+//! freshly-populated cache, asserts every point row is byte-identical
+//! to the cold run's, and gates the warm speedup (`--warm-gate`).
+//!
+//! `--bench` re-runs the identical sweep through the naive executor
+//! (every point regenerating its own events), asserts the two reports
+//! are byte-identical, and gates the shared-trace speedup (`--gate`).
+//!
+//! `--adaptive` replaces exhaustive expansion with budgeted refinement
+//! toward the Pareto front; `--check-front` compares the resulting
+//! front against a previously-written exhaustive report's and
+//! `--max-fraction` gates the evaluated-points fraction.
+//!
+//! All benchmark lanes merge their sections into one `--bench-out` JSON
+//! artifact, so CI can accumulate `BENCH_explore.json` across lanes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use explore::{run_sweep, run_sweep_naive, SweepReport, SweepSpec};
-use serde::Serialize;
+use explore::{
+    run_adaptive, run_sweep_naive, run_sweep_with, AdaptiveOptions, ExecOptions, SweepReport,
+    SweepSpec,
+};
+use serde::{Deserialize, Serialize};
 
 const USAGE: &str = "usage: explore --spec SWEEP.json [--out REPORT.jsonl] [--threads N] \
-                     [--quiet] [--bench [--bench-out FILE] [--gate F]]";
+                     [--quiet] [--stream-cache DIR [--stream-cache-bytes N]] \
+                     [--bench [--bench-out FILE] [--gate F]] \
+                     [--warm [--warm-out FILE] [--warm-gate F]] \
+                     [--adaptive [--budget N] [--iterations N] [--check-front FILE] \
+                     [--max-fraction F]]";
 
 struct Args {
     spec: PathBuf,
     out: Option<PathBuf>,
     threads: usize,
     quiet: bool,
+    stream_cache: Option<PathBuf>,
+    stream_cache_bytes: Option<u64>,
     bench: bool,
     bench_out: PathBuf,
     gate: Option<f64>,
+    warm: bool,
+    warm_out: Option<PathBuf>,
+    warm_gate: Option<f64>,
+    adaptive: bool,
+    budget: usize,
+    iterations: usize,
+    check_front: Option<PathBuf>,
+    max_fraction: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec: PathBuf::new(),
+        out: None,
+        threads: 0,
+        quiet: false,
+        stream_cache: None,
+        stream_cache_bytes: None,
+        bench: false,
+        bench_out: PathBuf::from("BENCH_explore.json"),
+        gate: None,
+        warm: false,
+        warm_out: None,
+        warm_gate: None,
+        adaptive: false,
+        budget: 0,
+        iterations: 0,
+        check_front: None,
+        max_fraction: None,
+    };
     let mut spec = None;
-    let mut out = None;
-    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut quiet = false;
-    let mut bench = false;
-    let mut bench_out = PathBuf::from("BENCH_explore.json");
-    let mut gate = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut argv = std::env::args().skip(1);
+    let positive_ratio = |v: String, what: &str| -> Result<f64, String> {
+        let g: f64 = v.parse().map_err(|e| format!("bad {what} {v}: {e}"))?;
+        if g.is_nan() || g <= 0.0 {
+            return Err(format!("{what} must be a positive ratio"));
+        }
+        Ok(g)
+    };
+    while let Some(a) = argv.next() {
         match a.as_str() {
-            "--spec" => {
-                let v = args.next().ok_or("--spec needs a path")?;
-                spec = Some(PathBuf::from(v));
-            }
-            "--out" => {
-                let v = args.next().ok_or("--out needs a path")?;
-                out = Some(PathBuf::from(v));
-            }
+            "--spec" => spec = Some(PathBuf::from(argv.next().ok_or("--spec needs a path")?)),
+            "--out" => args.out = Some(PathBuf::from(argv.next().ok_or("--out needs a path")?)),
             "--threads" => {
-                let v = args.next().ok_or("--threads needs a count")?;
-                threads = v.parse().map_err(|e| format!("bad thread count {v}: {e}"))?;
-                if threads == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
+                let v = argv.next().ok_or("--threads needs a count")?;
+                // 0 auto-detects, the same contract as `repro --threads 0`.
+                args.threads = v.parse().map_err(|e| format!("bad thread count {v}: {e}"))?;
             }
-            "--quiet" => quiet = true,
-            "--bench" => bench = true,
+            "--quiet" => args.quiet = true,
+            "--stream-cache" => {
+                let v = argv.next().ok_or("--stream-cache needs a directory")?;
+                args.stream_cache = Some(PathBuf::from(v));
+            }
+            "--stream-cache-bytes" => {
+                let v = argv.next().ok_or("--stream-cache-bytes needs a size")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad size {v}: {e}"))?;
+                args.stream_cache_bytes = Some(n);
+            }
+            "--bench" => args.bench = true,
             "--bench-out" => {
-                let v = args.next().ok_or("--bench-out needs a path")?;
-                bench_out = PathBuf::from(v);
+                args.bench_out = PathBuf::from(argv.next().ok_or("--bench-out needs a path")?);
             }
             "--gate" => {
-                let v = args.next().ok_or("--gate needs a ratio")?;
-                let g: f64 = v.parse().map_err(|e| format!("bad gate {v}: {e}"))?;
-                if g.is_nan() || g <= 0.0 {
-                    return Err("gate must be a positive ratio".into());
+                args.gate =
+                    Some(positive_ratio(argv.next().ok_or("--gate needs a ratio")?, "gate")?)
+            }
+            "--warm" => args.warm = true,
+            "--warm-out" => {
+                args.warm_out = Some(PathBuf::from(argv.next().ok_or("--warm-out needs a path")?));
+            }
+            "--warm-gate" => {
+                args.warm_gate = Some(positive_ratio(
+                    argv.next().ok_or("--warm-gate needs a ratio")?,
+                    "warm gate",
+                )?);
+            }
+            "--adaptive" => args.adaptive = true,
+            "--budget" => {
+                let v = argv.next().ok_or("--budget needs a count")?;
+                args.budget = v.parse().map_err(|e| format!("bad budget {v}: {e}"))?;
+            }
+            "--iterations" => {
+                let v = argv.next().ok_or("--iterations needs a count")?;
+                args.iterations = v.parse().map_err(|e| format!("bad iteration count {v}: {e}"))?;
+            }
+            "--check-front" => {
+                args.check_front =
+                    Some(PathBuf::from(argv.next().ok_or("--check-front needs a path")?));
+            }
+            "--max-fraction" => {
+                let v = argv.next().ok_or("--max-fraction needs a ratio")?;
+                let f = positive_ratio(v, "max fraction")?;
+                if f > 1.0 {
+                    return Err("max fraction cannot exceed 1".into());
                 }
-                gate = Some(g);
+                args.max_fraction = Some(f);
             }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unexpected argument {other:?}; try --help")),
         }
     }
-    let spec = spec.ok_or(USAGE)?;
-    Ok(Args { spec, out, threads, quiet, bench, bench_out, gate })
+    args.spec = spec.ok_or(USAGE)?;
+    if args.warm && args.stream_cache.is_none() {
+        return Err("--warm needs --stream-cache: a warm rerun replays the populated cache".into());
+    }
+    if args.adaptive && (args.bench || args.warm) {
+        return Err("--adaptive is its own lane; run --bench/--warm separately".into());
+    }
+    if args.bench && args.stream_cache.is_some() {
+        return Err("--bench measures shared-trace reuse; run it without --stream-cache \
+                    (cache-backed runs carry cache counters the naive baseline lacks)"
+            .into());
+    }
+    Ok(args)
 }
 
-/// The committed benchmark artifact (`BENCH_explore.json`): the
-/// shared-trace sweep executor against naive per-point regeneration on
-/// the same sweep.
-#[derive(Debug, Serialize)]
+/// The committed benchmark artifact (`BENCH_explore.json`). Lanes merge
+/// into one file: the shared-vs-naive section from `--bench`, the
+/// cold-vs-warm section from `--warm`, the refinement section from
+/// `--adaptive`. Every field defaults so artifacts written by older
+/// lanes (or truncated ones) still merge.
+#[derive(Debug, Default, Serialize, Deserialize)]
 struct BenchReport {
+    #[serde(default)]
     program: String,
+    #[serde(default)]
     scale: f64,
     /// Allocator families the sweep's grids cover.
+    #[serde(default)]
     families: Vec<String>,
     /// Expanded, deduplicated sweep points.
-    points: usize,
-    threads: usize,
-    /// One event-generation pass, shared by every point.
+    #[serde(default)]
+    points: u64,
+    /// Resolved worker count (`--threads 0` records the auto-detected
+    /// value, not the 0).
+    #[serde(default)]
+    threads: u64,
+    /// One event-generation pass per workload cell, shared by its points.
+    #[serde(default)]
     shared_secs: f64,
     /// Every point regenerating its own event stream.
+    #[serde(default)]
     naive_secs: f64,
     /// `naive_secs / shared_secs` — the event-trace-reuse saving.
+    #[serde(default)]
     speedup: f64,
     /// Finished points per second through the shared-trace executor.
+    #[serde(default)]
     points_per_sec: f64,
     /// Whether the two executors emitted byte-identical sweep reports.
+    #[serde(default)]
     identical_results: bool,
+    /// The `--warm` lane: cold populate vs warm replay.
+    #[serde(default)]
+    warm: Option<WarmBench>,
+    /// The `--adaptive` lane: refinement vs exhaustive expansion.
+    #[serde(default)]
+    adaptive: Option<AdaptiveBench>,
+}
+
+/// Cold-populate vs warm-replay timings for the same sweep.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct WarmBench {
+    /// Cold run: generate, simulate, and store every point's stream.
+    #[serde(default)]
+    cold_secs: f64,
+    /// Warm rerun: replay every stream from the cache.
+    #[serde(default)]
+    warm_secs: f64,
+    /// `cold_secs / warm_secs` — the replay saving.
+    #[serde(default)]
+    speedup: f64,
+    #[serde(default)]
+    cold_hits: u64,
+    #[serde(default)]
+    cold_misses: u64,
+    #[serde(default)]
+    warm_hits: u64,
+    #[serde(default)]
+    warm_misses: u64,
+    /// Stream files in the cache directory after the warm run.
+    #[serde(default)]
+    cache_entries: u64,
+    /// Their total size in bytes.
+    #[serde(default)]
+    cache_bytes: u64,
+    /// Whether every warm point row was byte-identical to its cold
+    /// counterpart.
+    #[serde(default)]
+    identical_points: bool,
+}
+
+/// Adaptive refinement vs the exhaustive grid.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct AdaptiveBench {
+    /// Points the refinement evaluated.
+    #[serde(default)]
+    evaluated: u64,
+    /// Points the exhaustive grid expands to.
+    #[serde(default)]
+    exhaustive: u64,
+    /// `evaluated / exhaustive`.
+    #[serde(default)]
+    fraction: f64,
+    #[serde(default)]
+    iterations: u64,
+    #[serde(default)]
+    budget: u64,
+    #[serde(default)]
+    secs: f64,
+    /// Size of the refined Pareto front.
+    #[serde(default)]
+    front_points: u64,
+    /// Whether the refined front equals the exhaustive report's
+    /// (`--check-front`); absent when no reference was given.
+    #[serde(default)]
+    front_matches: Option<bool>,
+}
+
+/// Reads the existing artifact (if any) so lanes merge instead of
+/// clobbering each other, applies `update`, and writes it back.
+fn merge_bench(path: &PathBuf, update: impl FnOnce(&mut BenchReport)) -> Result<(), String> {
+    let mut bench = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<BenchReport>(&text).ok())
+        .unwrap_or_default();
+    update(&mut bench);
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench report");
+    std::fs::write(path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))
 }
 
 fn progress_printer(
@@ -152,6 +336,95 @@ fn print_front(report: &SweepReport) {
     }
 }
 
+fn write_report(jsonl: &str, out: &Option<PathBuf>) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, jsonl).map_err(|e| format!("write {}: {e}", path.display()))
+        }
+        None => {
+            print!("{jsonl}");
+            Ok(())
+        }
+    }
+}
+
+/// Stamps the sweep's identity fields into the merged bench artifact.
+fn stamp(bench: &mut BenchReport, report: &SweepReport, threads: usize) {
+    bench.program = report.header.program.clone();
+    bench.scale = report.header.scale;
+    bench.families = report.header.families.clone();
+    bench.threads = threads as u64;
+}
+
+fn run_adaptive_mode(args: &Args, spec: &SweepSpec, exec: &ExecOptions) -> Result<(), String> {
+    let exhaustive = spec.points().len();
+    let adaptive = AdaptiveOptions { budget: args.budget, iterations: args.iterations };
+    let started = Instant::now();
+    let report = run_adaptive(spec, exec, adaptive, progress_printer(exhaustive, args.quiet))
+        .map_err(|e| e.to_string())?;
+    let secs = started.elapsed().as_secs_f64();
+    report.validate().map_err(|e| format!("adaptive sweep report failed validation: {e}"))?;
+    write_report(&report.to_jsonl(), &args.out)?;
+    print_front(&report);
+
+    let h = &report.header;
+    let fraction = h.adaptive_evaluated as f64 / h.adaptive_exhaustive.max(1) as f64;
+    eprintln!(
+        "adaptive: {} of {} points ({:.0}%) in {} iterations, {:.2}s",
+        h.adaptive_evaluated,
+        h.adaptive_exhaustive,
+        fraction * 100.0,
+        h.adaptive_iterations,
+        secs
+    );
+    let front_matches = match &args.check_front {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let exhaustive_report =
+                SweepReport::parse(&text).map_err(|e| format!("{}: parse: {e}", path.display()))?;
+            let matches = report.front.front == exhaustive_report.front.front;
+            if !matches {
+                eprintln!(
+                    "adaptive front {:?} != exhaustive front {:?}",
+                    report.front.front, exhaustive_report.front.front
+                );
+            }
+            Some(matches)
+        }
+        None => None,
+    };
+    let meta = AdaptiveBench {
+        evaluated: h.adaptive_evaluated,
+        exhaustive: h.adaptive_exhaustive,
+        fraction,
+        iterations: h.adaptive_iterations,
+        budget: h.adaptive_budget,
+        secs,
+        front_points: report.front.front.len() as u64,
+        front_matches,
+    };
+    let threads = exec.resolved_threads();
+    merge_bench(&args.bench_out, |bench| {
+        stamp(bench, &report, threads);
+        bench.points = exhaustive as u64;
+        bench.adaptive = Some(meta);
+    })?;
+    if front_matches == Some(false) {
+        return Err("adaptive front diverged from the exhaustive front".into());
+    }
+    if let Some(max) = args.max_fraction {
+        if fraction > max {
+            return Err(format!(
+                "adaptive refinement evaluated {:.0}% of the grid, above the {:.0}% gate",
+                fraction * 100.0,
+                max * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let text = std::fs::read_to_string(&args.spec)
@@ -159,70 +432,122 @@ fn run() -> Result<(), String> {
     let spec: SweepSpec =
         serde_json::from_str(&text).map_err(|e| format!("{}: parse: {e}", args.spec.display()))?;
     spec.validate().map_err(|e| e.to_string())?;
+    let exec = ExecOptions {
+        threads: args.threads,
+        stream_cache: args.stream_cache.clone(),
+        stream_cache_bytes: args.stream_cache_bytes,
+    };
+    let threads = exec.resolved_threads();
     let total = spec.points().len();
     if !args.quiet {
         eprintln!(
-            "sweep {}: {total} points over {:?}, {} threads",
+            "sweep {}: {total} points over {:?}, {threads} threads",
             spec.sweep_id(),
             spec.families(),
-            args.threads
         );
+    }
+    if args.adaptive {
+        return run_adaptive_mode(&args, &spec, &exec);
     }
 
     let started = Instant::now();
-    let report = run_sweep(&spec, args.threads, progress_printer(total, args.quiet))
+    let report = run_sweep_with(&spec, &exec, progress_printer(total, args.quiet))
         .map_err(|e| e.to_string())?;
     let shared_secs = started.elapsed().as_secs_f64();
     report.validate().map_err(|e| format!("fresh sweep report failed validation: {e}"))?;
 
     let jsonl = report.to_jsonl();
-    match &args.out {
-        Some(path) => {
-            std::fs::write(path, &jsonl).map_err(|e| format!("write {}: {e}", path.display()))?
-        }
-        None => print!("{jsonl}"),
-    }
+    write_report(&jsonl, &args.out)?;
     print_front(&report);
+
+    if args.warm {
+        if !args.quiet {
+            eprintln!("warm: re-running {total} points against the populated cache");
+        }
+        let started = Instant::now();
+        let warm = run_sweep_with(&spec, &exec, progress_printer(total, args.quiet))
+            .map_err(|e| e.to_string())?;
+        let warm_secs = started.elapsed().as_secs_f64();
+        let identical = warm.points == report.points && warm.front == report.front;
+        if !identical {
+            return Err("warm rerun diverged from the cold sweep report".into());
+        }
+        if let Some(path) = &args.warm_out {
+            std::fs::write(path, warm.to_jsonl())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        let stats = sim_mem::StreamCache::new(
+            args.stream_cache.as_ref().expect("--warm implies --stream-cache"),
+        )
+        .stats();
+        let meta = WarmBench {
+            cold_secs: shared_secs,
+            warm_secs,
+            speedup: shared_secs / warm_secs,
+            cold_hits: report.header.stream_hits,
+            cold_misses: report.header.stream_misses,
+            warm_hits: warm.header.stream_hits,
+            warm_misses: warm.header.stream_misses,
+            cache_entries: stats.entries,
+            cache_bytes: stats.bytes,
+            identical_points: identical,
+        };
+        eprintln!(
+            "warm: cold {shared_secs:.2}s ({} hits/{} misses), warm {warm_secs:.2}s \
+             ({} hits/{} misses), speedup {:.2}x, cache {} entries/{} bytes",
+            meta.cold_hits,
+            meta.cold_misses,
+            meta.warm_hits,
+            meta.warm_misses,
+            meta.speedup,
+            meta.cache_entries,
+            meta.cache_bytes
+        );
+        let speedup = meta.speedup;
+        merge_bench(&args.bench_out, |bench| {
+            stamp(bench, &report, threads);
+            bench.points = total as u64;
+            bench.warm = Some(meta);
+        })?;
+        if let Some(gate) = args.warm_gate {
+            if speedup < gate {
+                return Err(format!("warm replay speedup {speedup:.2}x below the {gate:.2}x gate"));
+            }
+        }
+    }
 
     if args.bench {
         if !args.quiet {
             eprintln!("bench: re-running {total} points through the naive executor");
         }
         let started = Instant::now();
-        let naive = run_sweep_naive(&spec, args.threads, progress_printer(total, args.quiet))
+        let naive = run_sweep_naive(&spec, threads, progress_printer(total, args.quiet))
             .map_err(|e| e.to_string())?;
         let naive_secs = started.elapsed().as_secs_f64();
         let identical = naive.to_jsonl() == jsonl;
         if !identical {
             return Err("naive executor diverged from the shared-trace report".into());
         }
-        let bench = BenchReport {
-            program: report.header.program.clone(),
-            scale: report.header.scale,
-            families: report.header.families.clone(),
-            points: total,
-            threads: args.threads,
-            shared_secs,
-            naive_secs,
-            speedup: naive_secs / shared_secs,
-            points_per_sec: total as f64 / shared_secs,
-            identical_results: identical,
-        };
-        let json = serde_json::to_string_pretty(&bench).expect("serialize bench report");
-        std::fs::write(&args.bench_out, json + "\n")
-            .map_err(|e| format!("write {}: {e}", args.bench_out.display()))?;
+        let speedup = naive_secs / shared_secs;
+        merge_bench(&args.bench_out, |bench| {
+            stamp(bench, &report, threads);
+            bench.points = total as u64;
+            bench.shared_secs = shared_secs;
+            bench.naive_secs = naive_secs;
+            bench.speedup = speedup;
+            bench.points_per_sec = total as f64 / shared_secs;
+            bench.identical_results = identical;
+        })?;
         eprintln!(
-            "bench: shared {shared_secs:.2}s, naive {naive_secs:.2}s, speedup {:.2}x, \
+            "bench: shared {shared_secs:.2}s, naive {naive_secs:.2}s, speedup {speedup:.2}x, \
              {:.1} points/s -> {}",
-            bench.speedup,
-            bench.points_per_sec,
+            total as f64 / shared_secs,
             args.bench_out.display()
         );
         if let Some(gate) = args.gate {
-            if bench.speedup < gate {
+            if speedup < gate {
                 return Err(format!(
-                    "event-trace-reuse speedup {:.2}x below the {gate:.2}x gate",
-                    bench.speedup
+                    "event-trace-reuse speedup {speedup:.2}x below the {gate:.2}x gate"
                 ));
             }
         }

@@ -1,6 +1,6 @@
 //! The stable JSONL artifact a finished sweep emits.
 //!
-//! An `alloc-locality.sweep-report` v1 document is a header line, one
+//! An `alloc-locality.sweep-report` document is a header line, one
 //! line per sweep point, and a closing Pareto-front line. Every line
 //! carries `schema`, `version`, `kind`, and `sweep_id`, so a consumer
 //! can route lines without holding the whole document; the schema is
@@ -24,8 +24,12 @@ use crate::sweep::SweepSpec;
 pub const SWEEP_REPORT_SCHEMA: &str = "alloc-locality.sweep-report";
 
 /// Current schema version. Bump on additive changes; consumers accept
-/// any version `<=` the one they were built against.
-pub const SWEEP_REPORT_VERSION: u32 = 1;
+/// any version `<=` the one they were built against. v2 added the
+/// workload axes (`programs`, `scales`), the per-sweep stream-cache
+/// tallies (`stream_hits`, `stream_misses`), and the exploration-mode
+/// metadata (`mode`, `adaptive_*`) to the header; v1 documents parse
+/// with all of them defaulted.
+pub const SWEEP_REPORT_VERSION: u32 = 2;
 
 /// The sweep-report's opening line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,14 +42,51 @@ pub struct SweepHeader {
     pub kind: String,
     /// Content-addressed sweep id ([`SweepSpec::sweep_id`]).
     pub sweep_id: String,
-    /// Program label shared by every point.
+    /// First program of the program axis (the only one pre-v2).
     pub program: String,
-    /// Workload scale shared by every point.
+    /// First scale of the scale axis (the only one pre-v2).
     pub scale: f64,
+    /// The full program axis, in expansion order (v2; empty in v1
+    /// documents, where `program` is the whole axis).
+    #[serde(default)]
+    pub programs: Vec<String>,
+    /// The full scale axis, in expansion order (v2; empty in v1
+    /// documents, where `scale` is the whole axis).
+    #[serde(default)]
+    pub scales: Vec<f64>,
     /// Distinct allocator families swept, in grid order.
     pub families: Vec<String>,
     /// Number of point rows that follow.
     pub points: u64,
+    /// Points whose stream was already cached when the sweep started
+    /// (v2; zero when no stream cache was configured).
+    #[serde(default)]
+    pub stream_hits: u64,
+    /// Points whose stream was generated — and stored — by this sweep
+    /// (v2; zero when no stream cache was configured).
+    #[serde(default)]
+    pub stream_misses: u64,
+    /// How the point set was chosen: `"grid"` (exhaustive expansion) or
+    /// `"adaptive"` (budgeted refinement); empty in v1 documents, which
+    /// are always exhaustive.
+    #[serde(default)]
+    pub mode: String,
+    /// Refinement iterations the adaptive mode ran (zero outside
+    /// adaptive mode).
+    #[serde(default)]
+    pub adaptive_iterations: u64,
+    /// Points the adaptive mode evaluated — equals `points` (zero
+    /// outside adaptive mode).
+    #[serde(default)]
+    pub adaptive_evaluated: u64,
+    /// Points the exhaustive grid would have evaluated (zero outside
+    /// adaptive mode).
+    #[serde(default)]
+    pub adaptive_exhaustive: u64,
+    /// The point budget the adaptive mode ran under (zero outside
+    /// adaptive mode).
+    #[serde(default)]
+    pub adaptive_budget: u64,
 }
 
 /// One sweep point's row: identity, scores, and the embedded report.
@@ -105,6 +146,33 @@ pub fn normalize_report(report: &mut RunReport) {
     }
 }
 
+/// Execution telemetry the sweep's runner contributes to the v2 header:
+/// how the stream cache answered, and — for the adaptive mode — how the
+/// point set was chosen.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepExec {
+    /// Points whose stream was already cached when the sweep started.
+    pub stream_hits: u64,
+    /// Points whose stream this sweep generated (and stored).
+    pub stream_misses: u64,
+    /// Set when the point set came from adaptive refinement rather than
+    /// exhaustive grid expansion.
+    pub adaptive: Option<AdaptiveMeta>,
+}
+
+/// How an adaptive refinement arrived at its point set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveMeta {
+    /// Refinement iterations run (the coarse seed round included).
+    pub iterations: u64,
+    /// Points evaluated across all iterations.
+    pub evaluated: u64,
+    /// Points the exhaustive grid would have evaluated.
+    pub exhaustive: u64,
+    /// The evaluation budget the refinement ran under.
+    pub budget: u64,
+}
+
 /// A full sweep-report document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -117,17 +185,32 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// [`SweepReport::assemble_with`] with no execution telemetry: an
+    /// exhaustive grid sweep that never consulted the stream cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepReport::assemble_with`].
+    pub fn assemble(spec: &SweepSpec, reports: Vec<RunReport>) -> Result<SweepReport, String> {
+        SweepReport::assemble_with(spec, reports, &SweepExec::default())
+    }
+
     /// Assembles the artifact from a sweep and its per-point reports
     /// (one per expanded point, in expansion order — however they were
     /// produced: the shared-trace executor, the serve daemon's job
-    /// queue, or direct runs).
+    /// queue, or direct runs), stamping the runner's execution telemetry
+    /// into the header.
     ///
     /// # Errors
     ///
     /// Returns a message when the report count disagrees with the
     /// sweep's point set or a run simulated no caches (its miss-rate
     /// objective would be undefined).
-    pub fn assemble(spec: &SweepSpec, mut reports: Vec<RunReport>) -> Result<SweepReport, String> {
+    pub fn assemble_with(
+        spec: &SweepSpec,
+        mut reports: Vec<RunReport>,
+        exec: &SweepExec,
+    ) -> Result<SweepReport, String> {
         reports.iter_mut().for_each(normalize_report);
         let sweep_id = spec.sweep_id();
         let n = spec.normalized();
@@ -166,6 +249,7 @@ impl SweepReport {
                 report,
             })
             .collect();
+        let adaptive = exec.adaptive;
         Ok(SweepReport {
             header: SweepHeader {
                 schema: SWEEP_REPORT_SCHEMA.to_string(),
@@ -174,8 +258,17 @@ impl SweepReport {
                 sweep_id: sweep_id.clone(),
                 program: n.program.clone(),
                 scale: n.scale,
+                programs: n.programs_axis(),
+                scales: n.scales_axis(),
                 families: n.families(),
                 points: points.len() as u64,
+                stream_hits: exec.stream_hits,
+                stream_misses: exec.stream_misses,
+                mode: if adaptive.is_some() { "adaptive" } else { "grid" }.to_string(),
+                adaptive_iterations: adaptive.map_or(0, |a| a.iterations),
+                adaptive_evaluated: adaptive.map_or(0, |a| a.evaluated),
+                adaptive_exhaustive: adaptive.map_or(0, |a| a.exhaustive),
+                adaptive_budget: adaptive.map_or(0, |a| a.budget),
             },
             front: SweepFrontRow {
                 schema: SWEEP_REPORT_SCHEMA.to_string(),
@@ -290,6 +383,60 @@ impl SweepReport {
                 h.points,
                 self.points.len()
             ));
+        }
+        // The v2 additions: axes consistent with the scalar fields they
+        // generalize, cache tallies covering every point or none, and
+        // adaptive metadata present exactly in adaptive mode. All of
+        // them default in v1 documents, which the empty checks accept.
+        if !h.programs.is_empty() && h.programs[0] != h.program {
+            return Err(format!(
+                "program axis starts with {:?}, header program is {:?}",
+                h.programs[0], h.program
+            ));
+        }
+        if !h.scales.is_empty() && h.scales[0] != h.scale {
+            return Err(format!(
+                "scale axis starts with {}, header scale is {}",
+                h.scales[0], h.scale
+            ));
+        }
+        let tallied = h.stream_hits + h.stream_misses;
+        if tallied != 0 && tallied != h.points {
+            return Err(format!(
+                "stream-cache tallies cover {tallied} points, sweep has {}",
+                h.points
+            ));
+        }
+        match h.mode.as_str() {
+            "adaptive" => {
+                if h.adaptive_evaluated != h.points {
+                    return Err(format!(
+                        "adaptive mode evaluated {} points, document carries {}",
+                        h.adaptive_evaluated, h.points
+                    ));
+                }
+                if h.adaptive_evaluated > h.adaptive_exhaustive {
+                    return Err(format!(
+                        "adaptive mode evaluated {} of only {} exhaustive points",
+                        h.adaptive_evaluated, h.adaptive_exhaustive
+                    ));
+                }
+                if h.adaptive_iterations == 0 {
+                    return Err("adaptive mode ran zero iterations".to_string());
+                }
+            }
+            // "" is a v1 document; exhaustive expansions carry no
+            // adaptive metadata.
+            "" | "grid" => {
+                if h.adaptive_iterations != 0
+                    || h.adaptive_evaluated != 0
+                    || h.adaptive_exhaustive != 0
+                    || h.adaptive_budget != 0
+                {
+                    return Err(format!("mode {:?} carries adaptive metadata", h.mode));
+                }
+            }
+            other => return Err(format!("unknown exploration mode {other:?}")),
         }
         let mut objectives = Vec::with_capacity(self.points.len());
         for (index, p) in self.points.iter().enumerate() {

@@ -131,26 +131,92 @@ impl GridSpec {
     }
 }
 
-/// A parameter sweep over allocator configurations: one workload cell
-/// shared by every point, plus per-family knob grids.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A parameter sweep over allocator configurations: a workload cell —
+/// optionally crossed with program and scale axes — plus per-family
+/// knob grids.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Program label, as [`JobSpec::program`].
     pub program: String,
     /// Workload scale; 0/omitted means the engine default.
-    #[serde(default)]
     pub scale: f64,
+    /// Program axis: when non-empty, the sweep crosses its grids over
+    /// *these* programs and [`SweepSpec::program`] is ignored (it
+    /// normalizes to the axis's first value). Empty means the single
+    /// scalar program.
+    pub programs: Vec<String>,
+    /// Scale axis: when non-empty, the sweep crosses its grids over
+    /// these scales and [`SweepSpec::scale`] is ignored (it normalizes
+    /// to the axis's first value). Empty means the single scalar scale.
+    pub scales: Vec<f64>,
     /// Cache sizes in KB; empty/omitted means the paper's sweep.
-    #[serde(default)]
     pub cache_kb: Vec<u32>,
     /// Cache block size in bytes; 0/omitted means the paper's 32.
-    #[serde(default)]
     pub block: u32,
     /// Whether to simulate paging; omitted means on.
-    #[serde(default)]
     pub paging: Option<bool>,
     /// One grid per allocator family to explore.
     pub grids: Vec<GridSpec>,
+}
+
+// `SweepSpec` serializes by hand for the same reason `JobSpec` does:
+// the derive emits every field, and permanent `"programs":[]` /
+// `"scales":[]` entries in the canonical line would silently renumber
+// every pre-existing sweep id. Omitting the axes when empty keeps
+// axis-free sweeps byte-stable across this addition.
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("program".to_string(), self.program.to_value()),
+            ("scale".to_string(), self.scale.to_value()),
+        ];
+        if !self.programs.is_empty() {
+            fields.push(("programs".to_string(), self.programs.to_value()));
+        }
+        if !self.scales.is_empty() {
+            fields.push(("scales".to_string(), self.scales.to_value()));
+        }
+        fields.push(("cache_kb".to_string(), self.cache_kb.to_value()));
+        fields.push(("block".to_string(), self.block.to_value()));
+        fields.push(("paging".to_string(), self.paging.to_value()));
+        fields.push(("grids".to_string(), self.grids.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields =
+            v.as_object().ok_or_else(|| serde::Error::custom("SweepSpec: expected an object"))?;
+        fn required<T: Deserialize>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match serde::__find_field(fields, name) {
+                Some(v) => T::from_value(v),
+                None => Err(serde::Error::custom(format!("SweepSpec: missing field `{name}`"))),
+            }
+        }
+        fn defaulted<T: Deserialize + Default>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match serde::__find_field(fields, name) {
+                Some(v) => T::from_value(v),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(SweepSpec {
+            program: required(fields, "program")?,
+            scale: defaulted(fields, "scale")?,
+            programs: defaulted(fields, "programs")?,
+            scales: defaulted(fields, "scales")?,
+            cache_kb: defaulted(fields, "cache_kb")?,
+            block: defaulted(fields, "block")?,
+            paging: defaulted(fields, "paging")?,
+            grids: required(fields, "grids")?,
+        })
+    }
 }
 
 impl SweepSpec {
@@ -159,6 +225,8 @@ impl SweepSpec {
         SweepSpec {
             program: program.to_string(),
             scale,
+            programs: Vec::new(),
+            scales: Vec::new(),
             cache_kb: Vec::new(),
             block: 0,
             paging: None,
@@ -166,13 +234,13 @@ impl SweepSpec {
         }
     }
 
-    /// The workload cell shared by every point, as a [`JobSpec`] with
-    /// the given allocator and no tuning.
-    fn cell(&self, allocator: &str) -> JobSpec {
+    /// One workload cell of the sweep, as a [`JobSpec`] with the given
+    /// allocator and no tuning.
+    fn cell_at(&self, program: &str, scale: f64, allocator: &str) -> JobSpec {
         JobSpec {
-            program: self.program.clone(),
+            program: program.to_string(),
             allocator: allocator.to_string(),
-            scale: self.scale,
+            scale,
             cache_kb: self.cache_kb.clone(),
             block: self.block,
             paging: self.paging,
@@ -180,13 +248,54 @@ impl SweepSpec {
         }
     }
 
-    /// The spec with workload defaults filled in and every grid's knob
-    /// lists canonicalized, so equivalent sweeps hash identically.
+    /// The effective program axis: the `programs` list when non-empty,
+    /// otherwise the single scalar program.
+    pub fn programs_axis(&self) -> Vec<String> {
+        if self.programs.is_empty() {
+            vec![self.program.clone()]
+        } else {
+            self.programs.clone()
+        }
+    }
+
+    /// The effective scale axis: the `scales` list when non-empty,
+    /// otherwise the single scalar scale.
+    pub fn scales_axis(&self) -> Vec<f64> {
+        if self.scales.is_empty() {
+            vec![self.scale]
+        } else {
+            self.scales.clone()
+        }
+    }
+
+    /// The spec with workload defaults filled in, every grid's knob
+    /// lists canonicalized, and the workload axes sorted, deduplicated,
+    /// and collapsed (a one-value axis is the same sweep as its scalar
+    /// spelling, so it normalizes *to* the scalar; a multi-value axis
+    /// pins the scalar to its first value), so equivalent sweeps hash
+    /// identically.
     pub fn normalized(&self) -> SweepSpec {
-        let cell = self.cell("FirstFit").normalized();
+        let fill = |scale: f64| {
+            JobSpec {
+                cache_kb: self.cache_kb.clone(),
+                block: self.block,
+                paging: self.paging,
+                ..JobSpec::cell(&self.program, "FirstFit", scale)
+            }
+            .normalized()
+        };
+        let mut programs = self.programs_axis();
+        programs.sort();
+        programs.dedup();
+        let mut scales: Vec<f64> = self.scales_axis().iter().map(|&s| fill(s).scale).collect();
+        scales.sort_by(f64::total_cmp);
+        scales.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        let cell = fill(self.scale);
         SweepSpec {
-            program: cell.program,
-            scale: cell.scale,
+            program: programs[0].clone(),
+            scale: scales[0],
+            programs: if programs.len() > 1 { programs } else { Vec::new() },
+            scales: if scales.len() > 1 { scales } else { Vec::new() },
             cache_kb: cell.cache_kb,
             block: cell.block,
             paging: cell.paging,
@@ -204,27 +313,32 @@ impl SweepSpec {
             .collect()
     }
 
-    /// Expands the sweep into its point set: deterministic order (grids
-    /// in declaration order, knobs in field order), normalized, and
-    /// deduplicated by [`JobSpec::job_id`].
+    /// Expands the sweep into its point set: deterministic order
+    /// (programs, then scales, then grids in declaration order, knobs in
+    /// field order), normalized, and deduplicated by
+    /// [`JobSpec::job_id`].
     pub fn points(&self) -> Vec<JobSpec> {
         let n = self.normalized();
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for grid in &n.grids {
-            for cfg in grid.configs() {
-                let mut point = n.cell(&grid.allocator);
-                point.alloc_config = cfg;
-                let point = point.normalized();
-                if seen.insert(point.job_id()) {
-                    out.push(point);
+        for program in n.programs_axis() {
+            for &scale in &n.scales_axis() {
+                for grid in &n.grids {
+                    for cfg in grid.configs() {
+                        let mut point = n.cell_at(&program, scale, &grid.allocator);
+                        point.alloc_config = cfg;
+                        let point = point.normalized();
+                        if seen.insert(point.job_id()) {
+                            out.push(point);
+                        }
+                    }
                 }
             }
         }
         out
     }
 
-    /// Checks the workload cell, every grid, and every expanded point.
+    /// Checks the workload axes, every grid, and every expanded point.
     ///
     /// # Errors
     ///
@@ -233,9 +347,13 @@ impl SweepSpec {
         if self.grids.is_empty() {
             return Err(SpecError::new("sweep declares no grids"));
         }
-        if program_by_label(&self.normalized().program).is_none() {
-            return Err(SpecError::new(format!("unknown program {:?}", self.program)));
+        for program in self.programs_axis() {
+            if program_by_label(&program).is_none() {
+                return Err(SpecError::new(format!("unknown program {program:?}")));
+            }
         }
+        let cells =
+            self.programs_axis().len().saturating_mul(self.scales_axis().len().max(1)).max(1);
         let mut total = 0usize;
         for grid in &self.grids {
             if !SERVABLE_ALLOCATORS.contains(&grid.allocator.as_str()) {
@@ -253,7 +371,7 @@ impl SweepSpec {
                      the workload source",
                 ));
             }
-            total = total.saturating_add(grid.point_count());
+            total = total.saturating_add(grid.point_count().saturating_mul(cells));
             if total > MAX_SWEEP_POINTS {
                 return Err(SpecError::new(format!(
                     "sweep expands to more than {MAX_SWEEP_POINTS} points"
@@ -296,11 +414,13 @@ impl SweepSpec {
 
 impl fmt::Display for SweepSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.normalized();
+        let scales = n.scales_axis().iter().map(f64::to_string).collect::<Vec<_>>().join(",");
         write!(
             f,
             "{} @ {} over [{}]",
-            self.program,
-            self.normalized().scale,
+            n.programs_axis().join(","),
+            scales,
             self.families().join(", ")
         )
     }
@@ -404,5 +524,79 @@ mod tests {
         let spec: SweepSpec = serde_json::from_str(terse).expect("parse terse");
         spec.validate().expect("valid");
         assert_eq!(spec.points().len(), 2);
+    }
+
+    #[test]
+    fn axis_free_sweeps_never_serialize_axis_fields() {
+        // The sweep-id namespace from before the axes existed must be
+        // preserved: an axis-free spec's canonical line carries no
+        // `programs`/`scales` keys at all.
+        let line = demo().canonical_line();
+        assert!(!line.contains("\"programs\""));
+        assert!(!line.contains("\"scales\""));
+    }
+
+    #[test]
+    fn workload_axes_cross_with_the_grids() {
+        let spec = SweepSpec {
+            programs: vec!["espresso".into(), "make".into()],
+            scales: vec![0.002, 0.004],
+            ..demo()
+        };
+        spec.validate().expect("axis sweep is valid");
+        // 9 allocator points per (program, scale) cell, 4 cells.
+        assert_eq!(spec.points().len(), 36);
+        // Points iterate programs outermost, scales next.
+        let points = spec.points();
+        assert!(points[..9].iter().all(|p| p.program == "espresso" && p.scale == 0.002));
+        assert!(points[9..18].iter().all(|p| p.program == "espresso" && p.scale == 0.004));
+        assert!(points[18..].iter().all(|p| p.program == "make"));
+    }
+
+    #[test]
+    fn singleton_axes_normalize_to_the_scalar_spelling() {
+        let scalar = demo();
+        let spelled =
+            SweepSpec { programs: vec!["espresso".into()], scales: vec![0.002], ..demo() };
+        assert_eq!(spelled.normalized(), scalar.normalized());
+        assert_eq!(spelled.sweep_id(), scalar.sweep_id());
+        // Multi-value axes pin the scalars to the first axis value, so
+        // the scalar fields cannot smuggle in a distinct spelling.
+        let a = SweepSpec {
+            program: "make".into(),
+            programs: vec!["make".into(), "espresso".into()],
+            ..demo()
+        };
+        let b = SweepSpec {
+            program: "espresso".into(),
+            programs: vec!["espresso".into(), "make".into(), "make".into()],
+            ..demo()
+        };
+        assert_eq!(a.sweep_id(), b.sweep_id());
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn axis_sweeps_validate_and_cap_like_scalar_ones() {
+        let mut spec = SweepSpec { programs: vec!["espresso".into(), "tetris".into()], ..demo() };
+        assert!(spec.validate().unwrap_err().to_string().contains("unknown program"));
+        spec.programs = vec!["espresso".into(), "make".into(), "gawk".into()];
+        // 9 declared grid points × 3 programs × 171 scales > 4096.
+        spec.scales = (1..=171).map(|i| 0.001 * f64::from(i)).collect();
+        assert!(spec.validate().unwrap_err().to_string().contains("points"));
+    }
+
+    #[test]
+    fn axis_sweeps_round_trip_through_json() {
+        let spec = SweepSpec {
+            programs: vec!["make".into(), "espresso".into()],
+            scales: vec![0.004, 0.002],
+            ..demo()
+        };
+        let back: SweepSpec = serde_json::from_str(&spec.canonical_line()).expect("parse");
+        assert_eq!(back, spec.normalized());
+        assert_eq!(back.sweep_id(), spec.sweep_id());
+        assert_eq!(back.programs, vec!["espresso".to_string(), "make".to_string()]);
+        assert_eq!(back.scales, vec![0.002, 0.004]);
     }
 }

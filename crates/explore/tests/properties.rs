@@ -1,12 +1,16 @@
 //! Property tests for the Pareto front and the sweep executor's
 //! bit-identity contract across pipeline modes.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use alloc_locality::job_spec::program_by_label;
 use alloc_locality::{Experiment, JobSpec, PipelineMode};
 use explore::report::normalize_report;
-use explore::{pareto_front, Objectives};
+use explore::{
+    pareto_front, run_adaptive, run_sweep, AdaptiveOptions, ExecOptions, GridSpec, Objectives,
+    SweepSpec,
+};
 use proptest::prelude::*;
 use workloads::{AppEvent, Scale};
 
@@ -114,4 +118,101 @@ fn shared_trace_points_match_direct_runs_in_both_pipeline_modes() {
             "shared-trace point diverged from the direct run in {mode:?} mode"
         );
     }
+}
+
+/// Axis-keyed trace sharing is invisible in the output: for every point
+/// of a program × scale × family-grid cross product, a run driven off
+/// the (program, scale)-pooled shared trace — exactly the pool the
+/// executor builds — is byte-identical to regenerating that point's
+/// events from its own spec, in both pipeline modes.
+#[test]
+fn axis_keyed_shared_traces_match_per_point_regeneration() {
+    let spec = SweepSpec {
+        programs: vec!["espresso".into(), "make".into()],
+        scales: vec![0.002, 0.003],
+        cache_kb: vec![16],
+        paging: Some(false),
+        ..SweepSpec::over(
+            "espresso",
+            0.002,
+            vec![
+                GridSpec { split_threshold: vec![8], ..GridSpec::baseline("FirstFit") },
+                GridSpec { min_shift: vec![4], ..GridSpec::baseline("BSD") },
+            ],
+        )
+    };
+    spec.validate().expect("axis sweep is valid");
+    let points = spec.normalized().points();
+    assert_eq!(points.len(), 8, "2 programs x 2 scales x 2 family configs");
+
+    let mut pool: HashMap<(String, u64), Arc<Vec<AppEvent>>> = HashMap::new();
+    for mode in [PipelineMode::Inline, PipelineMode::Sharded] {
+        for point in &points {
+            let program = program_by_label(&point.program).expect("known program");
+            let events = pool
+                .entry((point.program.clone(), point.scale.to_bits()))
+                .or_insert_with(|| Arc::new(program.spec().events(Scale(point.scale)).collect()));
+            let mut shared = Experiment::with_shared_events(
+                program.label(),
+                Arc::clone(events),
+                point.to_choice().expect("choice builds"),
+            )
+            .options(point.to_options().expect("options build"))
+            .pipeline(mode)
+            .report()
+            .expect("shared-trace run");
+            let mut direct = point
+                .to_experiment()
+                .expect("direct experiment builds")
+                .pipeline(mode)
+                .report()
+                .expect("direct run");
+            normalize_report(&mut shared);
+            normalize_report(&mut direct);
+            assert_eq!(
+                shared.to_jsonl_line(),
+                direct.to_jsonl_line(),
+                "{}/{} at scale {} diverged under the shared trace in {mode:?} mode",
+                point.program,
+                point.allocator,
+                point.scale
+            );
+        }
+    }
+}
+
+/// With an unlimited budget, adaptive refinement is a pure reordering
+/// of the exhaustive grid: bisection keeps activating knob values until
+/// the subgrid *is* the grid — even from a sparse seed over a knob list
+/// long enough to need several interval splits — so the final report
+/// carries the same sweep id, byte-identical point rows, and the same
+/// front as the exhaustive executor.
+#[test]
+fn full_budget_adaptive_covers_long_knob_lists_exhaustively() {
+    let spec = SweepSpec {
+        cache_kb: vec![16],
+        paging: Some(false),
+        ..SweepSpec::over(
+            "espresso",
+            0.002,
+            vec![
+                GridSpec {
+                    split_threshold: vec![8, 16, 24, 32, 40],
+                    ..GridSpec::baseline("FirstFit")
+                },
+                GridSpec { fast_max: vec![8, 32], ..GridSpec::baseline("QuickFit") },
+            ],
+        )
+    };
+    spec.validate().expect("sweep is valid");
+    let exhaustive = run_sweep(&spec, 2, |_, _| {}).expect("exhaustive sweep");
+    let adaptive =
+        run_adaptive(&spec, &ExecOptions::threads(2), AdaptiveOptions::default(), |_, _| {})
+            .expect("adaptive sweep");
+    adaptive.validate().expect("adaptive report validates");
+    assert_eq!(adaptive.header.mode, "adaptive");
+    assert_eq!(adaptive.header.adaptive_evaluated, exhaustive.points.len() as u64);
+    assert_eq!(adaptive.header.sweep_id, exhaustive.header.sweep_id);
+    assert_eq!(adaptive.points, exhaustive.points);
+    assert_eq!(adaptive.front, exhaustive.front);
 }

@@ -59,7 +59,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use alloc_locality::JobSpec;
-use explore::{SweepReport, SweepSpec};
+use explore::{SweepExec, SweepReport, SweepSpec};
 use obs::{Hist, HistSnapshot, MetricsSnapshot, Recorder as _, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +181,11 @@ impl Job {
 struct Sweep {
     spec: SweepSpec,
     point_ids: Vec<String>,
+    /// Points whose reference stream was already in the stream cache at
+    /// submit time (v2 header telemetry; zero without a cache).
+    stream_hits: u64,
+    /// Points whose stream was not cached at submit time (ditto).
+    stream_misses: u64,
     /// The assembled report, memoized on first fetch so duplicate
     /// fetches hand out literally the same bytes.
     report: Option<Arc<String>>,
@@ -926,6 +931,28 @@ fn submit_sweep(request: &Request, shared: &Arc<Shared>) -> Reply {
     let n = spec.normalized();
     let id = n.sweep_id();
     let points = n.points();
+    // Stream-cache telemetry for the v2 sweep header: how many points'
+    // reference streams were already cached at submit time. The probe is
+    // a metadata-only existence check, so it runs outside the state lock.
+    let (stream_hits, stream_misses) = match &shared.cfg.stream_cache {
+        Some(dir) => {
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for point in &points {
+                let cached = point.to_experiment().ok().and_then(|exp| {
+                    exp.stream_cache(dir.clone())
+                        .stream_cache_bytes(shared.cfg.stream_cache_bytes)
+                        .stream_cached()
+                });
+                if cached == Some(true) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            (hits, misses)
+        }
+        None => (0, 0),
+    };
     let mut state = shared.state.lock().expect("state lock");
     let cached = state.sweeps.contains_key(&id);
     // Classify every point: already in the result table, restorable from
@@ -1000,6 +1027,8 @@ fn submit_sweep(request: &Request, shared: &Arc<Shared>) -> Reply {
             Sweep {
                 spec: n,
                 point_ids: points.iter().map(JobSpec::job_id).collect(),
+                stream_hits,
+                stream_misses,
                 report: None,
             },
         );
@@ -1070,13 +1099,13 @@ fn sweep_status(id: &str, shared: &Arc<Shared>) -> Reply {
 }
 
 /// `GET /sweeps/{id}/report`: the assembled `alloc-locality.sweep-report`
-/// v1 JSONL. 409 until every point is done; the per-point report lines
+/// v2 JSONL. 409 until every point is done; the per-point report lines
 /// are then parsed back, scored, and assembled exactly as the offline
 /// executor does it — the resulting bytes match an `explore` run of the
-/// same spec. Assembly happens outside the state lock and the result is
-/// memoized on the sweep.
+/// same spec under the same stream-cache configuration. Assembly happens
+/// outside the state lock and the result is memoized on the sweep.
 fn sweep_report(id: &str, shared: &Arc<Shared>) -> Reply {
-    let (spec, lines) = {
+    let (spec, lines, exec) = {
         let state = shared.state.lock().expect("state lock");
         let Some(sweep) = state.sweeps.get(id) else {
             return Reply::json(
@@ -1137,7 +1166,12 @@ fn sweep_report(id: &str, shared: &Arc<Shared>) -> Reply {
                 },
             }
         }
-        (sweep.spec.clone(), lines)
+        let exec = SweepExec {
+            stream_hits: sweep.stream_hits,
+            stream_misses: sweep.stream_misses,
+            adaptive: None,
+        };
+        (sweep.spec.clone(), lines, exec)
     };
     let mut reports = Vec::with_capacity(lines.len());
     for line in &lines {
@@ -1154,7 +1188,7 @@ fn sweep_report(id: &str, shared: &Arc<Shared>) -> Reply {
             }
         }
     }
-    let text = match SweepReport::assemble(&spec, reports) {
+    let text = match SweepReport::assemble_with(&spec, reports, &exec) {
         Ok(report) => report.to_jsonl(),
         Err(e) => {
             return Reply::json(

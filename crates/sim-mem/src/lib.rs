@@ -55,8 +55,8 @@ pub use cost::{InstrCounter, Phase};
 pub use ctx::{MemCtx, BATCH_CAPACITY};
 pub use heap::{HeapImage, OomError};
 pub use stream::{
-    decode_stream, encode_stream, CacheLookup, DecodedStream, Fnv64, StreamCache, StreamError,
-    STREAM_FORMAT_VERSION, STREAM_MAGIC,
+    decode_sidecar, decode_stream, encode_stream, CacheLookup, CacheStats, DecodedStream, Fnv64,
+    SidecarLookup, StreamCache, StreamError, STREAM_FORMAT_VERSION, STREAM_MAGIC,
 };
 
 /// The trait implemented by every consumer of the simulated reference
